@@ -1,0 +1,53 @@
+//! # darkside-acoustic — synthetic speech corpus substrate
+//!
+//! Stands in for LibriSpeech per the substitution table in DESIGN.md §2:
+//! a phoneme inventory with 3-state left-to-right HMMs, Gaussian-mixture
+//! emitters in a 40-dim feature space, a word lexicon with homophones, a
+//! bigram grammar, and a seeded utterance sampler.
+//!
+//! **Status:** skeleton (ISSUE 1 creates the workspace; the generative model
+//! lands with the corpus PR). The inventory type below fixes the class-space
+//! arithmetic — 30 phonemes × 3 states = 90 sub-phoneme classes at the
+//! scaled operating point of DESIGN.md §4b — that `darkside-nn` models and
+//! `darkside-wfst` graphs are built against.
+
+/// The phoneme/state inventory defining the acoustic class space.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PhonemeInventory {
+    pub num_phonemes: usize,
+    pub states_per_phoneme: usize,
+}
+
+impl PhonemeInventory {
+    /// The DESIGN.md §4b scaled operating point: 30 phonemes × 3 states.
+    pub fn default_scaled() -> Self {
+        Self {
+            num_phonemes: 30,
+            states_per_phoneme: 3,
+        }
+    }
+
+    /// Number of sub-phoneme classes = the MLP's softmax width.
+    pub fn num_classes(&self) -> usize {
+        self.num_phonemes * self.states_per_phoneme
+    }
+
+    /// Flat class id of `(phoneme, state)`.
+    pub fn class_id(&self, phoneme: usize, state: usize) -> usize {
+        debug_assert!(phoneme < self.num_phonemes && state < self.states_per_phoneme);
+        phoneme * self.states_per_phoneme + state
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaled_inventory_is_90_classes() {
+        let inv = PhonemeInventory::default_scaled();
+        assert_eq!(inv.num_classes(), 90);
+        assert_eq!(inv.class_id(29, 2), 89);
+        assert_eq!(inv.class_id(0, 0), 0);
+    }
+}

@@ -1,0 +1,40 @@
+//! Batched vs per-frame utterance scoring (the ISSUE 1 amortization claim).
+//!
+//! Run: `cargo bench -p darkside-bench --bench batched_score`
+
+use darkside_bench::bench;
+use darkside_nn::{Frame, Mlp, Rng};
+use std::hint::black_box;
+
+fn main() {
+    // DESIGN.md §4b paper-shape model: 360 → 512 (pnorm/4 → 128) × 4 → 90.
+    let mut rng = Rng::new(0xBA7C);
+    let mlp = Mlp::kaldi_style(360, 512, 4, 4, 90, &mut rng);
+    println!(
+        "batched_score bench: {} params, input {} -> classes {}\n",
+        mlp.num_params(),
+        mlp.input_dim(),
+        mlp.output_dim()
+    );
+
+    for &frames_per_utt in &[16usize, 64, 128] {
+        let frames: Vec<Frame> = (0..frames_per_utt)
+            .map(|_| Frame((0..360).map(|_| rng.normal()).collect()))
+            .collect();
+
+        let per_frame = bench(&format!("score_per_frame_{frames_per_utt}"), || {
+            for f in &frames {
+                black_box(mlp.score_frame(black_box(f)));
+            }
+        });
+        let batched = bench(&format!("score_batched_{frames_per_utt}"), || {
+            black_box(mlp.score_frames(black_box(&frames)));
+        });
+        println!("{}", per_frame.summary());
+        println!("{}", batched.summary());
+        println!(
+            "  -> batching {frames_per_utt} frames: {:.2}x\n",
+            batched.speedup_over(&per_frame)
+        );
+    }
+}

@@ -1,0 +1,70 @@
+//! GEMM micro-bench: naive oracle vs blocked vs blocked+threads.
+//!
+//! Run: `cargo bench -p darkside-bench --bench gemm`
+
+use darkside_bench::{bench_with, BenchOptions};
+use darkside_nn::check::random_matrix;
+use darkside_nn::{gemm_naive, gemm_with_threads, Matrix, Rng};
+use std::hint::black_box;
+
+fn main() {
+    let threads = std::thread::available_parallelism().map_or(1, |p| p.get());
+    println!("gemm bench: square sizes, f32, {threads} hw threads\n");
+    let mut rng = Rng::new(0xD0_0D);
+    for &size in &[64usize, 128, 256, 512] {
+        let a = random_matrix(&mut rng, size, size, 1.0);
+        let b = random_matrix(&mut rng, size, size, 1.0);
+        let mut c = Matrix::zeros(size, size);
+        let flops = 2.0 * (size as f64).powi(3);
+        let opts = if size >= 512 {
+            BenchOptions::slow()
+        } else {
+            BenchOptions::default()
+        };
+
+        let naive = bench_with(&format!("gemm_naive_{size}"), opts, || {
+            gemm_naive(
+                size,
+                size,
+                size,
+                black_box(a.as_slice()),
+                black_box(b.as_slice()),
+                c.as_mut_slice(),
+            )
+        })
+        .with_flops(flops);
+        let blocked = bench_with(&format!("gemm_blocked_1t_{size}"), opts, || {
+            gemm_with_threads(
+                size,
+                size,
+                size,
+                black_box(a.as_slice()),
+                black_box(b.as_slice()),
+                c.as_mut_slice(),
+                1,
+            )
+        })
+        .with_flops(flops);
+        let parallel = bench_with(&format!("gemm_blocked_mt_{size}"), opts, || {
+            gemm_with_threads(
+                size,
+                size,
+                size,
+                black_box(a.as_slice()),
+                black_box(b.as_slice()),
+                c.as_mut_slice(),
+                threads,
+            )
+        })
+        .with_flops(flops);
+
+        println!("{}", naive.summary());
+        println!("{}", blocked.summary());
+        println!("{}", parallel.summary());
+        println!(
+            "  -> blocked 1t {:.2}x, blocked {threads}t {:.2}x over naive\n",
+            blocked.speedup_over(&naive),
+            parallel.speedup_over(&naive)
+        );
+    }
+}

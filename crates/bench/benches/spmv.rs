@@ -1,0 +1,69 @@
+//! Sparse kernels vs their dense baselines across sparsity levels.
+//!
+//! Run: `cargo bench -p darkside-bench --bench spmv`
+
+use darkside_bench::bench;
+use darkside_nn::check::random_matrix;
+use darkside_nn::{gemv_naive, Matrix, Rng};
+use darkside_pruning::{prune_to_sparsity, Csr};
+use std::hint::black_box;
+
+fn main() {
+    const SIZE: usize = 512;
+    println!("spmv bench: {SIZE}x{SIZE} layer, f32\n");
+    let mut rng = Rng::new(0x5EED);
+    let dense = Matrix::from_fn(SIZE, SIZE, |_, _| rng.normal_scaled(0.0, 0.1));
+    let x: Vec<f32> = (0..SIZE).map(|_| rng.normal()).collect();
+    let mut y = vec![0.0f32; SIZE];
+
+    let gemv = bench("gemv_dense", || {
+        gemv_naive(
+            SIZE,
+            SIZE,
+            black_box(dense.as_slice()),
+            black_box(&x),
+            &mut y,
+        )
+    })
+    .with_flops(2.0 * (SIZE * SIZE) as f64);
+    println!("{}", gemv.summary());
+
+    for target in [0.7, 0.8, 0.9] {
+        let result = prune_to_sparsity(&dense, target, 0.002);
+        let mut masked = dense.clone();
+        result.mask.apply(&mut masked);
+        let csr = Csr::from_dense(&masked);
+        let spmv = bench(&format!("spmv_csr_{:.0}", target * 100.0), || {
+            csr.spmv(black_box(&x), &mut y)
+        })
+        .with_flops(2.0 * csr.nnz() as f64);
+        println!(
+            "{}  ({:.1}% sparse, {:.2}x over dense gemv)",
+            spmv.summary(),
+            csr.sparsity() * 100.0,
+            spmv.speedup_over(&gemv)
+        );
+    }
+
+    // Batched form: SpMM against the same-shape dense GEMM at 90 % sparsity.
+    const BATCH: usize = 64;
+    let result = prune_to_sparsity(&dense, 0.9, 0.002);
+    let mut masked = dense.clone();
+    result.mask.apply(&mut masked);
+    let csr = Csr::from_dense(&masked);
+    let xt = random_matrix(&mut rng, SIZE, BATCH, 1.0);
+    let mut yt = Matrix::zeros(SIZE, BATCH);
+    let spmm = bench("spmm_csr_90_batch64", || csr.spmm(black_box(&xt), &mut yt))
+        .with_flops(2.0 * (csr.nnz() * BATCH) as f64);
+    let gemm_dense = bench("gemm_dense_batch64", || {
+        let mut out = masked.matmul(black_box(&xt));
+        black_box(out.as_mut_slice());
+    })
+    .with_flops(2.0 * (SIZE * SIZE * BATCH) as f64);
+    println!("\n{}", gemm_dense.summary());
+    println!(
+        "{}  ({:.2}x over dense gemm)",
+        spmm.summary(),
+        spmm.speedup_over(&gemm_dense)
+    );
+}

@@ -1,0 +1,203 @@
+//! Records the repo's compute-substrate perf baseline into
+//! `BENCH_compute.json` (schema documented in EXPERIMENTS.md).
+//!
+//! Run: `cargo run --release -p darkside-bench --bin perf_baseline`
+//! (optionally `-- --out <path>`; default `BENCH_compute.json` in the
+//! working directory).
+//!
+//! Before timing anything it cross-checks the optimized kernels against the
+//! naive oracles, so a perf record can never be produced by a wrong kernel.
+
+use darkside_bench::{bench_with, BenchOptions, BenchResult};
+use darkside_nn::check::{assert_matrices_close, assert_slices_close, random_matrix};
+use darkside_nn::{gemm_naive, gemm_with_threads, Frame, Matrix, Mlp, Rng};
+use darkside_pruning::{prune_to_sparsity, Csr};
+use std::hint::black_box;
+
+const GEMM_SIZE: usize = 512;
+const GEMM_SPEEDUP_TARGET: f64 = 4.0;
+const SPMV_SPEEDUP_TARGET: f64 = 2.0;
+
+fn main() {
+    let out_path = match parse_out_arg() {
+        Ok(p) => p,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            std::process::exit(1);
+        }
+    };
+    // Fail on an unwritable destination *before* minutes of benching.
+    if let Err(e) = std::fs::write(&out_path, "") {
+        eprintln!("error: cannot write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    let threads = std::thread::available_parallelism().map_or(1, |p| p.get());
+    let mut rng = Rng::new(0xBEEF);
+
+    // --- correctness gate -------------------------------------------------
+    verify_kernels(&mut rng, threads);
+    println!("kernel correctness vs naive oracle: ok\n");
+
+    let mut results: Vec<BenchResult> = Vec::new();
+
+    // --- gemm: naive vs blocked vs blocked+threads at 512^3 ---------------
+    let a = random_matrix(&mut rng, GEMM_SIZE, GEMM_SIZE, 1.0);
+    let b = random_matrix(&mut rng, GEMM_SIZE, GEMM_SIZE, 1.0);
+    let mut c = Matrix::zeros(GEMM_SIZE, GEMM_SIZE);
+    let gemm_flops = 2.0 * (GEMM_SIZE as f64).powi(3);
+    let naive = bench_with("gemm_naive_512", BenchOptions::slow(), || {
+        gemm_naive(
+            GEMM_SIZE,
+            GEMM_SIZE,
+            GEMM_SIZE,
+            black_box(a.as_slice()),
+            black_box(b.as_slice()),
+            c.as_mut_slice(),
+        )
+    })
+    .with_flops(gemm_flops);
+    println!("{}", naive.summary());
+    let blocked_1t = bench_with("gemm_blocked_1t_512", BenchOptions::slow(), || {
+        gemm_with_threads(
+            GEMM_SIZE,
+            GEMM_SIZE,
+            GEMM_SIZE,
+            black_box(a.as_slice()),
+            black_box(b.as_slice()),
+            c.as_mut_slice(),
+            1,
+        )
+    })
+    .with_flops(gemm_flops);
+    println!("{}", blocked_1t.summary());
+    let blocked_mt = bench_with("gemm_blocked_mt_512", BenchOptions::slow(), || {
+        gemm_with_threads(
+            GEMM_SIZE,
+            GEMM_SIZE,
+            GEMM_SIZE,
+            black_box(a.as_slice()),
+            black_box(b.as_slice()),
+            c.as_mut_slice(),
+            threads,
+        )
+    })
+    .with_flops(gemm_flops);
+    println!("{}", blocked_mt.summary());
+    let gemm_speedup = blocked_mt.speedup_over(&naive);
+
+    // --- spmv: CSR at 90 % sparsity vs dense gemv, 512x512 ----------------
+    let dense = Matrix::from_fn(GEMM_SIZE, GEMM_SIZE, |_, _| rng.normal_scaled(0.0, 0.1));
+    let result = prune_to_sparsity(&dense, 0.9, 0.002);
+    let mut masked = dense.clone();
+    result.mask.apply(&mut masked);
+    let csr = Csr::from_dense(&masked);
+    let x: Vec<f32> = (0..GEMM_SIZE).map(|_| rng.normal()).collect();
+    let mut y = vec![0.0f32; GEMM_SIZE];
+    let gemv = bench_with("gemv_dense_512", BenchOptions::default(), || {
+        darkside_nn::gemv_naive(
+            GEMM_SIZE,
+            GEMM_SIZE,
+            black_box(dense.as_slice()),
+            black_box(&x),
+            &mut y,
+        )
+    })
+    .with_flops(2.0 * (GEMM_SIZE * GEMM_SIZE) as f64);
+    println!("{}", gemv.summary());
+    let spmv = bench_with("spmv_csr_90_512", BenchOptions::default(), || {
+        csr.spmv(black_box(&x), &mut y)
+    })
+    .with_flops(2.0 * csr.nnz() as f64);
+    println!("{} ({:.2}% sparse)", spmv.summary(), csr.sparsity() * 100.0);
+    let spmv_speedup = spmv.speedup_over(&gemv);
+
+    // --- batched utterance scoring ----------------------------------------
+    let mlp = Mlp::kaldi_style(360, 512, 4, 4, 90, &mut rng);
+    let frames: Vec<Frame> = (0..128)
+        .map(|_| Frame((0..360).map(|_| rng.normal()).collect()))
+        .collect();
+    let per_frame = bench_with("score_per_frame_128", BenchOptions::default(), || {
+        for f in &frames {
+            black_box(mlp.score_frame(black_box(f)));
+        }
+    });
+    println!("{}", per_frame.summary());
+    let batched = bench_with("score_batched_128", BenchOptions::default(), || {
+        black_box(mlp.score_frames(black_box(&frames)));
+    });
+    println!("{}", batched.summary());
+    let batch_speedup = batched.speedup_over(&per_frame);
+
+    results.extend([
+        naive, blocked_1t, blocked_mt, gemv, spmv, per_frame, batched,
+    ]);
+
+    // --- record -----------------------------------------------------------
+    let gemm_pass = gemm_speedup >= GEMM_SPEEDUP_TARGET;
+    let spmv_pass = spmv_speedup >= SPMV_SPEEDUP_TARGET;
+    println!();
+    println!(
+        "gemm blocked+mt vs naive @512^3 : {gemm_speedup:.2}x (target {GEMM_SPEEDUP_TARGET}x) {}",
+        if gemm_pass { "PASS" } else { "FAIL" }
+    );
+    println!(
+        "spmv csr vs dense gemv @90%/512 : {spmv_speedup:.2}x (target {SPMV_SPEEDUP_TARGET}x) {}",
+        if spmv_pass { "PASS" } else { "FAIL" }
+    );
+    println!("batched vs per-frame scoring    : {batch_speedup:.2}x");
+
+    let benches_json: Vec<String> = results
+        .iter()
+        .map(|r| format!("    {}", r.to_json()))
+        .collect();
+    let json = format!(
+        "{{\n  \"schema_version\": 1,\n  \"generated_by\": \"perf_baseline\",\n  \"host\": {{\"hw_threads\": {threads}, \"arch\": \"{arch}\"}},\n  \"benches\": [\n{benches}\n  ],\n  \"derived\": {{\n    \"gemm_blocked_mt_vs_naive_512\": {{\"speedup\": {gemm_speedup:.3}, \"target\": {GEMM_SPEEDUP_TARGET}, \"pass\": {gemm_pass}}},\n    \"spmv_csr90_vs_gemv_512\": {{\"speedup\": {spmv_speedup:.3}, \"target\": {SPMV_SPEEDUP_TARGET}, \"pass\": {spmv_pass}}},\n    \"batched_vs_per_frame_score_128\": {{\"speedup\": {batch_speedup:.3}}}\n  }}\n}}\n",
+        arch = std::env::consts::ARCH,
+        benches = benches_json.join(",\n"),
+    );
+    if let Err(e) = std::fs::write(&out_path, json) {
+        eprintln!("error: cannot write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    println!("\nrecorded {out_path}");
+}
+
+/// The optimized kernels must agree with the naive oracles before any
+/// number is recorded.
+fn verify_kernels(rng: &mut Rng, threads: usize) {
+    let (m, n, k) = (173, 129, 97); // deliberately not tile multiples
+    let a = random_matrix(rng, m, k, 1.0);
+    let b = random_matrix(rng, k, n, 1.0);
+    let mut want = Matrix::zeros(m, n);
+    gemm_naive(m, n, k, a.as_slice(), b.as_slice(), want.as_mut_slice());
+    for t in [1, threads, threads + 3] {
+        let mut got = Matrix::zeros(m, n);
+        gemm_with_threads(m, n, k, a.as_slice(), b.as_slice(), got.as_mut_slice(), t);
+        assert_matrices_close(&got, &want, 1e-4, &format!("gemm {t} threads"));
+    }
+
+    let dense = Matrix::from_fn(64, 80, |_, _| rng.normal_scaled(0.0, 0.1));
+    let pr = prune_to_sparsity(&dense, 0.9, 0.01);
+    let mut masked = dense.clone();
+    pr.mask.apply(&mut masked);
+    let csr = Csr::from_dense(&masked);
+    let x: Vec<f32> = (0..80).map(|_| rng.normal()).collect();
+    let mut got = vec![0.0f32; 64];
+    csr.spmv(&x, &mut got);
+    let mut want = vec![0.0f32; 64];
+    darkside_nn::gemv_naive(64, 80, masked.as_slice(), &x, &mut want);
+    assert_slices_close(&got, &want, 1e-4, "spmv vs gemv");
+}
+
+fn parse_out_arg() -> Result<String, String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.as_slice() {
+        [] => Ok("BENCH_compute.json".to_string()),
+        [flag, path] if flag == "--out" => Ok(path.clone()),
+        [flag] if flag == "--out" => Err("--out requires a path".to_string()),
+        other => Err(format!(
+            "unknown arguments {:?}; usage: perf_baseline [--out <path>]",
+            other
+        )),
+    }
+}

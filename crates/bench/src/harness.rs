@@ -1,0 +1,199 @@
+//! Criterion-style measurement core (the in-tree `criterion` stand-in).
+//!
+//! Protocol per benchmark: calibrate how many closure calls fill one sample
+//! period, run warmup samples to settle caches/branch predictors/turbo, then
+//! time `samples` batches and report per-op statistics. Medians (not means)
+//! are the headline number so one preempted sample on a busy host does not
+//! skew the record — the same choice criterion makes.
+
+use std::time::Instant;
+
+/// Knobs for one measurement.
+#[derive(Clone, Copy, Debug)]
+pub struct BenchOptions {
+    /// Target wall-clock per sample; iterations are calibrated to fill it.
+    pub min_sample_ms: f64,
+    /// Timed samples (median taken over these).
+    pub samples: usize,
+    /// Untimed samples run first.
+    pub warmup: usize,
+}
+
+impl Default for BenchOptions {
+    fn default() -> Self {
+        Self {
+            min_sample_ms: 25.0,
+            samples: 15,
+            warmup: 3,
+        }
+    }
+}
+
+impl BenchOptions {
+    /// For expensive single ops (e.g. naive 512³ GEMM at ~1 s/op): fewer,
+    /// single-iteration samples.
+    pub fn slow() -> Self {
+        Self {
+            min_sample_ms: 0.0,
+            samples: 5,
+            warmup: 1,
+        }
+    }
+}
+
+/// Statistics for one benchmark, in nanoseconds per operation.
+#[derive(Clone, Debug)]
+pub struct BenchResult {
+    pub name: String,
+    pub median_ns: f64,
+    pub min_ns: f64,
+    pub mean_ns: f64,
+    pub samples: usize,
+    pub iters_per_sample: u64,
+    /// Arithmetic work per op, set via [`BenchResult::with_flops`].
+    pub flops_per_op: Option<f64>,
+}
+
+impl BenchResult {
+    /// Attach a FLOP count so [`BenchResult::gflops`] and the JSON record
+    /// can report throughput.
+    pub fn with_flops(mut self, flops: f64) -> Self {
+        self.flops_per_op = Some(flops);
+        self
+    }
+
+    pub fn gflops(&self) -> Option<f64> {
+        self.flops_per_op.map(|f| f / self.median_ns)
+    }
+
+    /// Median-over-median speedup of `baseline` relative to `self`.
+    pub fn speedup_over(&self, baseline: &BenchResult) -> f64 {
+        baseline.median_ns / self.median_ns
+    }
+
+    /// One human-readable summary line.
+    pub fn summary(&self) -> String {
+        let gf = self
+            .gflops()
+            .map(|g| format!("  {g:7.2} GFLOP/s"))
+            .unwrap_or_default();
+        format!(
+            "{:<28} median {:>12.0} ns/op  (min {:>12.0}){gf}",
+            self.name, self.median_ns, self.min_ns
+        )
+    }
+
+    /// This result as a JSON object (schema documented in EXPERIMENTS.md).
+    pub fn to_json(&self) -> String {
+        let gflops = self
+            .gflops()
+            .map(|g| format!("{g:.4}"))
+            .unwrap_or_else(|| "null".into());
+        let flops = self
+            .flops_per_op
+            .map(|f| format!("{f:.0}"))
+            .unwrap_or_else(|| "null".into());
+        format!(
+            concat!(
+                "{{\"name\":\"{}\",\"median_ns\":{:.1},\"min_ns\":{:.1},",
+                "\"mean_ns\":{:.1},\"samples\":{},\"iters_per_sample\":{},",
+                "\"flops_per_op\":{},\"gflops\":{}}}"
+            ),
+            self.name,
+            self.median_ns,
+            self.min_ns,
+            self.mean_ns,
+            self.samples,
+            self.iters_per_sample,
+            flops,
+            gflops
+        )
+    }
+}
+
+/// Measure `f` with default options.
+pub fn bench(name: &str, f: impl FnMut()) -> BenchResult {
+    bench_with(name, BenchOptions::default(), f)
+}
+
+/// Measure `f`: calibrate, warm up, sample, summarize.
+pub fn bench_with(name: &str, opts: BenchOptions, mut f: impl FnMut()) -> BenchResult {
+    // Calibrate: double iterations until one batch fills the sample period.
+    let mut iters: u64 = 1;
+    loop {
+        let t = time_batch(&mut f, iters);
+        if t * 1e-6 >= opts.min_sample_ms || iters > (1 << 30) {
+            break;
+        }
+        // Jump close to the target, then the loop re-checks.
+        let scale = (opts.min_sample_ms / (t * 1e-6).max(1e-3)).ceil() as u64;
+        iters = (iters * scale.clamp(2, 128)).min(1 << 30);
+    }
+    for _ in 0..opts.warmup {
+        time_batch(&mut f, iters);
+    }
+    let mut per_op: Vec<f64> = (0..opts.samples.max(1))
+        .map(|_| time_batch(&mut f, iters) / iters as f64)
+        .collect();
+    per_op.sort_by(|a, b| a.total_cmp(b));
+    let median = if per_op.len() % 2 == 1 {
+        per_op[per_op.len() / 2]
+    } else {
+        0.5 * (per_op[per_op.len() / 2 - 1] + per_op[per_op.len() / 2])
+    };
+    BenchResult {
+        name: name.to_string(),
+        median_ns: median,
+        min_ns: per_op[0],
+        mean_ns: per_op.iter().sum::<f64>() / per_op.len() as f64,
+        samples: per_op.len(),
+        iters_per_sample: iters,
+        flops_per_op: None,
+    }
+}
+
+fn time_batch(f: &mut impl FnMut(), iters: u64) -> f64 {
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    start.elapsed().as_nanos() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_a_cheap_op() {
+        let mut x = 0u64;
+        let r = bench_with(
+            "noop-ish",
+            BenchOptions {
+                min_sample_ms: 0.5,
+                samples: 5,
+                warmup: 1,
+            },
+            || x = std::hint::black_box(x.wrapping_add(1)),
+        );
+        assert!(r.median_ns > 0.0);
+        assert!(r.min_ns <= r.median_ns);
+        assert_eq!(r.samples, 5);
+    }
+
+    #[test]
+    fn json_shape() {
+        let r = BenchResult {
+            name: "x".into(),
+            median_ns: 10.0,
+            min_ns: 9.0,
+            mean_ns: 10.5,
+            samples: 3,
+            iters_per_sample: 7,
+            flops_per_op: Some(20.0),
+        }
+        .to_json();
+        assert!(r.contains("\"name\":\"x\""));
+        assert!(r.contains("\"gflops\":2.0000"));
+    }
+}

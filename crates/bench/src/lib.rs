@@ -1,0 +1,19 @@
+//! # darkside-bench — perf measurement substrate
+//!
+//! Criterion-style micro-benchmarking without the criterion dependency (the
+//! build environment is offline — DESIGN.md §6): [`harness`] calibrates
+//! iteration counts, takes warmed-up wall-clock samples, and reports
+//! median/min/mean ns per op plus GFLOP/s.
+//!
+//! Bench targets (`cargo bench -p darkside-bench --bench <name>`):
+//! * `gemm` — naive oracle vs blocked vs blocked+threads, several sizes
+//! * `spmv` — dense GEMV vs CSR SpMV/SpMM across sparsities
+//! * `batched_score` — per-frame vs batched utterance scoring
+//!
+//! The binary `perf_baseline` runs the acceptance subset and records
+//! `BENCH_compute.json` (schema in EXPERIMENTS.md) so later PRs append
+//! comparable numbers.
+
+pub mod harness;
+
+pub use harness::{bench, bench_with, BenchOptions, BenchResult};

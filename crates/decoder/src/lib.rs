@@ -1,0 +1,59 @@
+//! # darkside-decoder — software Viterbi beam search
+//!
+//! DESIGN.md §3: walks the `darkside-wfst` decoding graph over acoustic
+//! scores from `darkside-nn`, with hypothesis selection pluggable between
+//! plain beam, accurate N-best, and the paper's loose N-best hash.
+//!
+//! **Status:** skeleton (ISSUE 1 creates the workspace; the search lands
+//! with the decoder PR). What is final here is the scoring interface: the
+//! decoder consumes per-frame **acoustic costs** (−log probabilities,
+//! scaled), produced in batch from [`darkside_nn::Scores`] so the whole
+//! utterance's DNN work is one batched [`darkside_nn::Mlp::score_frames`]
+//! call — the amortization the ISSUE 1 `batched_score` bench measures.
+
+use darkside_nn::{Matrix, Scores};
+
+/// Beam-search knobs (paper defaults from DESIGN.md §4b).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BeamConfig {
+    /// Cost window around the best hypothesis.
+    pub beam: f32,
+    /// The hybrid-ASR acoustic down-scaling (DESIGN.md §4b: 0.3).
+    pub acoustic_scale: f32,
+}
+
+impl Default for BeamConfig {
+    fn default() -> Self {
+        Self {
+            beam: 15.0,
+            acoustic_scale: 0.3,
+        }
+    }
+}
+
+/// Probability floor applied before the −log so silence/pruned-away classes
+/// yield a large finite cost instead of +∞ (which would poison ⊗ sums).
+pub const PROB_FLOOR: f32 = 1e-10;
+
+/// Convert batched softmax scores into the `frames × classes` acoustic-cost
+/// matrix the search consumes: `cost = −acoustic_scale · ln(max(p, floor))`.
+pub fn acoustic_costs(scores: &Scores, config: &BeamConfig) -> Matrix {
+    Matrix::from_fn(scores.num_frames(), scores.num_classes(), |i, j| {
+        -config.acoustic_scale * scores.probs.get(i, j).max(PROB_FLOOR).ln()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn costs_are_finite_and_ordered() {
+        let probs = Matrix::from_vec(1, 3, vec![0.7, 0.3, 0.0]);
+        let costs = acoustic_costs(&Scores { probs }, &BeamConfig::default());
+        // Higher probability → lower cost; zero probability → finite cost.
+        assert!(costs.get(0, 0) < costs.get(0, 1));
+        assert!(costs.get(0, 1) < costs.get(0, 2));
+        assert!(costs.get(0, 2).is_finite());
+    }
+}

@@ -1,0 +1,58 @@
+//! # darkside-dnn-accel — DaDianNao-style pruned-DNN accelerator simulator
+//!
+//! DESIGN.md §3: models the paper's DNN accelerator (Fig. 10, Table II) —
+//! compute tiles of multiply/add lanes, an eDRAM weights buffer with
+//! power-gated banks, and a multi-banked I/O buffer whose port conflicts are
+//! driven by the *actual* CSR index pattern from `darkside-pruning` (the
+//! 11/18/33 % FP-throughput drop of §III-D).
+//!
+//! **Status:** skeleton (ISSUE 1 creates the workspace; the tile/bank timing
+//! model lands with the accelerator PR). The configuration below is final —
+//! Table II's paper geometry plus the DESIGN.md §4b 1-tile scaled variant.
+
+/// Compute/storage geometry of the DNN accelerator (Table II).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DnnAccelConfig {
+    pub tiles: usize,
+    /// Multiply/add lanes per tile.
+    pub lanes_per_tile: usize,
+    /// I/O buffer banks (port conflicts arise when two CSR column indices
+    /// land in one bank in one cycle).
+    pub io_banks: usize,
+}
+
+impl DnnAccelConfig {
+    /// Paper configuration (Table II): 4 tiles × 32 mul/add lanes.
+    pub fn paper() -> Self {
+        Self {
+            tiles: 4,
+            lanes_per_tile: 32,
+            io_banks: 16,
+        }
+    }
+
+    /// DESIGN.md §4b scaled configuration: a single tile.
+    pub fn scaled() -> Self {
+        Self {
+            tiles: 1,
+            lanes_per_tile: 32,
+            io_banks: 16,
+        }
+    }
+
+    /// Peak multiply-adds per cycle.
+    pub fn peak_macs_per_cycle(&self) -> usize {
+        self.tiles * self.lanes_per_tile
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_peak_throughput() {
+        assert_eq!(DnnAccelConfig::paper().peak_macs_per_cycle(), 128);
+        assert_eq!(DnnAccelConfig::scaled().peak_macs_per_cycle(), 32);
+    }
+}

@@ -1,0 +1,56 @@
+//! # darkside-hwmodel — shared hardware-model substrate
+//!
+//! DESIGN.md §3: set-associative cache simulation, a DRAM model, and the
+//! CACTI-like per-access energy tables both accelerator simulators charge
+//! events against (the paper's Synopsys DC / CACTI-P constants enter only
+//! as coefficients — DESIGN.md §2, last row).
+//!
+//! **Status:** skeleton (ISSUE 1 creates the workspace; cache/DRAM models
+//! land with the accelerator PRs). The energy-accounting type below is
+//! final: every simulator event maps to `(component, count)` and energy is
+//! `Σ count × per_access`.
+
+/// Per-access energy coefficients for one hardware component, in picojoules.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct EnergyCoefficients {
+    pub read_pj: f64,
+    pub write_pj: f64,
+    /// Leakage charged per cycle the component is powered.
+    pub leakage_pj_per_cycle: f64,
+}
+
+/// Running energy account for one component.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct EnergyAccount {
+    pub reads: u64,
+    pub writes: u64,
+    pub powered_cycles: u64,
+}
+
+impl EnergyAccount {
+    pub fn total_pj(&self, c: &EnergyCoefficients) -> f64 {
+        self.reads as f64 * c.read_pj
+            + self.writes as f64 * c.write_pj
+            + self.powered_cycles as f64 * c.leakage_pj_per_cycle
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn energy_is_linear_in_events() {
+        let c = EnergyCoefficients {
+            read_pj: 2.0,
+            write_pj: 3.0,
+            leakage_pj_per_cycle: 0.5,
+        };
+        let acct = EnergyAccount {
+            reads: 10,
+            writes: 4,
+            powered_cycles: 100,
+        };
+        assert!((acct.total_pj(&c) - (20.0 + 12.0 + 50.0)).abs() < 1e-12);
+    }
+}

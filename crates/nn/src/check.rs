@@ -1,0 +1,97 @@
+//! Randomized-case test support — the in-tree stand-in for `proptest`
+//! (DESIGN.md §6; the build environment is offline).
+//!
+//! [`run_cases`] drives a closure over `n` seeded cases and, on panic,
+//! re-raises with the case index and derived seed in the message so a failure
+//! reproduces with a one-line unit test. No shrinking — shapes in this
+//! workspace are small enough that the failing case is the minimal one.
+
+use crate::matrix::Matrix;
+use crate::rng::Rng;
+
+/// Relative closeness: `|a-b| <= tol * max(1, |a|, |b|)`.
+///
+/// The `1` floor makes the comparison absolute for values near zero, where
+/// cancellation makes relative error meaningless. NaN compares unequal.
+pub fn rel_close(a: f32, b: f32, tol: f32) -> bool {
+    if a == b {
+        return true;
+    }
+    (a - b).abs() <= tol * a.abs().max(b.abs()).max(1.0)
+}
+
+/// Assert two slices elementwise [`rel_close`], with located diagnostics.
+pub fn assert_slices_close(got: &[f32], want: &[f32], tol: f32, what: &str) {
+    assert_eq!(got.len(), want.len(), "{what}: length mismatch");
+    for (i, (&g, &w)) in got.iter().zip(want).enumerate() {
+        assert!(
+            rel_close(g, w, tol),
+            "{what}: element {i}: got {g}, want {w} (tol {tol})"
+        );
+    }
+}
+
+/// Assert two matrices have equal shape and elementwise-close contents.
+pub fn assert_matrices_close(got: &Matrix, want: &Matrix, tol: f32, what: &str) {
+    assert_eq!(
+        (got.rows(), got.cols()),
+        (want.rows(), want.cols()),
+        "{what}: shape mismatch"
+    );
+    assert_slices_close(got.as_slice(), want.as_slice(), tol, what);
+}
+
+/// A matrix of i.i.d. uniform values in `[-scale, scale)`.
+pub fn random_matrix(rng: &mut Rng, rows: usize, cols: usize, scale: f32) -> Matrix {
+    Matrix::from_fn(rows, cols, |_, _| rng.uniform(-scale, scale))
+}
+
+/// Run `n` randomized cases. Each case gets its own [`Rng`] derived from
+/// `seed` and the case index, so any single case replays in isolation as
+/// `f(&mut Rng::new(seed ^ (i as u64) << 32 ...), i)` — the panic message
+/// spells out the exact derived seed.
+pub fn run_cases(seed: u64, n: usize, mut f: impl FnMut(&mut Rng, usize)) {
+    for case in 0..n {
+        let case_seed = derive_seed(seed, case);
+        let mut rng = Rng::new(case_seed);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&mut rng, case)));
+        if let Err(payload) = result {
+            let msg = payload
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| payload.downcast_ref::<&str>().copied())
+                .unwrap_or("<non-string panic>");
+            panic!("case {case}/{n} (derived seed {case_seed:#x}) failed: {msg}");
+        }
+    }
+}
+
+/// Seed for case `i` of a run seeded with `seed` (exposed for replaying).
+pub fn derive_seed(seed: u64, case: usize) -> u64 {
+    seed ^ (case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rel_close_semantics() {
+        assert!(rel_close(1.0, 1.0 + 5e-5, 1e-4));
+        assert!(!rel_close(1.0, 1.01, 1e-4));
+        assert!(rel_close(1e-9, 0.0, 1e-4)); // absolute floor near zero
+        assert!(!rel_close(f32::NAN, f32::NAN, 1e-4));
+        assert!(rel_close(2e6, 2e6 * (1.0 + 5e-5), 1e-4)); // relative at scale
+    }
+
+    #[test]
+    fn run_cases_reports_case_and_seed() {
+        let err = std::panic::catch_unwind(|| {
+            run_cases(99, 10, |_, case| assert!(case < 3, "boom"));
+        })
+        .unwrap_err();
+        let msg = err.downcast_ref::<String>().unwrap();
+        assert!(msg.contains("case 3/10"), "got: {msg}");
+        assert!(msg.contains("boom"), "got: {msg}");
+    }
+}

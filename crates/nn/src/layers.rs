@@ -1,0 +1,183 @@
+//! Kaldi-style MLP layers on the GEMM substrate (DESIGN.md §2, Table I).
+//!
+//! The acoustic model is a stack of `affine → p-norm → renormalize` blocks
+//! with a fixed LDA-like input transform and a softmax output — the layer
+//! inventory of the paper's Kaldi nnet2 MLP. Every layer maps a
+//! `batch × in_dim` matrix to `batch × out_dim`, so one utterance's frames
+//! flow through each weight matrix in a single GEMM.
+
+use crate::matrix::Matrix;
+use crate::rng::Rng;
+
+/// Fully-connected layer: `Y = X · W + b` with `W` stored `in_dim × out_dim`
+/// so the batched forward is one row-major GEMM, no transposition.
+#[derive(Clone, Debug)]
+pub struct Affine {
+    /// `in_dim × out_dim` weights.
+    pub w: Matrix,
+    /// `out_dim` bias.
+    pub b: Vec<f32>,
+}
+
+impl Affine {
+    /// Glorot-style init: N(0, sqrt(2 / (in + out))).
+    pub fn new_random(in_dim: usize, out_dim: usize, rng: &mut Rng) -> Self {
+        let std = (2.0 / (in_dim + out_dim) as f32).sqrt();
+        Self {
+            w: Matrix::from_fn(in_dim, out_dim, |_, _| rng.normal_scaled(0.0, std)),
+            b: vec![0.0; out_dim],
+        }
+    }
+
+    pub fn in_dim(&self) -> usize {
+        self.w.rows()
+    }
+
+    pub fn out_dim(&self) -> usize {
+        self.w.cols()
+    }
+
+    /// Batched forward: `batch × in_dim` → `batch × out_dim`.
+    pub fn forward(&self, x: &Matrix) -> Matrix {
+        let mut y = x.matmul(&self.w);
+        for i in 0..y.rows() {
+            for (v, &bias) in y.row_mut(i).iter_mut().zip(&self.b) {
+                *v += bias;
+            }
+        }
+        y
+    }
+}
+
+/// p-norm pooling (Kaldi `PnormComponent`, p = 2): groups of `group` inputs
+/// collapse to their Euclidean norm, `out_dim = in_dim / group`.
+#[derive(Clone, Copy, Debug)]
+pub struct PNorm {
+    pub group: usize,
+}
+
+impl PNorm {
+    pub fn forward(&self, x: &Matrix) -> Matrix {
+        assert!(self.group > 0 && x.cols().is_multiple_of(self.group));
+        let out_cols = x.cols() / self.group;
+        Matrix::from_fn(x.rows(), out_cols, |i, j| {
+            x.row(i)[j * self.group..(j + 1) * self.group]
+                .iter()
+                .map(|v| v * v)
+                .sum::<f32>()
+                .sqrt()
+        })
+    }
+}
+
+/// Kaldi `NormalizeComponent`: scale each row so its root-mean-square is 1
+/// (`x * sqrt(d / Σx²)`). All-zero rows are left at zero.
+pub fn renormalize_in_place(x: &mut Matrix) {
+    let d = x.cols() as f32;
+    for i in 0..x.rows() {
+        let row = x.row_mut(i);
+        let sumsq: f32 = row.iter().map(|v| v * v).sum();
+        if sumsq > 0.0 {
+            let scale = (d / sumsq).sqrt();
+            for v in row {
+                *v *= scale;
+            }
+        }
+    }
+}
+
+/// Numerically stable row softmax: subtract the row max before
+/// exponentiating, so logits of any magnitude produce finite probabilities.
+pub fn softmax_in_place(x: &mut Matrix) {
+    for i in 0..x.rows() {
+        let row = x.row_mut(i);
+        if row.is_empty() {
+            continue;
+        }
+        let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0f32;
+        for v in row.iter_mut() {
+            *v = (*v - max).exp();
+            sum += *v;
+        }
+        // sum >= 1 because the max element contributes exp(0) = 1.
+        for v in row {
+            *v /= sum;
+        }
+    }
+}
+
+/// One layer of the MLP. An enum (not a trait object) keeps the model
+/// serializable-by-hand and the dispatch branch-predictable.
+#[derive(Clone, Debug)]
+pub enum Layer {
+    /// Fixed LDA-like input transform — excluded from pruning (Table I, FC0).
+    Lda(Affine),
+    Affine(Affine),
+    PNorm(PNorm),
+    Renormalize,
+    Softmax,
+}
+
+impl Layer {
+    pub fn forward(&self, x: Matrix) -> Matrix {
+        match self {
+            Layer::Lda(a) | Layer::Affine(a) => a.forward(&x),
+            Layer::PNorm(p) => p.forward(&x),
+            Layer::Renormalize => {
+                let mut x = x;
+                renormalize_in_place(&mut x);
+                x
+            }
+            Layer::Softmax => {
+                let mut x = x;
+                softmax_in_place(&mut x);
+                x
+            }
+        }
+    }
+
+    /// Output width given an input width (shape propagation).
+    pub fn out_dim(&self, in_dim: usize) -> usize {
+        match self {
+            Layer::Lda(a) | Layer::Affine(a) => a.out_dim(),
+            Layer::PNorm(p) => in_dim / p.group,
+            Layer::Renormalize | Layer::Softmax => in_dim,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::check::assert_slices_close;
+
+    #[test]
+    fn affine_matches_manual_dot() {
+        let w = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let layer = Affine {
+            w,
+            b: vec![0.5, -0.5, 0.0],
+        };
+        let x = Matrix::from_vec(1, 2, vec![2.0, -1.0]);
+        let y = layer.forward(&x);
+        // [2, -1] · [[1,2,3],[4,5,6]] = [-2, -1, 0]; + bias
+        assert_slices_close(y.as_slice(), &[-1.5, -1.5, 0.0], 1e-6, "affine");
+    }
+
+    #[test]
+    fn pnorm_is_group_euclidean_norm() {
+        let x = Matrix::from_vec(1, 4, vec![3.0, 4.0, 0.0, -2.0]);
+        let y = PNorm { group: 2 }.forward(&x);
+        assert_slices_close(y.as_slice(), &[5.0, 2.0], 1e-6, "pnorm");
+    }
+
+    #[test]
+    fn renormalize_sets_rms_to_one() {
+        let mut x = Matrix::from_vec(2, 4, vec![1.0, 2.0, 3.0, 4.0, 0.0, 0.0, 0.0, 0.0]);
+        renormalize_in_place(&mut x);
+        let rms: f32 = (x.row(0).iter().map(|v| v * v).sum::<f32>() / 4.0).sqrt();
+        assert!((rms - 1.0).abs() < 1e-6);
+        assert_eq!(x.row(1), &[0.0; 4]); // zero row untouched
+    }
+}

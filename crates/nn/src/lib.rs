@@ -1,0 +1,28 @@
+//! # darkside-nn — the dense compute substrate
+//!
+//! Implements DESIGN.md §2/§3 (`crates/nn`): an `f32` row-major [`Matrix`],
+//! a cache-blocked, register-tiled, thread-parallel [`gemm`], the Kaldi-style
+//! layer set (affine / p-norm pooling / renormalize / softmax / fixed LDA),
+//! and a batched [`Mlp::score_frames`] API so decoders amortize weight
+//! traversal over a whole utterance instead of paying one GEMV per frame.
+//!
+//! The naive triple-loop kernels ([`gemm_naive`], [`gemv_naive`]) are kept
+//! in-tree permanently as the correctness oracle and the perf baseline that
+//! `darkside-bench` measures speedups against.
+//!
+//! No external dependencies: [`rng`] is a seeded SplitMix64 (the `rand`
+//! stand-in of DESIGN.md §6) and [`check`] is the randomized-case test
+//! support used across the workspace.
+
+pub mod check;
+pub mod gemm;
+pub mod layers;
+pub mod matrix;
+pub mod model;
+pub mod rng;
+
+pub use gemm::{gemm, gemm_naive, gemm_with_threads, gemv_naive};
+pub use layers::{renormalize_in_place, softmax_in_place, Affine, Layer, PNorm};
+pub use matrix::Matrix;
+pub use model::{Frame, Mlp, Scores};
+pub use rng::Rng;

@@ -1,0 +1,112 @@
+//! Seeded PRNG — the in-tree stand-in for the `rand` crate (DESIGN.md §6).
+//!
+//! SplitMix64 core (Steele/Lea/Flood 2014): one 64-bit state, passes BigCrush
+//! for this workspace's needs (weight init, test-case generation, corpus
+//! sampling), and keeps every experiment reproducible bit-for-bit.
+
+/// SplitMix64 generator with a Box-Muller normal sampler.
+#[derive(Clone, Debug)]
+pub struct Rng {
+    state: u64,
+    /// Box-Muller produces pairs; the spare is cached here.
+    cached_normal: Option<f64>,
+}
+
+impl Rng {
+    pub fn new(seed: u64) -> Self {
+        Self {
+            state: seed,
+            cached_normal: None,
+        }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, 1)` with 53 random mantissa bits.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn next_f32(&mut self) -> f32 {
+        self.next_f64() as f32
+    }
+
+    /// Uniform in `[lo, hi)`.
+    pub fn uniform(&mut self, lo: f32, hi: f32) -> f32 {
+        lo + (hi - lo) * self.next_f32()
+    }
+
+    /// Uniform integer in `[0, bound)`. `bound` must be nonzero.
+    pub fn below(&mut self, bound: usize) -> usize {
+        debug_assert!(bound > 0);
+        // 64-bit multiply-shift; bias is < 2^-53 for any bound this repo uses.
+        (self.next_f64() * bound as f64) as usize % bound
+    }
+
+    /// Standard normal via Box-Muller (pair-cached).
+    pub fn normal(&mut self) -> f32 {
+        if let Some(z) = self.cached_normal.take() {
+            return z as f32;
+        }
+        // u1 in (0, 1] so ln(u1) is finite.
+        let u1 = 1.0 - self.next_f64();
+        let u2 = self.next_f64();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = std::f64::consts::TAU * u2;
+        self.cached_normal = Some(r * theta.sin());
+        (r * theta.cos()) as f32
+    }
+
+    /// Normal with explicit mean and standard deviation.
+    pub fn normal_scaled(&mut self, mean: f32, std: f32) -> f32 {
+        mean + std * self.normal()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_across_clones() {
+        let mut a = Rng::new(42);
+        let mut b = Rng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn uniform_in_range() {
+        let mut rng = Rng::new(7);
+        for _ in 0..1000 {
+            let v = rng.uniform(-2.0, 3.0);
+            assert!((-2.0..3.0).contains(&v));
+            let i = rng.below(13);
+            assert!(i < 13);
+        }
+    }
+
+    #[test]
+    fn normal_moments_are_sane() {
+        let mut rng = Rng::new(1234);
+        let n = 20_000;
+        let (mut sum, mut sumsq) = (0.0f64, 0.0f64);
+        for _ in 0..n {
+            let v = rng.normal() as f64;
+            sum += v;
+            sumsq += v * v;
+        }
+        let mean = sum / n as f64;
+        let var = sumsq / n as f64 - mean * mean;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+}

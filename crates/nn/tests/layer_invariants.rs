@@ -1,0 +1,73 @@
+//! Numerical invariants of the normalization layers (ISSUE 1 satellite):
+//! softmax rows are probability distributions with no NaN even at extreme
+//! logits; renormalize fixes row RMS at 1.
+
+use darkside_nn::check::{random_matrix, run_cases};
+use darkside_nn::{renormalize_in_place, softmax_in_place, Matrix};
+
+#[test]
+fn softmax_rows_sum_to_one_on_random_input() {
+    run_cases(0x50F7, 30, |rng, _| {
+        let rows = 1 + rng.below(20);
+        let cols = 1 + rng.below(200);
+        let mut x = random_matrix(rng, rows, cols, 30.0);
+        softmax_in_place(&mut x);
+        for i in 0..rows {
+            let row = x.row(i);
+            assert!(row.iter().all(|v| v.is_finite() && *v >= 0.0));
+            let sum: f32 = row.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-5, "row {i} sums to {sum}");
+        }
+    });
+}
+
+#[test]
+fn softmax_survives_extreme_logits() {
+    // ±1e4 logits overflow exp() without the max-subtraction; mixed ±∞-ish
+    // magnitudes are exactly what a collapsing pruned model produces.
+    let mut x = Matrix::from_vec(
+        4,
+        3,
+        vec![
+            1e4, 0.0, -1e4, //
+            1e4, 1e4, 1e4, //
+            -1e4, -1e4, -1e4, //
+            3.4e38, 0.0, -3.4e38,
+        ],
+    );
+    softmax_in_place(&mut x);
+    for i in 0..4 {
+        let row = x.row(i);
+        assert!(
+            row.iter().all(|v| v.is_finite() && !v.is_nan()),
+            "row {i}: {row:?}"
+        );
+        let sum: f32 = row.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-5, "row {i} sums to {sum}");
+    }
+    // The dominant logit takes essentially all the mass.
+    assert!(x.get(0, 0) > 0.999);
+    // Uniform logits give the uniform distribution.
+    assert!((x.get(1, 0) - 1.0 / 3.0).abs() < 1e-5);
+}
+
+#[test]
+fn renormalize_sets_rms_to_one_on_random_input() {
+    run_cases(0x4E40, 30, |rng, _| {
+        let rows = 1 + rng.below(20);
+        let cols = 1 + rng.below(200);
+        let mut x = random_matrix(rng, rows, cols, 50.0);
+        renormalize_in_place(&mut x);
+        for i in 0..rows {
+            let row = x.row(i);
+            let sumsq: f32 = row.iter().map(|v| v * v).sum();
+            let rms = (sumsq / cols as f32).sqrt();
+            assert!(rms.is_finite());
+            // All-zero rows stay zero; anything else lands on RMS 1.
+            assert!(
+                rms == 0.0 || (rms - 1.0).abs() < 1e-4,
+                "row {i} has rms {rms}"
+            );
+        }
+    });
+}

@@ -1,0 +1,174 @@
+//! Compressed-sparse-row matrices and the SpMV/SpMM kernels (ISSUE 1).
+//!
+//! The paper's DNN accelerator streams pruned FC layers in a CSR-like
+//! compressed format (DESIGN.md §2); this module is the software analogue.
+//! Column indices are `u32` — half the footprint of `usize` indices, which
+//! matters because SpMV is memory-bound: at 90 % sparsity the whole win over
+//! dense GEMV is reading 8 bytes per surviving weight instead of 4 bytes per
+//! *every* weight.
+
+use darkside_nn::Matrix;
+
+/// CSR sparse matrix over `f32`, `u32` column indices.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Csr {
+    rows: usize,
+    cols: usize,
+    /// `rows + 1` offsets into `col_idx`/`vals`.
+    row_ptr: Vec<u32>,
+    col_idx: Vec<u32>,
+    vals: Vec<f32>,
+}
+
+impl Csr {
+    /// Compress every nonzero of `dense`.
+    pub fn from_dense(dense: &Matrix) -> Self {
+        Self::from_dense_filtered(dense, |v| v != 0.0)
+    }
+
+    /// Compress entries of `dense` for which `keep` holds (e.g. a pruning
+    /// mask applied on the fly, without materializing the masked matrix).
+    pub fn from_dense_filtered(dense: &Matrix, mut keep: impl FnMut(f32) -> bool) -> Self {
+        assert!(
+            dense.cols() <= u32::MAX as usize && dense.rows() < u32::MAX as usize,
+            "Csr: shape exceeds u32 index space"
+        );
+        let mut row_ptr = Vec::with_capacity(dense.rows() + 1);
+        let mut col_idx = Vec::new();
+        let mut vals = Vec::new();
+        row_ptr.push(0u32);
+        for i in 0..dense.rows() {
+            for (j, &v) in dense.row(i).iter().enumerate() {
+                if keep(v) {
+                    col_idx.push(j as u32);
+                    vals.push(v);
+                }
+            }
+            row_ptr.push(vals.len() as u32);
+        }
+        Self {
+            rows: dense.rows(),
+            cols: dense.cols(),
+            row_ptr,
+            col_idx,
+            vals,
+        }
+    }
+
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored (surviving) weights.
+    pub fn nnz(&self) -> usize {
+        self.vals.len()
+    }
+
+    /// Fraction of entries that are *zero* (the paper's pruning percentage).
+    pub fn sparsity(&self) -> f64 {
+        let total = self.rows * self.cols;
+        if total == 0 {
+            return 0.0;
+        }
+        1.0 - self.nnz() as f64 / total as f64
+    }
+
+    /// `(col_indices, values)` of row `i`.
+    pub fn row(&self, i: usize) -> (&[u32], &[f32]) {
+        let lo = self.row_ptr[i] as usize;
+        let hi = self.row_ptr[i + 1] as usize;
+        (&self.col_idx[lo..hi], &self.vals[lo..hi])
+    }
+
+    /// Decompress to dense (test/debug helper — the oracle direction).
+    pub fn to_dense(&self) -> Matrix {
+        let mut m = Matrix::zeros(self.rows, self.cols);
+        for i in 0..self.rows {
+            let (cols, vals) = self.row(i);
+            let row = m.row_mut(i);
+            for (&j, &v) in cols.iter().zip(vals) {
+                row[j as usize] = v;
+            }
+        }
+        m
+    }
+
+    /// Sparse mat-vec: `y = S · x`. One gather-dot per row; the kernel the
+    /// `spmv` bench race against [`darkside_nn::gemv_naive`].
+    pub fn spmv(&self, x: &[f32], y: &mut [f32]) {
+        assert_eq!(x.len(), self.cols, "spmv: x length");
+        assert_eq!(y.len(), self.rows, "spmv: y length");
+        for (i, yi) in y.iter_mut().enumerate() {
+            let lo = self.row_ptr[i] as usize;
+            let hi = self.row_ptr[i + 1] as usize;
+            let mut sum = 0.0f32;
+            for (&j, &v) in self.col_idx[lo..hi].iter().zip(&self.vals[lo..hi]) {
+                sum += v * x[j as usize];
+            }
+            *yi = sum;
+        }
+    }
+
+    /// Sparse mat-mat: `C = S · B` (`B` is `cols × n` row-major dense).
+    ///
+    /// Row-by-row axpy over B's rows: each nonzero streams one contiguous
+    /// B row into one contiguous C row, so the batched (SpMM) form keeps the
+    /// sequential-access advantage that the per-frame SpMV form has.
+    pub fn spmm(&self, b: &Matrix, c: &mut Matrix) {
+        assert_eq!(b.rows(), self.cols, "spmm: inner dimension");
+        assert_eq!(c.rows(), self.rows, "spmm: output rows");
+        assert_eq!(c.cols(), b.cols(), "spmm: output cols");
+        let n = b.cols();
+        for i in 0..self.rows {
+            let (cols, vals) = self.row(i);
+            let crow = c.row_mut(i);
+            crow.fill(0.0);
+            if n == 0 {
+                continue;
+            }
+            for (&j, &v) in cols.iter().zip(vals) {
+                let brow = b.row(j as usize);
+                for (cv, &bv) in crow.iter_mut().zip(brow) {
+                    *cv += v * bv;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_dense() {
+        let d = Matrix::from_vec(2, 3, vec![1.0, 0.0, 2.0, 0.0, 0.0, 3.0]);
+        let s = Csr::from_dense(&d);
+        assert_eq!(s.nnz(), 3);
+        assert_eq!(s.to_dense(), d);
+        assert!((s.sparsity() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spmv_known_values() {
+        let d = Matrix::from_vec(2, 3, vec![1.0, 0.0, 2.0, 0.0, 4.0, 0.0]);
+        let s = Csr::from_dense(&d);
+        let mut y = vec![0.0f32; 2];
+        s.spmv(&[1.0, 2.0, 3.0], &mut y);
+        assert_eq!(y, vec![7.0, 8.0]);
+    }
+
+    #[test]
+    fn empty_shapes() {
+        let s = Csr::from_dense(&Matrix::zeros(0, 5));
+        s.spmv(&[0.0; 5], &mut []);
+        let s = Csr::from_dense(&Matrix::zeros(4, 0));
+        let mut y = vec![1.0f32; 4];
+        s.spmv(&[], &mut y);
+        assert_eq!(y, vec![0.0; 4]);
+    }
+}

@@ -1,0 +1,17 @@
+//! # darkside-pruning — magnitude pruning + sparse compute
+//!
+//! Implements DESIGN.md §2 (`crates/pruning`): Han-style magnitude pruning
+//! (per-layer threshold = quality × stddev of the layer's weights, with the
+//! single global quality parameter searched to hit a target sparsity), CSR
+//! export of pruned weight matrices, and the CSR SpMV/SpMM kernels that the
+//! DNN accelerator model consumes. At the paper's sparsity levels (≥70 %)
+//! the CSR kernels beat the dense GEMV baseline — `darkside-bench`'s `spmv`
+//! bench records the crossover.
+
+pub mod csr;
+pub mod magnitude;
+pub mod pruned_layer;
+
+pub use csr::Csr;
+pub use magnitude::{mask_for_quality, prune_to_sparsity, Mask, PruneResult};
+pub use pruned_layer::PrunedAffine;

@@ -1,0 +1,174 @@
+//! Han-style magnitude pruning (DESIGN.md §2; Han et al., NIPS'15).
+//!
+//! A weight survives if `|w| > quality × stddev(layer weights)`. The paper
+//! tunes the single `quality` knob per pruning target (70/80/90 % global
+//! sparsity); [`prune_to_sparsity`] reproduces that search by bisection on
+//! the monotone quality → sparsity map.
+
+use darkside_nn::Matrix;
+
+/// Boolean keep-mask with the same shape as the layer it masks.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Mask {
+    rows: usize,
+    cols: usize,
+    keep: Vec<bool>,
+}
+
+impl Mask {
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    pub fn kept(&self, i: usize, j: usize) -> bool {
+        self.keep[i * self.cols + j]
+    }
+
+    /// Number of surviving weights.
+    pub fn num_kept(&self) -> usize {
+        self.keep.iter().filter(|&&k| k).count()
+    }
+
+    /// Fraction of weights removed.
+    pub fn sparsity(&self) -> f64 {
+        if self.keep.is_empty() {
+            return 0.0;
+        }
+        1.0 - self.num_kept() as f64 / self.keep.len() as f64
+    }
+
+    /// Zero the masked-out entries of `w` in place (masked retraining keeps
+    /// applying this after every gradient step).
+    pub fn apply(&self, w: &mut Matrix) {
+        assert_eq!((w.rows(), w.cols()), (self.rows, self.cols));
+        for (v, &k) in w.as_mut_slice().iter_mut().zip(&self.keep) {
+            if !k {
+                *v = 0.0;
+            }
+        }
+    }
+}
+
+/// Population standard deviation of a weight matrix.
+fn stddev(w: &Matrix) -> f32 {
+    let n = w.as_slice().len();
+    if n == 0 {
+        return 0.0;
+    }
+    let mean = w.as_slice().iter().sum::<f32>() / n as f32;
+    let var = w
+        .as_slice()
+        .iter()
+        .map(|v| (v - mean) * (v - mean))
+        .sum::<f32>()
+        / n as f32;
+    var.sqrt()
+}
+
+/// The paper's rule: keep `|w| > quality × stddev(w)`.
+pub fn mask_for_quality(w: &Matrix, quality: f32) -> Mask {
+    let threshold = quality * stddev(w);
+    Mask {
+        rows: w.rows(),
+        cols: w.cols(),
+        keep: w.as_slice().iter().map(|v| v.abs() > threshold).collect(),
+    }
+}
+
+/// Result of the quality-parameter search.
+#[derive(Clone, Debug)]
+pub struct PruneResult {
+    /// The quality parameter that lands on the target (Table I reports it).
+    pub quality: f32,
+    /// Achieved global sparsity (within `tol` of the target).
+    pub sparsity: f64,
+    pub mask: Mask,
+}
+
+/// Bisection search for the quality parameter hitting `target` global
+/// sparsity (e.g. 0.9 for the paper's 90 % point) within `tol`.
+pub fn prune_to_sparsity(w: &Matrix, target: f64, tol: f64) -> PruneResult {
+    assert!((0.0..1.0).contains(&target), "target sparsity in [0, 1)");
+    let (mut lo, mut hi) = (0.0f32, 8.0f32);
+    let mut best = mask_for_quality(w, lo);
+    for _ in 0..64 {
+        let mid = 0.5 * (lo + hi);
+        let mask = mask_for_quality(w, mid);
+        let s = mask.sparsity();
+        best = mask;
+        if (s - target).abs() <= tol {
+            return PruneResult {
+                quality: mid,
+                sparsity: s,
+                mask: best,
+            };
+        }
+        if s < target {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    let quality = 0.5 * (lo + hi);
+    let sparsity = best.sparsity();
+    PruneResult {
+        quality,
+        sparsity,
+        mask: best,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use darkside_nn::Rng;
+
+    fn gaussian_weights(rows: usize, cols: usize, seed: u64) -> Matrix {
+        let mut rng = Rng::new(seed);
+        Matrix::from_fn(rows, cols, |_, _| rng.normal_scaled(0.0, 0.1))
+    }
+
+    #[test]
+    fn quality_zero_keeps_all_nonzero() {
+        let w = gaussian_weights(16, 16, 3);
+        let mask = mask_for_quality(&w, 0.0);
+        assert_eq!(mask.num_kept(), 256); // |w| > 0 for all sampled weights
+    }
+
+    #[test]
+    fn sparsity_is_monotone_in_quality() {
+        let w = gaussian_weights(64, 64, 4);
+        let mut last = -1.0;
+        for q in [0.0, 0.5, 1.0, 1.5, 2.0, 3.0] {
+            let s = mask_for_quality(&w, q).sparsity();
+            assert!(s >= last, "sparsity went down at quality {q}");
+            last = s;
+        }
+    }
+
+    #[test]
+    fn bisection_hits_paper_targets() {
+        let w = gaussian_weights(128, 128, 5);
+        for target in [0.7, 0.8, 0.9] {
+            let r = prune_to_sparsity(&w, target, 0.005);
+            assert!(
+                (r.sparsity - target).abs() <= 0.005,
+                "target {target}: got {}",
+                r.sparsity
+            );
+        }
+    }
+
+    #[test]
+    fn apply_zeroes_exactly_the_masked() {
+        let mut w = gaussian_weights(32, 32, 6);
+        let r = prune_to_sparsity(&w, 0.8, 0.01);
+        r.mask.apply(&mut w);
+        let zeros = w.as_slice().iter().filter(|v| **v == 0.0).count();
+        assert_eq!(zeros, 32 * 32 - r.mask.num_kept());
+    }
+}

@@ -1,0 +1,111 @@
+//! A pruned affine layer served from CSR weights (ISSUE 1 tentpole).
+//!
+//! Mirrors [`darkside_nn::Affine`] but stores only surviving weights. The
+//! batched forward is an SpMM over the transposed activation block, so a
+//! pruned model scores a whole utterance with the same
+//! one-weight-traversal-per-utterance property as the dense path.
+
+use crate::csr::Csr;
+use crate::magnitude::Mask;
+use darkside_nn::{Affine, Matrix};
+
+/// `Y = X · Wᵀ + b` where `W` (`out_dim × in_dim`) is stored CSR.
+///
+/// The dense [`Affine`] stores `in_dim × out_dim` so its forward is a plain
+/// GEMM; the CSR layer stores the transpose (`out_dim × in_dim`) because
+/// SpMV/SpMM want the *output* dimension on rows — each output unit owns one
+/// compressed row of surviving weights, exactly the layout the paper's DNN
+/// accelerator streams.
+#[derive(Clone, Debug)]
+pub struct PrunedAffine {
+    /// `out_dim × in_dim` surviving weights.
+    pub w: Csr,
+    pub b: Vec<f32>,
+}
+
+impl PrunedAffine {
+    /// Prune a dense layer with `mask` (shaped like `dense.w`, i.e.
+    /// `in_dim × out_dim`) and compress the survivors.
+    pub fn from_dense(dense: &Affine, mask: &Mask) -> Self {
+        assert_eq!((mask.rows(), mask.cols()), (dense.w.rows(), dense.w.cols()));
+        // Transpose while masking: CSR rows = output units.
+        let wt = Matrix::from_fn(dense.w.cols(), dense.w.rows(), |o, i| {
+            if mask.kept(i, o) {
+                dense.w.get(i, o)
+            } else {
+                0.0
+            }
+        });
+        Self {
+            w: Csr::from_dense(&wt),
+            b: dense.b.clone(),
+        }
+    }
+
+    pub fn in_dim(&self) -> usize {
+        self.w.cols()
+    }
+
+    pub fn out_dim(&self) -> usize {
+        self.w.rows()
+    }
+
+    /// Fraction of the original weights pruned away.
+    pub fn sparsity(&self) -> f64 {
+        self.w.sparsity()
+    }
+
+    /// Single-frame forward: one SpMV plus the bias.
+    pub fn forward_frame(&self, x: &[f32], y: &mut [f32]) {
+        self.w.spmv(x, y);
+        for (v, &b) in y.iter_mut().zip(&self.b) {
+            *v += b;
+        }
+    }
+
+    /// Batched forward: `batch × in_dim` → `batch × out_dim` via SpMM on the
+    /// transposed block (`Yᵀ = W_csr · Xᵀ`).
+    pub fn forward(&self, x: &Matrix) -> Matrix {
+        assert_eq!(x.cols(), self.in_dim(), "PrunedAffine::forward: input dim");
+        let xt = x.transpose();
+        let mut yt = Matrix::zeros(self.out_dim(), x.rows());
+        self.w.spmm(&xt, &mut yt);
+        let mut y = yt.transpose();
+        for i in 0..y.rows() {
+            for (v, &b) in y.row_mut(i).iter_mut().zip(&self.b) {
+                *v += b;
+            }
+        }
+        y
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::magnitude::prune_to_sparsity;
+    use darkside_nn::check::{assert_matrices_close, random_matrix};
+    use darkside_nn::Rng;
+
+    #[test]
+    fn pruned_forward_matches_masked_dense() {
+        let mut rng = Rng::new(11);
+        let mut dense = Affine::new_random(24, 16, &mut rng);
+        dense.b = (0..16).map(|_| rng.normal()).collect();
+        let result = prune_to_sparsity(&dense.w, 0.8, 0.01);
+        let mut masked = dense.clone();
+        result.mask.apply(&mut masked.w);
+        let pruned = PrunedAffine::from_dense(&dense, &result.mask);
+        assert!((pruned.sparsity() - result.mask.sparsity()).abs() < 1e-9);
+
+        let x = random_matrix(&mut rng, 9, 24, 1.0);
+        let want = masked.forward(&x);
+        let got = pruned.forward(&x);
+        assert_matrices_close(&got, &want, 1e-4, "pruned vs masked dense");
+
+        // Single-frame path agrees with the batched path.
+        let mut y = vec![0.0f32; 16];
+        pruned.forward_frame(x.row(0), &mut y);
+        darkside_nn::check::assert_slices_close(&y, got.row(0), 1e-5, "frame vs batch");
+    }
+}

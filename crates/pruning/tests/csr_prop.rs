@@ -1,0 +1,85 @@
+//! Property tests: CSR SpMV/SpMM agree with the dense oracles (1e-4
+//! relative, the ISSUE 1 acceptance tolerance) over random shapes and
+//! sparsities — including empty, 1×N, and fully-pruned matrices.
+
+use darkside_nn::check::{assert_matrices_close, assert_slices_close, run_cases};
+use darkside_nn::{gemv_naive, Matrix, Rng};
+use darkside_pruning::Csr;
+
+/// Random matrix where each entry is zero with probability `sparsity`.
+fn random_sparse(rng: &mut Rng, rows: usize, cols: usize, sparsity: f64) -> Matrix {
+    Matrix::from_fn(rows, cols, |_, _| {
+        if (rng.next_f64()) < sparsity {
+            0.0
+        } else {
+            rng.normal()
+        }
+    })
+}
+
+#[test]
+fn csr_roundtrips_dense() {
+    run_cases(0xC5A0, 40, |rng, _| {
+        let rows = rng.below(40);
+        let cols = rng.below(40);
+        let sparsity = rng.next_f64();
+        let dense = random_sparse(rng, rows, cols, sparsity);
+        let csr = Csr::from_dense(&dense);
+        assert_eq!(csr.to_dense(), dense, "roundtrip {rows}x{cols}");
+    });
+}
+
+#[test]
+fn spmv_matches_dense_gemv() {
+    run_cases(0x5B31, 40, |rng, case| {
+        let rows = rng.below(100);
+        let cols = rng.below(100);
+        let sparsity = [0.0, 0.5, 0.7, 0.9, 1.0][case % 5];
+        let dense = random_sparse(rng, rows, cols, sparsity);
+        let csr = Csr::from_dense(&dense);
+        let x: Vec<f32> = (0..cols).map(|_| rng.normal()).collect();
+        let mut want = vec![0.0f32; rows];
+        gemv_naive(rows, cols, dense.as_slice(), &x, &mut want);
+        let mut got = vec![0.0f32; rows];
+        csr.spmv(&x, &mut got);
+        assert_slices_close(
+            &got,
+            &want,
+            1e-4,
+            &format!("spmv {rows}x{cols} @ {sparsity}"),
+        );
+    });
+}
+
+#[test]
+fn spmm_matches_dense_matmul() {
+    run_cases(0x5B32, 30, |rng, case| {
+        let m = rng.below(50);
+        let k = rng.below(50);
+        let n = rng.below(30);
+        let sparsity = [0.3, 0.7, 0.9, 1.0][case % 4];
+        let dense = random_sparse(rng, m, k, sparsity);
+        let csr = Csr::from_dense(&dense);
+        let b = Matrix::from_fn(k, n, |_, _| rng.normal());
+        let want = dense.matmul_naive(&b);
+        let mut got = Matrix::zeros(m, n);
+        csr.spmm(&b, &mut got);
+        assert_matrices_close(&got, &want, 1e-4, &format!("spmm {m}x{k}x{n} @ {sparsity}"));
+    });
+}
+
+#[test]
+fn degenerate_shapes() {
+    let mut rng = Rng::new(7);
+    for (rows, cols) in [(0, 0), (0, 9), (9, 0), (1, 1), (1, 17), (17, 1)] {
+        let dense = random_sparse(&mut rng, rows, cols, 0.5);
+        let csr = Csr::from_dense(&dense);
+        assert_eq!(csr.to_dense(), dense);
+        let x: Vec<f32> = (0..cols).map(|_| rng.normal()).collect();
+        let mut got = vec![0.0f32; rows];
+        csr.spmv(&x, &mut got);
+        let mut want = vec![0.0f32; rows];
+        gemv_naive(rows, cols, dense.as_slice(), &x, &mut want);
+        assert_eq!(got, want, "{rows}x{cols}");
+    }
+}

@@ -1,0 +1,80 @@
+//! # darkside-viterbi-accel — UNFOLD-like accelerator simulator
+//!
+//! DESIGN.md §3: an execution-driven functional+timing simulator of the
+//! UNFOLD Viterbi accelerator (Fig. 6) and the paper's replacement for its
+//! hypothesis storage — a K-way set-associative hash table whose sets track
+//! their K cheapest hypotheses with a single-cycle Max-Heap replacement
+//! unit (Fig. 8, Table III).
+//!
+//! **Status:** skeleton (ISSUE 1 creates the workspace; the pipeline and
+//! hash/Max-Heap land with the accelerator PR). The configuration below is
+//! final — it carries the paper's Table III N-best table geometry and the
+//! DESIGN.md §4b scaled variant.
+
+/// Geometry of the N-best hypothesis hash table (paper: 1024 entries, 8-way).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct NBestTableConfig {
+    pub entries: usize,
+    pub ways: usize,
+}
+
+impl NBestTableConfig {
+    /// Paper configuration (Table III): 1024 entries, 8-way.
+    pub fn paper() -> Self {
+        Self {
+            entries: 1024,
+            ways: 8,
+        }
+    }
+
+    /// DESIGN.md §4b scaled configuration: 256 entries, 8-way.
+    pub fn scaled() -> Self {
+        Self {
+            entries: 256,
+            ways: 8,
+        }
+    }
+
+    pub fn sets(&self) -> usize {
+        self.entries / self.ways
+    }
+
+    /// XOR-fold a WFST state id onto a set index (UNFOLD's hash; the
+    /// XOR-vs-multiplicative ablation rides on this hook).
+    pub fn set_of(&self, state_id: u64) -> usize {
+        let sets = self.sets();
+        debug_assert!(sets.is_power_of_two());
+        let mut x = state_id;
+        let bits = sets.trailing_zeros();
+        let mut folded = 0u64;
+        while x != 0 {
+            folded ^= x & (sets as u64 - 1);
+            x >>= bits;
+        }
+        folded as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_and_scaled_geometry() {
+        assert_eq!(NBestTableConfig::paper().sets(), 128);
+        assert_eq!(NBestTableConfig::scaled().sets(), 32);
+    }
+
+    #[test]
+    fn hash_stays_in_range_and_spreads() {
+        let cfg = NBestTableConfig::paper();
+        let mut hits = vec![0usize; cfg.sets()];
+        for state in 0..10_000u64 {
+            let s = cfg.set_of(state * 2_654_435_761);
+            assert!(s < cfg.sets());
+            hits[s] += 1;
+        }
+        // Every set should see traffic under a well-spread id stream.
+        assert!(hits.iter().all(|&h| h > 0));
+    }
+}

@@ -1,0 +1,71 @@
+//! # darkside-wfst — weighted finite-state transducer substrate
+//!
+//! Implements the decoding-graph formalism of DESIGN.md §2: tropical-
+//! semiring WFSTs (weights are costs in −log space; ⊕ = min, ⊗ = +),
+//! builders for G (bigram grammar), L (lexicon), H (HMM state expansion),
+//! and composition into the epsilon-free decoding graph the Viterbi search
+//! walks.
+//!
+//! **Status:** skeleton (ISSUE 1 creates the workspace; graph builders and
+//! composition land with the decoder PR). The semiring below is final — it
+//! is the algebra every later component agrees on.
+
+/// A weight in the tropical semiring: a cost in −log space.
+///
+/// ⊕ = min (Viterbi takes the better path), ⊗ = + (costs accumulate),
+/// 0̄ = +∞ (no path), 1̄ = 0.0 (free path).
+#[derive(Clone, Copy, Debug, PartialEq, PartialOrd)]
+pub struct TropicalWeight(pub f32);
+
+impl TropicalWeight {
+    /// The semiring zero: no path.
+    pub const ZERO: Self = Self(f32::INFINITY);
+    /// The semiring one: the free path.
+    pub const ONE: Self = Self(0.0);
+
+    /// ⊕: keep the cheaper path.
+    pub fn plus(self, other: Self) -> Self {
+        Self(self.0.min(other.0))
+    }
+
+    /// ⊗: extend a path.
+    pub fn times(self, other: Self) -> Self {
+        Self(self.0 + other.0)
+    }
+
+    /// A weight is a member iff it is not NaN (OpenFst convention).
+    pub fn is_member(self) -> bool {
+        !self.0.is_nan()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn semiring_axioms_on_samples() {
+        let samples = [
+            TropicalWeight::ZERO,
+            TropicalWeight::ONE,
+            TropicalWeight(1.5),
+            TropicalWeight(-2.0),
+            TropicalWeight(7.25),
+        ];
+        for &a in &samples {
+            // identities
+            assert_eq!(a.plus(TropicalWeight::ZERO), a);
+            assert_eq!(a.times(TropicalWeight::ONE), a);
+            // annihilation
+            assert_eq!(a.times(TropicalWeight::ZERO), TropicalWeight::ZERO);
+            for &b in &samples {
+                // commutativity of ⊕
+                assert_eq!(a.plus(b), b.plus(a));
+                for &c in &samples {
+                    // distributivity: a ⊗ (b ⊕ c) = (a ⊗ b) ⊕ (a ⊗ c)
+                    assert_eq!(a.times(b.plus(c)), a.times(b).plus(a.times(c)));
+                }
+            }
+        }
+    }
+}
