@@ -1,0 +1,532 @@
+//! The generative speech model standing in for LibriSpeech (DESIGN.md §2):
+//! 3-state left-to-right HMM phonemes with Gaussian-mixture emitters, a word
+//! lexicon with a controlled homophone fraction, a sparse bigram grammar,
+//! and a seeded utterance sampler with geometric state durations.
+//!
+//! The corpus gives the two things the paper's phenomenon needs: frames
+//! whose true sub-phoneme class is learnable but noisy (GMM overlap sets the
+//! baseline confidence regime), and a word-level search space with genuine
+//! ambiguity (homophones put an irreducible floor under WER, standing in for
+//! LibriSpeech's lexical confusability — DESIGN.md §4b).
+
+use crate::PhonemeInventory;
+use darkside_error::Error;
+use darkside_nn::{Frame, Matrix, Rng};
+
+/// Everything that shapes the synthetic task. Builder-style `with_*` methods
+/// cover the knobs experiments sweep; `default_scaled` is DESIGN.md §4b.
+#[derive(Clone, Debug)]
+pub struct CorpusConfig {
+    pub inventory: PhonemeInventory,
+    /// Vocabulary size.
+    pub num_words: usize,
+    /// Fraction of words that share a pronunciation with another word.
+    pub homophone_fraction: f64,
+    /// Pronunciation length range, in phonemes (inclusive).
+    pub min_pron_len: usize,
+    pub max_pron_len: usize,
+    /// Raw feature dimensionality per frame (before context splicing).
+    pub feature_dim: usize,
+    /// Context frames spliced on each side (4 → 9-frame window).
+    pub context: usize,
+    /// Gaussian mixture components per sub-phoneme class.
+    pub gmm_components: usize,
+    /// Scale of phoneme centers in feature space.
+    pub mean_scale: f32,
+    /// Scale of per-state offsets from the phoneme center (same-phoneme
+    /// states overlap more than cross-phoneme ones, like real sub-phones).
+    pub state_scale: f32,
+    /// Emission noise standard deviation.
+    pub observation_noise: f32,
+    /// HMM self-loop probability (geometric state durations).
+    pub self_loop_prob: f32,
+    /// Duration cap per state, in frames.
+    pub max_state_frames: usize,
+    /// Out-degree of each word in the bigram grammar.
+    pub successors_per_word: usize,
+    /// Probability mass the grammar reserves for utterance end.
+    pub end_prob: f32,
+    /// Utterance length range, in words (inclusive).
+    pub min_words: usize,
+    pub max_words: usize,
+    /// Seed for lexicon/grammar/emitter generation (samplers take their own
+    /// [`Rng`], so train/test sets draw from one fixed task).
+    pub seed: u64,
+}
+
+impl CorpusConfig {
+    /// The DESIGN.md §4b scaled operating point.
+    pub fn default_scaled() -> Self {
+        Self {
+            inventory: PhonemeInventory::default_scaled(),
+            num_words: 200,
+            homophone_fraction: 0.15,
+            min_pron_len: 1,
+            max_pron_len: 3,
+            feature_dim: 40,
+            context: 4,
+            gmm_components: 2,
+            mean_scale: 0.8,
+            state_scale: 0.45,
+            observation_noise: 1.05,
+            self_loop_prob: 0.45,
+            max_state_frames: 4,
+            successors_per_word: 20,
+            end_prob: 0.1,
+            min_words: 3,
+            max_words: 8,
+            seed: 0x0A_C0,
+        }
+    }
+
+    pub fn with_num_words(mut self, n: usize) -> Self {
+        self.num_words = n;
+        self
+    }
+
+    pub fn with_homophone_fraction(mut self, f: f64) -> Self {
+        self.homophone_fraction = f;
+        self
+    }
+
+    pub fn with_noise(mut self, mean_scale: f32, observation_noise: f32) -> Self {
+        self.mean_scale = mean_scale;
+        self.observation_noise = observation_noise;
+        self
+    }
+
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Input dimensionality of the spliced frames the MLP consumes.
+    pub fn spliced_dim(&self) -> usize {
+        self.feature_dim * (2 * self.context + 1)
+    }
+
+    fn validate(&self) -> Result<(), Error> {
+        let fail = |detail: String| Err(Error::config("CorpusConfig", detail));
+        if self.num_words < 2 {
+            return fail(format!("vocabulary of {} words", self.num_words));
+        }
+        if !(0.0..1.0).contains(&self.homophone_fraction) {
+            return fail(format!("homophone fraction {}", self.homophone_fraction));
+        }
+        if self.min_pron_len == 0 || self.min_pron_len > self.max_pron_len {
+            return fail(format!(
+                "pronunciation length range {}..={}",
+                self.min_pron_len, self.max_pron_len
+            ));
+        }
+        if self.inventory.num_phonemes == 0 || self.inventory.states_per_phoneme == 0 {
+            return fail("empty phoneme inventory".into());
+        }
+        if self.feature_dim == 0 {
+            return fail("zero feature dimensionality".into());
+        }
+        if self.gmm_components == 0 {
+            return fail("zero mixture components".into());
+        }
+        if !(0.0..1.0).contains(&self.self_loop_prob) || self.max_state_frames == 0 {
+            return fail(format!(
+                "state duration model p={} cap={}",
+                self.self_loop_prob, self.max_state_frames
+            ));
+        }
+        if self.successors_per_word == 0 || self.successors_per_word >= self.num_words {
+            return fail(format!(
+                "{} successors in a {}-word vocabulary",
+                self.successors_per_word, self.num_words
+            ));
+        }
+        if !(0.0..1.0).contains(&(self.end_prob as f64)) || self.end_prob <= 0.0 {
+            return fail(format!("end probability {}", self.end_prob));
+        }
+        if self.min_words == 0 || self.min_words > self.max_words {
+            return fail(format!(
+                "utterance length range {}..={}",
+                self.min_words, self.max_words
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Word pronunciations, indexed by word id.
+#[derive(Clone, Debug)]
+pub struct Lexicon {
+    /// Phoneme ids per word.
+    pub prons: Vec<Vec<usize>>,
+}
+
+impl Lexicon {
+    pub fn num_words(&self) -> usize {
+        self.prons.len()
+    }
+
+    /// Number of words sharing their pronunciation with another word.
+    pub fn num_homophones(&self) -> usize {
+        let mut n = 0;
+        for (w, pron) in self.prons.iter().enumerate() {
+            if self
+                .prons
+                .iter()
+                .enumerate()
+                .any(|(v, p)| v != w && p == pron)
+            {
+                n += 1;
+            }
+        }
+        n
+    }
+}
+
+/// Sparse bigram grammar in cost (−log probability) space.
+#[derive(Clone, Debug)]
+pub struct Bigram {
+    /// `(word, cost)` start distribution.
+    pub initial: Vec<(u32, f32)>,
+    /// Per-word `(successor, cost)` lists; probabilities per word sum to
+    /// `1 − end_prob`.
+    pub successors: Vec<Vec<(u32, f32)>>,
+    /// Cost of ending the utterance after any word.
+    pub end_cost: f32,
+}
+
+/// One sampled utterance: the true word sequence, the spliced feature
+/// frames, and the frame-level sub-phoneme alignment (training labels).
+#[derive(Clone, Debug)]
+pub struct Utterance {
+    pub words: Vec<u32>,
+    pub frames: Vec<Frame>,
+    pub labels: Vec<u32>,
+}
+
+/// The generated task: lexicon + grammar + emitters, all seeded.
+#[derive(Clone, Debug)]
+pub struct Corpus {
+    pub config: CorpusConfig,
+    pub lexicon: Lexicon,
+    pub grammar: Bigram,
+    /// `[class][component][feature_dim]` mixture means.
+    emitters: Vec<Vec<Vec<f32>>>,
+}
+
+impl Corpus {
+    /// Build the task (lexicon, grammar, emitters) from a validated config.
+    pub fn generate(config: CorpusConfig) -> Result<Self, Error> {
+        config.validate()?;
+        let mut rng = Rng::new(config.seed);
+        let lexicon = generate_lexicon(&config, &mut rng)?;
+        let grammar = generate_bigram(&config, &mut rng);
+        let emitters = generate_emitters(&config, &mut rng);
+        Ok(Self {
+            config,
+            lexicon,
+            grammar,
+            emitters,
+        })
+    }
+
+    /// Sample one utterance: bigram word walk → pronunciations → HMM state
+    /// durations → GMM emissions → context splicing.
+    pub fn sample_utterance(&self, rng: &mut Rng) -> Utterance {
+        let cfg = &self.config;
+        let n_words = cfg.min_words + rng.below(cfg.max_words - cfg.min_words + 1);
+        let mut words = Vec::with_capacity(n_words);
+        let mut word = pick_weighted(&self.grammar.initial, rng);
+        words.push(word);
+        for _ in 1..n_words {
+            word = pick_weighted(&self.grammar.successors[word as usize], rng);
+            words.push(word);
+        }
+
+        let mut raw: Vec<Vec<f32>> = Vec::new();
+        let mut labels = Vec::new();
+        for &w in &words {
+            for &phoneme in &self.lexicon.prons[w as usize] {
+                for state in 0..cfg.inventory.states_per_phoneme {
+                    let class = cfg.inventory.class_id(phoneme, state) as u32;
+                    let mut frames = 1;
+                    while frames < cfg.max_state_frames && rng.next_f32() < cfg.self_loop_prob {
+                        frames += 1;
+                    }
+                    for _ in 0..frames {
+                        let component = rng.below(cfg.gmm_components);
+                        let mean = &self.emitters[class as usize][component];
+                        raw.push(
+                            mean.iter()
+                                .map(|&m| m + cfg.observation_noise * rng.normal())
+                                .collect(),
+                        );
+                        labels.push(class);
+                    }
+                }
+            }
+        }
+        Utterance {
+            words,
+            frames: splice(&raw, cfg.context),
+            labels,
+        }
+    }
+
+    /// Sample `n` utterances.
+    pub fn sample_set(&self, n: usize, rng: &mut Rng) -> Vec<Utterance> {
+        (0..n).map(|_| self.sample_utterance(rng)).collect()
+    }
+}
+
+/// Stack a set of utterances into the `(frames × spliced_dim, labels)` pair
+/// the trainer consumes.
+pub fn training_set(utterances: &[Utterance]) -> (Matrix, Vec<u32>) {
+    let total: usize = utterances.iter().map(|u| u.frames.len()).sum();
+    let dim = utterances
+        .first()
+        .and_then(|u| u.frames.first())
+        .map_or(0, |f| f.dim());
+    let mut features = Matrix::zeros(total, dim);
+    let mut labels = Vec::with_capacity(total);
+    let mut row = 0;
+    for utt in utterances {
+        for (frame, &label) in utt.frames.iter().zip(&utt.labels) {
+            features.row_mut(row).copy_from_slice(&frame.0);
+            labels.push(label);
+            row += 1;
+        }
+    }
+    (features, labels)
+}
+
+/// Splice raw frames with `context` frames on each side (edge-clamped).
+fn splice(raw: &[Vec<f32>], context: usize) -> Vec<Frame> {
+    let t_max = raw.len() as isize - 1;
+    (0..raw.len())
+        .map(|t| {
+            let mut v = Vec::with_capacity((2 * context + 1) * raw[t].len());
+            for off in -(context as isize)..=(context as isize) {
+                let src = (t as isize + off).clamp(0, t_max) as usize;
+                v.extend_from_slice(&raw[src]);
+            }
+            Frame(v)
+        })
+        .collect()
+}
+
+/// Draw from a `(item, cost)` distribution, weights `exp(−cost)`.
+fn pick_weighted(items: &[(u32, f32)], rng: &mut Rng) -> u32 {
+    debug_assert!(!items.is_empty());
+    let weights: Vec<f64> = items.iter().map(|&(_, c)| (-c as f64).exp()).collect();
+    let total: f64 = weights.iter().sum();
+    let mut draw = rng.next_f64() * total;
+    for (&(item, _), w) in items.iter().zip(&weights) {
+        draw -= w;
+        if draw <= 0.0 {
+            return item;
+        }
+    }
+    items.last().unwrap().0
+}
+
+fn generate_lexicon(config: &CorpusConfig, rng: &mut Rng) -> Result<Lexicon, Error> {
+    let unique_needed =
+        ((1.0 - config.homophone_fraction) * config.num_words as f64).ceil() as usize;
+    // Is the pronunciation space big enough for the unique set?
+    let p = config.inventory.num_phonemes as f64;
+    let space: f64 = (config.min_pron_len..=config.max_pron_len)
+        .map(|l| p.powi(l as i32))
+        .sum();
+    if (unique_needed as f64) > space * 0.5 {
+        return Err(Error::corpus(
+            "generate_lexicon",
+            format!("{unique_needed} unique pronunciations requested from a space of {space:.0}"),
+        ));
+    }
+    let mut unique: Vec<Vec<usize>> = Vec::with_capacity(unique_needed);
+    let mut attempts = 0usize;
+    while unique.len() < unique_needed {
+        attempts += 1;
+        if attempts > unique_needed * 1000 {
+            return Err(Error::corpus(
+                "generate_lexicon",
+                format!("could not find {unique_needed} unique pronunciations"),
+            ));
+        }
+        let len = config.min_pron_len + rng.below(config.max_pron_len - config.min_pron_len + 1);
+        let pron: Vec<usize> = (0..len)
+            .map(|_| rng.below(config.inventory.num_phonemes))
+            .collect();
+        if !unique.contains(&pron) {
+            unique.push(pron);
+        }
+    }
+    // Homophones copy a pronunciation already in use.
+    let mut prons = unique.clone();
+    while prons.len() < config.num_words {
+        prons.push(unique[rng.below(unique.len())].clone());
+    }
+    Ok(Lexicon { prons })
+}
+
+fn generate_bigram(config: &CorpusConfig, rng: &mut Rng) -> Bigram {
+    let n = config.num_words;
+    let initial = random_distribution(n, (0..n as u32).collect(), 1.0, rng);
+    let successors = (0..n as u32)
+        .map(|w| {
+            // Partial Fisher-Yates: `successors_per_word` distinct words ≠ w.
+            let mut pool: Vec<u32> = (0..n as u32).filter(|&v| v != w).collect();
+            for i in 0..config.successors_per_word {
+                let j = i + rng.below(pool.len() - i);
+                pool.swap(i, j);
+            }
+            pool.truncate(config.successors_per_word);
+            random_distribution(
+                config.successors_per_word,
+                pool,
+                1.0 - config.end_prob as f64,
+                rng,
+            )
+        })
+        .collect();
+    Bigram {
+        initial,
+        successors,
+        end_cost: -(config.end_prob as f64).ln() as f32,
+    }
+}
+
+/// Random categorical distribution over `items` with total mass `mass`,
+/// returned in cost space.
+fn random_distribution(n: usize, items: Vec<u32>, mass: f64, rng: &mut Rng) -> Vec<(u32, f32)> {
+    let weights: Vec<f64> = (0..n).map(|_| 0.5 + rng.next_f64()).collect();
+    let total: f64 = weights.iter().sum();
+    items
+        .into_iter()
+        .zip(&weights)
+        .map(|(item, w)| (item, -(mass * w / total).ln() as f32))
+        .collect()
+}
+
+fn generate_emitters(config: &CorpusConfig, rng: &mut Rng) -> Vec<Vec<Vec<f32>>> {
+    let inv = &config.inventory;
+    (0..inv.num_phonemes)
+        .flat_map(|_| {
+            let phoneme_center: Vec<f32> = (0..config.feature_dim)
+                .map(|_| rng.normal_scaled(0.0, config.mean_scale))
+                .collect();
+            (0..inv.states_per_phoneme)
+                .map(|_| {
+                    let state_center: Vec<f32> = phoneme_center
+                        .iter()
+                        .map(|&c| c + rng.normal_scaled(0.0, config.state_scale))
+                        .collect();
+                    (0..config.gmm_components)
+                        .map(|_| {
+                            state_center
+                                .iter()
+                                .map(|&c| c + rng.normal_scaled(0.0, 0.3 * config.state_scale))
+                                .collect()
+                        })
+                        .collect()
+                })
+                .collect::<Vec<_>>()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generate_rejects_bad_configs() {
+        let bad_homophones = CorpusConfig {
+            homophone_fraction: 1.0,
+            ..CorpusConfig::default_scaled()
+        };
+        assert!(matches!(
+            Corpus::generate(bad_homophones).unwrap_err(),
+            Error::Config { .. }
+        ));
+        let impossible_lexicon = CorpusConfig {
+            num_words: 40,
+            inventory: PhonemeInventory {
+                num_phonemes: 3,
+                states_per_phoneme: 3,
+            },
+            min_pron_len: 1,
+            max_pron_len: 1,
+            successors_per_word: 5,
+            ..CorpusConfig::default_scaled()
+        };
+        assert!(matches!(
+            Corpus::generate(impossible_lexicon).unwrap_err(),
+            Error::Corpus { .. }
+        ));
+    }
+
+    #[test]
+    fn homophone_fraction_is_respected() {
+        let corpus = Corpus::generate(CorpusConfig::default_scaled()).unwrap();
+        let frac = corpus.lexicon.num_homophones() as f64 / corpus.lexicon.num_words() as f64;
+        // At least the requested 15% share a pronunciation (copying can hit
+        // an existing pron twice, so the realized fraction can exceed it).
+        assert!((0.15..0.45).contains(&frac), "homophone fraction {frac:.3}");
+    }
+
+    #[test]
+    fn utterances_are_aligned_spliced_and_reproducible() {
+        let config = CorpusConfig::default_scaled();
+        let spliced_dim = config.spliced_dim();
+        let corpus = Corpus::generate(config).unwrap();
+        let utt = corpus.sample_utterance(&mut Rng::new(7));
+        assert!((corpus.config.min_words..=corpus.config.max_words).contains(&utt.words.len()));
+        assert_eq!(utt.frames.len(), utt.labels.len());
+        assert!(utt.frames.iter().all(|f| f.dim() == spliced_dim));
+        // Every state of every phoneme of every word appears in order, at
+        // least one frame each.
+        let min_frames: usize = utt
+            .words
+            .iter()
+            .map(|&w| {
+                corpus.lexicon.prons[w as usize].len() * corpus.config.inventory.states_per_phoneme
+            })
+            .sum();
+        assert!(utt.frames.len() >= min_frames);
+        assert!(utt
+            .labels
+            .iter()
+            .all(|&c| (c as usize) < corpus.config.inventory.num_classes()));
+        // Same seed, same utterance.
+        let again = corpus.sample_utterance(&mut Rng::new(7));
+        assert_eq!(again.words, utt.words);
+        assert_eq!(again.labels, utt.labels);
+
+        let (features, labels) = training_set(&[utt.clone(), again]);
+        assert_eq!(features.rows(), 2 * utt.frames.len());
+        assert_eq!(labels.len(), features.rows());
+    }
+
+    #[test]
+    fn grammar_probabilities_are_normalized() {
+        let corpus = Corpus::generate(CorpusConfig::default_scaled()).unwrap();
+        let end_p = (-corpus.grammar.end_cost as f64).exp();
+        assert!((end_p - 0.1).abs() < 1e-6);
+        for succ in &corpus.grammar.successors {
+            assert_eq!(succ.len(), corpus.config.successors_per_word);
+            let mass: f64 = succ.iter().map(|&(_, c)| (-c as f64).exp()).sum();
+            assert!(
+                (mass + end_p - 1.0).abs() < 1e-6,
+                "successor mass {mass} + end {end_p}"
+            );
+        }
+        let initial_mass: f64 = corpus
+            .grammar
+            .initial
+            .iter()
+            .map(|&(_, c)| (-c as f64).exp())
+            .sum();
+        assert!((initial_mass - 1.0).abs() < 1e-6);
+    }
+}

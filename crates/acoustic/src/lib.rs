@@ -5,11 +5,18 @@
 //! emitters in a 40-dim feature space, a word lexicon with homophones, a
 //! bigram grammar, and a seeded utterance sampler.
 //!
-//! **Status:** skeleton (ISSUE 1 creates the workspace; the generative model
-//! lands with the corpus PR). The inventory type below fixes the class-space
-//! arithmetic — 30 phonemes × 3 states = 90 sub-phoneme classes at the
-//! scaled operating point of DESIGN.md §4b — that `darkside-nn` models and
-//! `darkside-wfst` graphs are built against.
+//! The inventory type below fixes the class-space arithmetic — 30 phonemes
+//! × 3 states = 90 sub-phoneme classes at the scaled operating point of
+//! DESIGN.md §4b — that `darkside-nn` models and `darkside-wfst` graphs are
+//! built against. The generative model itself lives in [`corpus`]:
+//! [`Corpus::generate`] builds the seeded task (lexicon, grammar, emitters)
+//! and [`Corpus::sample_utterance`] draws aligned `(frames, labels, words)`
+//! triples from it.
+
+pub mod corpus;
+
+pub use corpus::{training_set, Bigram, Corpus, CorpusConfig, Lexicon, Utterance};
+pub use darkside_error::Error;
 
 /// The phoneme/state inventory defining the acoustic class space.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]

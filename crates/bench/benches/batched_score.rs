@@ -3,7 +3,7 @@
 //! Run: `cargo bench -p darkside-bench --bench batched_score`
 
 use darkside_bench::bench;
-use darkside_nn::{Frame, Mlp, Rng};
+use darkside_nn::{Frame, FrameScorer, Mlp, Rng};
 use std::hint::black_box;
 
 fn main() {

@@ -32,7 +32,7 @@ fn main() {
         let result = prune_to_sparsity(&dense, target, 0.002);
         let mut masked = dense.clone();
         result.mask.apply(&mut masked);
-        let csr = Csr::from_dense(&masked);
+        let csr = Csr::from_dense(&masked).expect("masked layer fits CSR");
         let spmv = bench(&format!("spmv_csr_{:.0}", target * 100.0), || {
             csr.spmv(black_box(&x), &mut y)
         })
@@ -50,7 +50,7 @@ fn main() {
     let result = prune_to_sparsity(&dense, 0.9, 0.002);
     let mut masked = dense.clone();
     result.mask.apply(&mut masked);
-    let csr = Csr::from_dense(&masked);
+    let csr = Csr::from_dense(&masked).expect("masked layer fits CSR");
     let xt = random_matrix(&mut rng, SIZE, BATCH, 1.0);
     let mut yt = Matrix::zeros(SIZE, BATCH);
     let spmm = bench("spmm_csr_90_batch64", || csr.spmm(black_box(&xt), &mut yt))

@@ -1,0 +1,44 @@
+//! Fig. 3 reproduction: softmax confidence collapse under magnitude
+//! pruning (the paper's core observation, DESIGN.md §4).
+//!
+//! Runs the full scaled pipeline — corpus → train → {prune, retrain} ×
+//! {70, 80, 90 %} → decode — and checks the figure's shape targets:
+//! mean top-1 confidence decreases monotonically with sparsity, and the
+//! 90 % level shows the largest single drop. Prints the per-level table in
+//! EXPERIMENTS.md format and exits nonzero if a target fails.
+
+use darkside_bench::report::{check, print_level_table, print_run_header};
+use darkside_core::{Pipeline, PipelineConfig};
+
+fn main() {
+    let start = std::time::Instant::now();
+    let pipeline = Pipeline::build(PipelineConfig::default_scaled()).expect("pipeline build");
+    let report = pipeline.run().expect("pipeline run");
+    print_run_header("exp_fig3", &report);
+    print_level_table(&report);
+    println!("elapsed: {:.1}s", start.elapsed().as_secs_f64());
+
+    let conf: Vec<f64> = report.levels.iter().map(|l| l.mean_confidence).collect();
+    let labels: Vec<&str> = report.levels.iter().map(|l| l.label.as_str()).collect();
+    let mut ok = check(
+        "dense regime",
+        conf[0] > 0.5,
+        format!(
+            "dense confidence {:.4} (> 0.5: trained, not chance)",
+            conf[0]
+        ),
+    );
+    ok &= check(
+        "monotone collapse",
+        conf.windows(2).all(|w| w[1] < w[0]),
+        format!("confidence over {labels:?}: {conf:?}"),
+    );
+    let drops: Vec<f64> = conf.windows(2).map(|w| w[0] - w[1]).collect();
+    let last = *drops.last().expect("at least one prune level");
+    ok &= check(
+        "largest drop at 90%",
+        drops.iter().all(|&d| d <= last),
+        format!("per-step drops {drops:?}"),
+    );
+    std::process::exit(if ok { 0 } else { 1 });
+}

@@ -1,0 +1,45 @@
+//! Fig. 4 reproduction: the decoding workload explosion that confidence
+//! collapse causes (the paper's "dark side", DESIGN.md §4).
+//!
+//! Same scaled pipeline run as `exp_fig3`, but the checked targets are the
+//! search-effort axis: hypotheses explored per frame at 90 % sparsity at
+//! least 1.5× the dense count, while the retrained pruned model's WER stays
+//! within 1 point of dense — accuracy is preserved, *work* explodes.
+//! Prints the per-level table and exits nonzero if a target fails.
+
+use darkside_bench::report::{check, print_level_table, print_run_header};
+use darkside_core::{Pipeline, PipelineConfig};
+
+fn main() {
+    let start = std::time::Instant::now();
+    let pipeline = Pipeline::build(PipelineConfig::default_scaled()).expect("pipeline build");
+    let report = pipeline.run().expect("pipeline run");
+    print_run_header("exp_fig4", &report);
+    print_level_table(&report);
+    println!("elapsed: {:.1}s", start.elapsed().as_secs_f64());
+
+    let dense = report.dense();
+    let p90 = report
+        .levels
+        .iter()
+        .find(|l| l.label == "90%")
+        .expect("90% level in the sweep");
+    let ratio = p90.mean_hypotheses / dense.mean_hypotheses;
+    let mut ok = check(
+        "hypotheses explode at 90%",
+        ratio >= 1.5,
+        format!(
+            "{:.1} → {:.1} hyps/frame ({ratio:.2}×, target ≥ 1.5×)",
+            dense.mean_hypotheses, p90.mean_hypotheses
+        ),
+    );
+    ok &= check(
+        "WER preserved at 90%",
+        (p90.wer_percent - dense.wer_percent).abs() <= 1.0,
+        format!(
+            "dense {:.2}% vs 90% {:.2}% (|Δ| ≤ 1 point)",
+            dense.wer_percent, p90.wer_percent
+        ),
+    );
+    std::process::exit(if ok { 0 } else { 1 });
+}

@@ -10,7 +10,7 @@
 
 use darkside_bench::{bench_with, BenchOptions, BenchResult};
 use darkside_nn::check::{assert_matrices_close, assert_slices_close, random_matrix};
-use darkside_nn::{gemm_naive, gemm_with_threads, Frame, Matrix, Mlp, Rng};
+use darkside_nn::{gemm_naive, gemm_with_threads, Frame, FrameScorer, Matrix, Mlp, Rng};
 use darkside_pruning::{prune_to_sparsity, Csr};
 use std::hint::black_box;
 
@@ -90,7 +90,7 @@ fn main() {
     let result = prune_to_sparsity(&dense, 0.9, 0.002);
     let mut masked = dense.clone();
     result.mask.apply(&mut masked);
-    let csr = Csr::from_dense(&masked);
+    let csr = Csr::from_dense(&masked).expect("masked layer fits CSR");
     let x: Vec<f32> = (0..GEMM_SIZE).map(|_| rng.normal()).collect();
     let mut y = vec![0.0f32; GEMM_SIZE];
     let gemv = bench_with("gemv_dense_512", BenchOptions::default(), || {
@@ -180,7 +180,7 @@ fn verify_kernels(rng: &mut Rng, threads: usize) {
     let pr = prune_to_sparsity(&dense, 0.9, 0.01);
     let mut masked = dense.clone();
     pr.mask.apply(&mut masked);
-    let csr = Csr::from_dense(&masked);
+    let csr = Csr::from_dense(&masked).expect("masked layer fits CSR");
     let x: Vec<f32> = (0..80).map(|_| rng.normal()).collect();
     let mut got = vec![0.0f32; 64];
     csr.spmv(&x, &mut got);

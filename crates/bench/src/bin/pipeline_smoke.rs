@@ -1,0 +1,66 @@
+//! CI perf-smoke: a tiny end-to-end pipeline run (ISSUE 2 satellite).
+//!
+//! Trains the `PipelineConfig::smoke()` system — small corpus, small model,
+//! a few epochs — decodes the held-out set dense and at 90 % sparsity, and
+//! asserts the *sign* of the paper's effect: pruned confidence below dense
+//! confidence. Exits nonzero (and prints the table) when the invariant
+//! breaks, so CI catches a regression in any layer of the corpus → train →
+//! prune → decode path.
+
+use darkside_core::{Pipeline, PipelineConfig};
+
+fn main() {
+    let start = std::time::Instant::now();
+    let pipeline = Pipeline::build(PipelineConfig::smoke()).expect("smoke pipeline build");
+    let report = pipeline.run().expect("smoke pipeline run");
+
+    println!(
+        "pipeline_smoke: {} train frames, {} test frames, graph {} states / {} arcs, {} params",
+        report.train_frames,
+        report.test_frames,
+        report.graph_states,
+        report.graph_arcs,
+        report.model_params
+    );
+    println!(
+        "train: final loss {:.3}, frame accuracy {:.3}",
+        report.final_train_loss, report.final_train_accuracy
+    );
+    println!(
+        "{:<8} {:>9} {:>11} {:>10} {:>8} {:>12} {:>10}",
+        "level", "sparsity", "confidence", "frame-acc", "WER%", "hyps/frame", "best-cost"
+    );
+    for level in &report.levels {
+        println!(
+            "{:<8} {:>8.1}% {:>11.4} {:>10.4} {:>8.2} {:>12.1} {:>10.1}",
+            level.label,
+            level.sparsity * 100.0,
+            level.mean_confidence,
+            level.frame_accuracy,
+            level.wer_percent,
+            level.mean_hypotheses,
+            level.mean_best_cost
+        );
+    }
+    println!("elapsed: {:.1}s", start.elapsed().as_secs_f64());
+
+    let dense = report.dense();
+    let pruned = report.pruned().last().expect("one pruned level");
+    assert!(
+        dense.mean_confidence > 0.2,
+        "dense model failed to train (confidence {:.4} ≈ chance); \
+         the smoke config no longer reaches the paper's operating regime",
+        dense.mean_confidence
+    );
+    assert!(
+        pruned.mean_confidence < dense.mean_confidence,
+        "confidence did not drop under pruning: dense {:.4} vs {} {:.4}",
+        dense.mean_confidence,
+        pruned.label,
+        pruned.mean_confidence
+    );
+    println!(
+        "OK: confidence drop {:.4} → {:.4} at {} sparsity",
+        dense.mean_confidence, pruned.mean_confidence, pruned.label
+    );
+}

@@ -14,6 +14,12 @@
 //! `BENCH_compute.json` (schema in EXPERIMENTS.md) so later PRs append
 //! comparable numbers.
 
+//! The experiment binaries (`exp_fig3`, `exp_fig4`, `pipeline_smoke`) run
+//! the `darkside_core::Pipeline` end to end and check the paper's shape
+//! targets; [`report`] holds their shared table formatting.
+
 pub mod harness;
+pub mod report;
 
 pub use harness::{bench, bench_with, BenchOptions, BenchResult};
+pub use report::{check, print_level_table, print_run_header};

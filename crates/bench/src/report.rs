@@ -1,0 +1,48 @@
+//! Shared table formatting + shape-target checking for the experiment
+//! binaries (`exp_fig3`, `exp_fig4`, `pipeline_smoke`).
+
+use darkside_core::PipelineReport;
+
+/// Print the run provenance line every experiment starts with.
+pub fn print_run_header(name: &str, report: &PipelineReport) {
+    println!(
+        "{name}: {} params, {} train frames, {} test frames, graph {} states / {} arcs",
+        report.model_params,
+        report.train_frames,
+        report.test_frames,
+        report.graph_states,
+        report.graph_arcs
+    );
+    println!(
+        "train: final loss {:.3}, frame accuracy {:.3}",
+        report.final_train_loss, report.final_train_accuracy
+    );
+}
+
+/// Print the per-level metric table (markdown-ish, pasteable into
+/// EXPERIMENTS.md).
+pub fn print_level_table(report: &PipelineReport) {
+    println!(
+        "| {:<7} | {:>8} | {:>10} | {:>9} | {:>7} | {:>10} | {:>9} |",
+        "level", "sparsity", "confidence", "frame-acc", "WER%", "hyps/frame", "best-cost"
+    );
+    println!("|---------|----------|------------|-----------|---------|------------|-----------|");
+    for level in &report.levels {
+        println!(
+            "| {:<7} | {:>7.1}% | {:>10.4} | {:>9.4} | {:>7.2} | {:>10.1} | {:>9.1} |",
+            level.label,
+            level.sparsity * 100.0,
+            level.mean_confidence,
+            level.frame_accuracy,
+            level.wer_percent,
+            level.mean_hypotheses,
+            level.mean_best_cost
+        );
+    }
+}
+
+/// Record one shape-target check; returns `ok` so callers can fold.
+pub fn check(name: &str, ok: bool, detail: String) -> bool {
+    println!("{} {name}: {detail}", if ok { "PASS" } else { "FAIL" });
+    ok
+}

@@ -4,9 +4,17 @@
 //! the {Baseline, Beam, NBest} × {NP, 70, 80, 90} configuration grid of
 //! Figs. 11/12, the artifact cache, and the experiment runner.
 //!
-//! **Status:** skeleton (ISSUE 1 creates the workspace; the pipeline lands
-//! once corpus + decoder exist). The grid enumeration below is final — it
-//! is the coordinate system EXPERIMENTS.md reports in.
+//! The grid enumeration below is the coordinate system EXPERIMENTS.md
+//! reports in; the end-to-end system behind it lives in [`pipeline`]:
+//! build a [`pipeline::Pipeline`] from a [`pipeline::PipelineConfig`]
+//! (builder-style `with_*` methods, `default_scaled()` = DESIGN.md §4b)
+//! and call [`pipeline::Pipeline::run`] for the full corpus → train →
+//! prune → decode study.
+
+pub mod pipeline;
+
+pub use darkside_error::Error;
+pub use pipeline::{LevelReport, Pipeline, PipelineConfig, PipelineReport};
 
 pub use darkside_acoustic as acoustic;
 pub use darkside_decoder as decoder;

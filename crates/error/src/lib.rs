@@ -1,0 +1,100 @@
+//! # darkside-error — the workspace-wide error type
+//!
+//! One enum for every fallible constructor in the workspace (ISSUE 2
+//! satellite). It lives in its own dependency-free crate because the
+//! dependency flow is bottom-up (`nn`/`wfst`/`acoustic` → `decoder` →
+//! `core`): the substrate crates cannot name a type defined in
+//! `darkside-core`, so the type is defined here and re-exported as
+//! [`darkside_core::Error`], the name user code is expected to write.
+//!
+//! Variants carry a `context` (which constructor rejected the input) and a
+//! `detail` (what about the input was wrong), so a propagated error is
+//! actionable without a backtrace.
+
+use std::fmt;
+
+/// Workspace-wide error: why a constructor rejected its input.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Error {
+    /// A tensor/buffer shape disagreement (e.g. `Matrix::new` with a data
+    /// length that is not `rows × cols`, CSR offsets out of order).
+    Shape { context: String, detail: String },
+    /// A configuration value outside its documented domain (e.g. a
+    /// homophone fraction ≥ 1, a zero vocabulary).
+    Config { context: String, detail: String },
+    /// A structurally invalid WFST operation (e.g. composing a graph with
+    /// no start state, an arc to a nonexistent state).
+    Graph { context: String, detail: String },
+    /// Corpus generation could not satisfy its constraints (e.g. more
+    /// unique pronunciations requested than the phoneme space holds).
+    Corpus { context: String, detail: String },
+}
+
+impl Error {
+    pub fn shape(context: impl Into<String>, detail: impl Into<String>) -> Self {
+        Error::Shape {
+            context: context.into(),
+            detail: detail.into(),
+        }
+    }
+
+    pub fn config(context: impl Into<String>, detail: impl Into<String>) -> Self {
+        Error::Config {
+            context: context.into(),
+            detail: detail.into(),
+        }
+    }
+
+    pub fn graph(context: impl Into<String>, detail: impl Into<String>) -> Self {
+        Error::Graph {
+            context: context.into(),
+            detail: detail.into(),
+        }
+    }
+
+    pub fn corpus(context: impl Into<String>, detail: impl Into<String>) -> Self {
+        Error::Corpus {
+            context: context.into(),
+            detail: detail.into(),
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let (kind, context, detail) = match self {
+            Error::Shape { context, detail } => ("shape", context, detail),
+            Error::Config { context, detail } => ("config", context, detail),
+            Error::Graph { context, detail } => ("graph", context, detail),
+            Error::Corpus { context, detail } => ("corpus", context, detail),
+        };
+        write!(f, "{kind} error in {context}: {detail}")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Workspace-wide result alias.
+pub type Result<T> = std::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_context_and_detail() {
+        let e = Error::shape("Matrix::new", "6 elements for a 2x2 shape");
+        assert_eq!(
+            e.to_string(),
+            "shape error in Matrix::new: 6 elements for a 2x2 shape"
+        );
+        let e = Error::graph("compose", "left operand has no start state");
+        assert!(e.to_string().contains("compose"));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn takes_std(_: &dyn std::error::Error) {}
+        takes_std(&Error::config("x", "y"));
+    }
+}

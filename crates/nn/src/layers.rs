@@ -154,12 +154,12 @@ mod tests {
 
     #[test]
     fn affine_matches_manual_dot() {
-        let w = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let w = Matrix::new(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap();
         let layer = Affine {
             w,
             b: vec![0.5, -0.5, 0.0],
         };
-        let x = Matrix::from_vec(1, 2, vec![2.0, -1.0]);
+        let x = Matrix::new(1, 2, vec![2.0, -1.0]).unwrap();
         let y = layer.forward(&x);
         // [2, -1] · [[1,2,3],[4,5,6]] = [-2, -1, 0]; + bias
         assert_slices_close(y.as_slice(), &[-1.5, -1.5, 0.0], 1e-6, "affine");
@@ -167,14 +167,14 @@ mod tests {
 
     #[test]
     fn pnorm_is_group_euclidean_norm() {
-        let x = Matrix::from_vec(1, 4, vec![3.0, 4.0, 0.0, -2.0]);
+        let x = Matrix::new(1, 4, vec![3.0, 4.0, 0.0, -2.0]).unwrap();
         let y = PNorm { group: 2 }.forward(&x);
         assert_slices_close(y.as_slice(), &[5.0, 2.0], 1e-6, "pnorm");
     }
 
     #[test]
     fn renormalize_sets_rms_to_one() {
-        let mut x = Matrix::from_vec(2, 4, vec![1.0, 2.0, 3.0, 4.0, 0.0, 0.0, 0.0, 0.0]);
+        let mut x = Matrix::new(2, 4, vec![1.0, 2.0, 3.0, 4.0, 0.0, 0.0, 0.0, 0.0]).unwrap();
         renormalize_in_place(&mut x);
         let rms: f32 = (x.row(0).iter().map(|v| v * v).sum::<f32>() / 4.0).sqrt();
         assert!((rms - 1.0).abs() < 1e-6);

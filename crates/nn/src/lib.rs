@@ -3,8 +3,10 @@
 //! Implements DESIGN.md §2/§3 (`crates/nn`): an `f32` row-major [`Matrix`],
 //! a cache-blocked, register-tiled, thread-parallel [`gemm`], the Kaldi-style
 //! layer set (affine / p-norm pooling / renormalize / softmax / fixed LDA),
-//! and a batched [`Mlp::score_frames`] API so decoders amortize weight
-//! traversal over a whole utterance instead of paying one GEMV per frame.
+//! mini-batch SGD [`train`]ing with momentum + cross-entropy and masked
+//! retraining hooks, and the batched [`FrameScorer`] trait — the single
+//! scoring entry point every consumer (decoder, benches, accelerator sims)
+//! uses, so dense and pruned models are interchangeable downstream.
 //!
 //! The naive triple-loop kernels ([`gemm_naive`], [`gemv_naive`]) are kept
 //! in-tree permanently as the correctness oracle and the perf baseline that
@@ -20,9 +22,14 @@ pub mod layers;
 pub mod matrix;
 pub mod model;
 pub mod rng;
+pub mod scorer;
+pub mod train;
 
+pub use darkside_error::Error;
 pub use gemm::{gemm, gemm_naive, gemm_with_threads, gemv_naive};
 pub use layers::{renormalize_in_place, softmax_in_place, Affine, Layer, PNorm};
 pub use matrix::Matrix;
 pub use model::{Frame, Mlp, Scores};
 pub use rng::Rng;
+pub use scorer::{stack_frames, FrameScorer};
+pub use train::{evaluate, SgdConfig, TrainStats, Trainer};

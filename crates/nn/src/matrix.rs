@@ -1,6 +1,7 @@
 //! Row-major `f32` matrix, the one tensor type of the workspace (DESIGN.md §2).
 
 use crate::gemm;
+use darkside_error::Error;
 
 /// Dense row-major `f32` matrix.
 ///
@@ -34,18 +35,27 @@ impl Matrix {
         Self { rows, cols, data }
     }
 
+    /// Wrap an existing row-major buffer, validating the shape.
+    pub fn new(rows: usize, cols: usize, data: Vec<f32>) -> Result<Self, Error> {
+        if data.len() != rows * cols {
+            return Err(Error::shape(
+                "Matrix::new",
+                format!("{} elements for a {rows}x{cols} shape", data.len()),
+            ));
+        }
+        Ok(Self { rows, cols, data })
+    }
+
     /// Wrap an existing row-major buffer.
     ///
     /// # Panics
     /// If `data.len() != rows * cols`.
+    #[deprecated(note = "use Matrix::new, which reports the shape mismatch as an Error")]
     pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
-        assert_eq!(
-            data.len(),
-            rows * cols,
-            "Matrix::from_vec: {} elements for a {rows}x{cols} shape",
-            data.len()
-        );
-        Self { rows, cols, data }
+        match Self::new(rows, cols, data) {
+            Ok(m) => m,
+            Err(e) => panic!("{e}"),
+        }
     }
 
     pub fn rows(&self) -> usize {
@@ -146,6 +156,13 @@ mod tests {
     fn transpose_roundtrip() {
         let m = Matrix::from_fn(3, 5, |i, j| (i * 7 + j * 3) as f32);
         assert_eq!(m.transpose().transpose(), m);
+    }
+
+    #[test]
+    fn new_rejects_bad_shapes() {
+        assert!(Matrix::new(2, 3, vec![0.0; 6]).is_ok());
+        let err = Matrix::new(2, 3, vec![0.0; 5]).unwrap_err();
+        assert!(err.to_string().contains("Matrix::new"), "{err}");
     }
 
     #[test]

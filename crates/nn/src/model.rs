@@ -1,10 +1,10 @@
-//! The acoustic-model MLP and the batched frame-scoring API (ISSUE 1).
+//! The acoustic-model MLP (ISSUE 1) and its scored-batch output type.
 //!
-//! [`Mlp::score_frames`] is the hot entry point the decoder and the
-//! accelerator simulators call: it stacks an utterance's frames into one
-//! `batch × dim` matrix so every weight matrix is traversed **once per
-//! utterance** (GEMM) instead of once per frame (GEMV) — the batching win
-//! `darkside-bench`'s `batched_score` bench measures.
+//! Scoring goes through the [`crate::FrameScorer`] trait (ISSUE 2 API
+//! redesign): `Mlp` implements it with one GEMM per layer for the whole
+//! utterance, so every weight matrix is traversed **once per utterance**
+//! instead of once per frame — the batching win `darkside-bench`'s
+//! `batched_score` bench measures.
 
 use crate::layers::{Affine, Layer};
 use crate::matrix::Matrix;
@@ -119,24 +119,6 @@ impl Mlp {
         self.layers.iter().fold(x, |x, layer| layer.forward(x))
     }
 
-    /// Batched scoring: one GEMM per layer for the whole utterance.
-    pub fn score_frames(&self, frames: &[Frame]) -> Scores {
-        let batch = frames.len();
-        let mut x = Matrix::zeros(batch, self.input_dim);
-        for (i, f) in frames.iter().enumerate() {
-            assert_eq!(f.dim(), self.input_dim, "frame {i} has wrong dim");
-            x.row_mut(i).copy_from_slice(&f.0);
-        }
-        Scores {
-            probs: self.forward(x),
-        }
-    }
-
-    /// Single-frame convenience wrapper (the slow path batching replaces).
-    pub fn score_frame(&self, frame: &Frame) -> Scores {
-        self.score_frames(std::slice::from_ref(frame))
-    }
-
     /// Total parameter count (weights + biases), for Table I-style reporting.
     pub fn num_params(&self) -> usize {
         self.layers
@@ -152,6 +134,7 @@ impl Mlp {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::scorer::FrameScorer;
 
     #[test]
     fn shapes_propagate() {

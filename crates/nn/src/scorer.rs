@@ -1,0 +1,92 @@
+//! [`FrameScorer`] — the one acoustic-scoring entry point (ISSUE 2 API
+//! redesign).
+//!
+//! The decoder, the pipeline, the benches, and the future accelerator
+//! simulators all consume acoustic models through this trait, so a dense
+//! [`Mlp`] and a CSR-served pruned model (`darkside_pruning::PrunedMlp`) are
+//! interchangeable at every call site — no `Mlp`-vs-pruned branching
+//! downstream. The contract is batched: one call scores a whole utterance so
+//! every weight matrix is traversed once (the ISSUE 1 batching win).
+
+use crate::matrix::Matrix;
+use crate::model::{Frame, Mlp, Scores};
+
+/// An acoustic model that maps feature frames to per-class posteriors.
+pub trait FrameScorer {
+    /// Expected feature dimensionality of every input frame.
+    fn input_dim(&self) -> usize;
+
+    /// Width of the posterior rows (the sub-phoneme class count).
+    fn num_classes(&self) -> usize;
+
+    /// Score a whole utterance: `frames.len() × num_classes()` softmax rows.
+    fn score_frames(&self, frames: &[Frame]) -> Scores;
+
+    /// Single-frame convenience wrapper (the slow path batching replaces).
+    fn score_frame(&self, frame: &Frame) -> Scores {
+        self.score_frames(std::slice::from_ref(frame))
+    }
+}
+
+/// Stack an utterance's frames into the `batch × dim` matrix the batched
+/// forward passes consume. Shared by every [`FrameScorer`] implementation.
+///
+/// # Panics
+/// If any frame's dimensionality differs from `dim`.
+pub fn stack_frames(frames: &[Frame], dim: usize) -> Matrix {
+    let mut x = Matrix::zeros(frames.len(), dim);
+    for (i, f) in frames.iter().enumerate() {
+        assert_eq!(
+            f.dim(),
+            dim,
+            "frame {i} has dim {} instead of {dim}",
+            f.dim()
+        );
+        x.row_mut(i).copy_from_slice(&f.0);
+    }
+    x
+}
+
+impl FrameScorer for Mlp {
+    fn input_dim(&self) -> usize {
+        Mlp::input_dim(self)
+    }
+
+    fn num_classes(&self) -> usize {
+        self.output_dim()
+    }
+
+    /// Batched scoring: one GEMM per layer for the whole utterance.
+    fn score_frames(&self, frames: &[Frame]) -> Scores {
+        Scores {
+            probs: self.forward(stack_frames(frames, Mlp::input_dim(self))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Rng;
+
+    #[test]
+    fn mlp_scores_through_the_trait_object() {
+        let mut rng = Rng::new(5);
+        let mlp = Mlp::kaldi_style(24, 32, 4, 2, 7, &mut rng);
+        let scorer: &dyn FrameScorer = &mlp;
+        assert_eq!(scorer.input_dim(), 24);
+        assert_eq!(scorer.num_classes(), 7);
+        let frames: Vec<Frame> = (0..3)
+            .map(|_| Frame((0..24).map(|_| rng.normal()).collect()))
+            .collect();
+        let scores = scorer.score_frames(&frames);
+        assert_eq!(scores.num_frames(), 3);
+        let single = scorer.score_frame(&frames[0]);
+        crate::check::assert_slices_close(
+            single.probs.row(0),
+            scores.probs.row(0),
+            1e-5,
+            "trait single vs batched",
+        );
+    }
+}

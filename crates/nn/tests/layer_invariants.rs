@@ -25,7 +25,7 @@ fn softmax_rows_sum_to_one_on_random_input() {
 fn softmax_survives_extreme_logits() {
     // ±1e4 logits overflow exp() without the max-subtraction; mixed ±∞-ish
     // magnitudes are exactly what a collapsing pruned model produces.
-    let mut x = Matrix::from_vec(
+    let mut x = Matrix::new(
         4,
         3,
         vec![
@@ -34,7 +34,8 @@ fn softmax_survives_extreme_logits() {
             -1e4, -1e4, -1e4, //
             3.4e38, 0.0, -3.4e38,
         ],
-    );
+    )
+    .unwrap();
     softmax_in_place(&mut x);
     for i in 0..4 {
         let row = x.row(i);

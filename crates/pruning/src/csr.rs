@@ -7,6 +7,7 @@
 //! dense GEMV is reading 8 bytes per surviving weight instead of 4 bytes per
 //! *every* weight.
 
+use darkside_error::Error;
 use darkside_nn::Matrix;
 
 /// CSR sparse matrix over `f32`, `u32` column indices.
@@ -21,18 +22,67 @@ pub struct Csr {
 }
 
 impl Csr {
+    /// Import raw CSR buffers, validating every structural invariant the
+    /// kernels rely on: `rows + 1` monotone offsets starting at 0 and ending
+    /// at `vals.len()`, matching index/value lengths, and in-range columns.
+    pub fn new(
+        rows: usize,
+        cols: usize,
+        row_ptr: Vec<u32>,
+        col_idx: Vec<u32>,
+        vals: Vec<f32>,
+    ) -> Result<Self, Error> {
+        let fail = |detail: String| Err(Error::shape("Csr::new", detail));
+        if row_ptr.len() != rows + 1 {
+            return fail(format!("{} offsets for {rows} rows", row_ptr.len()));
+        }
+        if row_ptr[0] != 0 {
+            return fail(format!("row_ptr starts at {}", row_ptr[0]));
+        }
+        if row_ptr.windows(2).any(|w| w[0] > w[1]) {
+            return fail("row_ptr is not monotone".into());
+        }
+        if col_idx.len() != vals.len() || *row_ptr.last().unwrap() as usize != vals.len() {
+            return fail(format!(
+                "{} column indices, {} values, final offset {}",
+                col_idx.len(),
+                vals.len(),
+                row_ptr.last().unwrap()
+            ));
+        }
+        if let Some(&j) = col_idx.iter().find(|&&j| j as usize >= cols) {
+            return fail(format!("column index {j} in a {cols}-column matrix"));
+        }
+        Ok(Self {
+            rows,
+            cols,
+            row_ptr,
+            col_idx,
+            vals,
+        })
+    }
+
     /// Compress every nonzero of `dense`.
-    pub fn from_dense(dense: &Matrix) -> Self {
+    pub fn from_dense(dense: &Matrix) -> Result<Self, Error> {
         Self::from_dense_filtered(dense, |v| v != 0.0)
     }
 
     /// Compress entries of `dense` for which `keep` holds (e.g. a pruning
     /// mask applied on the fly, without materializing the masked matrix).
-    pub fn from_dense_filtered(dense: &Matrix, mut keep: impl FnMut(f32) -> bool) -> Self {
-        assert!(
-            dense.cols() <= u32::MAX as usize && dense.rows() < u32::MAX as usize,
-            "Csr: shape exceeds u32 index space"
-        );
+    pub fn from_dense_filtered(
+        dense: &Matrix,
+        mut keep: impl FnMut(f32) -> bool,
+    ) -> Result<Self, Error> {
+        if dense.cols() > u32::MAX as usize || dense.rows() >= u32::MAX as usize {
+            return Err(Error::shape(
+                "Csr::from_dense",
+                format!(
+                    "{}x{} shape exceeds the u32 index space",
+                    dense.rows(),
+                    dense.cols()
+                ),
+            ));
+        }
         let mut row_ptr = Vec::with_capacity(dense.rows() + 1);
         let mut col_idx = Vec::new();
         let mut vals = Vec::new();
@@ -46,13 +96,13 @@ impl Csr {
             }
             row_ptr.push(vals.len() as u32);
         }
-        Self {
+        Ok(Self {
             rows: dense.rows(),
             cols: dense.cols(),
             row_ptr,
             col_idx,
             vals,
-        }
+        })
     }
 
     pub fn rows(&self) -> usize {
@@ -146,17 +196,38 @@ mod tests {
 
     #[test]
     fn roundtrip_dense() {
-        let d = Matrix::from_vec(2, 3, vec![1.0, 0.0, 2.0, 0.0, 0.0, 3.0]);
-        let s = Csr::from_dense(&d);
+        let d = Matrix::new(2, 3, vec![1.0, 0.0, 2.0, 0.0, 0.0, 3.0]).unwrap();
+        let s = Csr::from_dense(&d).unwrap();
         assert_eq!(s.nnz(), 3);
         assert_eq!(s.to_dense(), d);
         assert!((s.sparsity() - 0.5).abs() < 1e-12);
     }
 
     #[test]
+    fn new_validates_raw_buffers() {
+        // A valid import round-trips.
+        let s = Csr::new(2, 3, vec![0, 1, 3], vec![2, 0, 1], vec![5.0, 1.0, 2.0]).unwrap();
+        assert_eq!(s.nnz(), 3);
+        let mut y = vec![0.0f32; 2];
+        s.spmv(&[1.0, 1.0, 1.0], &mut y);
+        assert_eq!(y, vec![5.0, 3.0]);
+        // Each invariant violation is rejected with a Shape error.
+        for (row_ptr, col_idx, vals) in [
+            (vec![0, 3], vec![0u32, 1, 2], vec![1.0f32, 2.0, 3.0]), // wrong offset count
+            (vec![1, 2, 3], vec![0, 1, 2], vec![1.0, 2.0, 3.0]),    // nonzero first offset
+            (vec![0, 2, 1], vec![0, 1, 2], vec![1.0, 2.0, 3.0]),    // non-monotone
+            (vec![0, 1, 2], vec![0, 1, 2], vec![1.0, 2.0, 3.0]),    // final offset short
+            (vec![0, 1, 3], vec![0, 9, 1], vec![1.0, 2.0, 3.0]),    // column out of range
+        ] {
+            let err = Csr::new(2, 3, row_ptr, col_idx, vals).unwrap_err();
+            assert!(matches!(err, Error::Shape { .. }), "{err}");
+        }
+    }
+
+    #[test]
     fn spmv_known_values() {
-        let d = Matrix::from_vec(2, 3, vec![1.0, 0.0, 2.0, 0.0, 4.0, 0.0]);
-        let s = Csr::from_dense(&d);
+        let d = Matrix::new(2, 3, vec![1.0, 0.0, 2.0, 0.0, 4.0, 0.0]).unwrap();
+        let s = Csr::from_dense(&d).unwrap();
         let mut y = vec![0.0f32; 2];
         s.spmv(&[1.0, 2.0, 3.0], &mut y);
         assert_eq!(y, vec![7.0, 8.0]);
@@ -164,9 +235,9 @@ mod tests {
 
     #[test]
     fn empty_shapes() {
-        let s = Csr::from_dense(&Matrix::zeros(0, 5));
+        let s = Csr::from_dense(&Matrix::zeros(0, 5)).unwrap();
         s.spmv(&[0.0; 5], &mut []);
-        let s = Csr::from_dense(&Matrix::zeros(4, 0));
+        let s = Csr::from_dense(&Matrix::zeros(4, 0)).unwrap();
         let mut y = vec![1.0f32; 4];
         s.spmv(&[], &mut y);
         assert_eq!(y, vec![0.0; 4]);

@@ -10,8 +10,12 @@
 
 pub mod csr;
 pub mod magnitude;
+pub mod model;
 pub mod pruned_layer;
+pub mod pruned_mlp;
 
 pub use csr::Csr;
 pub use magnitude::{mask_for_quality, prune_to_sparsity, Mask, PruneResult};
+pub use model::{prune_mlp_to_sparsity, ModelPruneResult};
 pub use pruned_layer::PrunedAffine;
+pub use pruned_mlp::PrunedMlp;

@@ -37,7 +37,9 @@ impl PrunedAffine {
             }
         });
         Self {
-            w: Csr::from_dense(&wt),
+            // Infallible here: the transpose of a Matrix is within the u32
+            // index space whenever the Matrix itself was constructible.
+            w: Csr::from_dense(&wt).expect("masked transpose fits CSR"),
             b: dense.b.clone(),
         }
     }

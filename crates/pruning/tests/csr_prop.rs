@@ -24,7 +24,7 @@ fn csr_roundtrips_dense() {
         let cols = rng.below(40);
         let sparsity = rng.next_f64();
         let dense = random_sparse(rng, rows, cols, sparsity);
-        let csr = Csr::from_dense(&dense);
+        let csr = Csr::from_dense(&dense).unwrap();
         assert_eq!(csr.to_dense(), dense, "roundtrip {rows}x{cols}");
     });
 }
@@ -36,7 +36,7 @@ fn spmv_matches_dense_gemv() {
         let cols = rng.below(100);
         let sparsity = [0.0, 0.5, 0.7, 0.9, 1.0][case % 5];
         let dense = random_sparse(rng, rows, cols, sparsity);
-        let csr = Csr::from_dense(&dense);
+        let csr = Csr::from_dense(&dense).unwrap();
         let x: Vec<f32> = (0..cols).map(|_| rng.normal()).collect();
         let mut want = vec![0.0f32; rows];
         gemv_naive(rows, cols, dense.as_slice(), &x, &mut want);
@@ -59,7 +59,7 @@ fn spmm_matches_dense_matmul() {
         let n = rng.below(30);
         let sparsity = [0.3, 0.7, 0.9, 1.0][case % 4];
         let dense = random_sparse(rng, m, k, sparsity);
-        let csr = Csr::from_dense(&dense);
+        let csr = Csr::from_dense(&dense).unwrap();
         let b = Matrix::from_fn(k, n, |_, _| rng.normal());
         let want = dense.matmul_naive(&b);
         let mut got = Matrix::zeros(m, n);
@@ -73,7 +73,7 @@ fn degenerate_shapes() {
     let mut rng = Rng::new(7);
     for (rows, cols) in [(0, 0), (0, 9), (9, 0), (1, 1), (1, 17), (17, 1)] {
         let dense = random_sparse(&mut rng, rows, cols, 0.5);
-        let csr = Csr::from_dense(&dense);
+        let csr = Csr::from_dense(&dense).unwrap();
         assert_eq!(csr.to_dense(), dense);
         let x: Vec<f32> = (0..cols).map(|_| rng.normal()).collect();
         let mut got = vec![0.0f32; rows];

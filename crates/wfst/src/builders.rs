@@ -1,0 +1,322 @@
+//! Builders for the three classic ASR transducers and their composition
+//! into the decoding graph (DESIGN.md §2):
+//!
+//! * **G** — the bigram grammar as a weighted acceptor over words;
+//! * **L** — the lexicon star-closure mapping phoneme strings to words;
+//! * **H** — the HMM topology mapping sub-phoneme class strings to phonemes.
+//!
+//! Epsilon discipline: G is an acceptor (no epsilons at all); every L arc
+//! consumes a phoneme (the word olabel rides the *first* phoneme arc, the
+//! rest emit ε); every H arc consumes a sub-phoneme class (chain re-entry is
+//! by direct exit→entry arcs, not ε back-arcs). Therefore
+//! `H ∘ (L ∘ G)` consumes one class per arc — input-epsilon-free by
+//! construction, no epsilon-removal pass — which is exactly what the
+//! frame-synchronous Viterbi decoder requires.
+
+use crate::compose::compose;
+use crate::graph::{Arc, Fst, EPSILON};
+use crate::TropicalWeight;
+use darkside_acoustic::{Bigram, Lexicon, PhonemeInventory};
+use darkside_error::Error;
+
+/// Word id → output label (0 is reserved for ε).
+pub fn word_label(word: u32) -> u32 {
+    word + 1
+}
+
+/// Phoneme id → intermediate label in L/H.
+pub fn phoneme_label(phoneme: usize) -> u32 {
+    phoneme as u32 + 1
+}
+
+/// Sub-phoneme class id → input label in H and the decoding graph.
+pub fn class_label(class: usize) -> u32 {
+    class as u32 + 1
+}
+
+/// Recover the class id from a decoding-graph input label.
+pub fn label_class(ilabel: u32) -> usize {
+    debug_assert!(ilabel != EPSILON);
+    (ilabel - 1) as usize
+}
+
+/// Build G: one state per bigram context (plus a start state), arcs
+/// weighted with the grammar costs, every word state final with the end
+/// cost. Ilabel = olabel = word label (acceptor).
+pub fn build_g(grammar: &Bigram) -> Result<Fst, Error> {
+    if grammar.initial.is_empty() {
+        return Err(Error::graph(
+            "build_g",
+            "empty initial distribution".to_string(),
+        ));
+    }
+    let num_words = grammar.successors.len();
+    let mut g = Fst::new();
+    let start = g.add_state();
+    g.set_start(start);
+    let word_states: Vec<u32> = (0..num_words).map(|_| g.add_state()).collect();
+    for &(w, cost) in &grammar.initial {
+        let w = w as usize;
+        if w >= num_words {
+            return Err(Error::graph(
+                "build_g",
+                format!("initial word {w} out of range"),
+            ));
+        }
+        g.add_arc(
+            start,
+            Arc {
+                ilabel: word_label(w as u32),
+                olabel: word_label(w as u32),
+                weight: TropicalWeight(cost),
+                next: word_states[w],
+            },
+        );
+    }
+    for (w, succ) in grammar.successors.iter().enumerate() {
+        g.set_final(word_states[w], TropicalWeight(grammar.end_cost));
+        for &(v, cost) in succ {
+            let v = v as usize;
+            if v >= num_words {
+                return Err(Error::graph(
+                    "build_g",
+                    format!("successor {v} of word {w} out of range"),
+                ));
+            }
+            g.add_arc(
+                word_states[w],
+                Arc {
+                    ilabel: word_label(v as u32),
+                    olabel: word_label(v as u32),
+                    weight: TropicalWeight(cost),
+                    next: word_states[v],
+                },
+            );
+        }
+    }
+    Ok(g)
+}
+
+/// Build L as a star-closure: from the root, each word is a chain of
+/// phoneme-consuming arcs returning to the root. The word olabel rides the
+/// first arc; no arc consumes ε, so `L ∘ G` stays input-epsilon-free.
+pub fn build_l(lexicon: &Lexicon) -> Result<Fst, Error> {
+    let mut l = Fst::new();
+    let root = l.add_state();
+    l.set_start(root);
+    l.set_final(root, TropicalWeight::ONE);
+    for (w, pron) in lexicon.prons.iter().enumerate() {
+        if pron.is_empty() {
+            return Err(Error::graph(
+                "build_l",
+                format!("word {w} has an empty pronunciation"),
+            ));
+        }
+        let mut from = root;
+        for (i, &phoneme) in pron.iter().enumerate() {
+            let next = if i + 1 == pron.len() {
+                root
+            } else {
+                l.add_state()
+            };
+            l.add_arc(
+                from,
+                Arc {
+                    ilabel: phoneme_label(phoneme),
+                    olabel: if i == 0 {
+                        word_label(w as u32)
+                    } else {
+                        EPSILON
+                    },
+                    weight: TropicalWeight::ONE,
+                    next,
+                },
+            );
+            from = next;
+        }
+    }
+    Ok(l)
+}
+
+/// Build H: per phoneme, a left-to-right chain of `states_per_phoneme`
+/// states with self-loops (durations); entering phoneme `p`'s chain
+/// consumes class `(p, 0)` and *emits phoneme `p`*. Chains are re-entered
+/// by direct arcs from every chain exit (and from the start state), never
+/// by ε back-arcs, so every arc carries a class ilabel.
+///
+/// Transition weights are free (`ONE`): duration/transition modeling lives
+/// in the acoustic costs, as in the paper's hybrid system.
+pub fn build_h(inventory: &PhonemeInventory) -> Fst {
+    let mut h = Fst::new();
+    let start = h.add_state();
+    h.set_start(start);
+    let nps = inventory.states_per_phoneme;
+    // chain_states[p][s] = graph state for phoneme p, HMM state s.
+    let chain_states: Vec<Vec<u32>> = (0..inventory.num_phonemes)
+        .map(|_| (0..nps).map(|_| h.add_state()).collect())
+        .collect();
+    let entry_arc = |p: usize| Arc {
+        ilabel: class_label(inventory.class_id(p, 0)),
+        olabel: phoneme_label(p),
+        weight: TropicalWeight::ONE,
+        next: chain_states[p][0],
+    };
+    for (p, chain) in chain_states.iter().enumerate() {
+        h.add_arc(start, entry_arc(p));
+        for s in 0..nps {
+            let state = chain[s];
+            let class = class_label(inventory.class_id(p, s));
+            // Self-loop: additional frames of the same sub-phoneme state.
+            h.add_arc(
+                state,
+                Arc {
+                    ilabel: class,
+                    olabel: EPSILON,
+                    weight: TropicalWeight::ONE,
+                    next: state,
+                },
+            );
+            if s + 1 < nps {
+                h.add_arc(
+                    state,
+                    Arc {
+                        ilabel: class_label(inventory.class_id(p, s + 1)),
+                        olabel: EPSILON,
+                        weight: TropicalWeight::ONE,
+                        next: chain[s + 1],
+                    },
+                );
+            }
+        }
+        // Chain exit: final (utterance may end here) and direct entry into
+        // every phoneme's chain (no ε back-arc).
+        let exit = chain[nps - 1];
+        h.set_final(exit, TropicalWeight::ONE);
+        for q in 0..inventory.num_phonemes {
+            h.add_arc(exit, entry_arc(q));
+        }
+    }
+    h
+}
+
+/// Compose `H ∘ (L ∘ G)`, trim, and check the construction invariant.
+///
+/// The result is the decoding graph: input labels are sub-phoneme classes
+/// (one frame per arc), output labels are words, weights are grammar costs.
+pub fn build_decoding_graph(
+    inventory: &PhonemeInventory,
+    lexicon: &Lexicon,
+    grammar: &Bigram,
+) -> Result<Fst, Error> {
+    let g = build_g(grammar)?;
+    let l = build_l(lexicon)?;
+    let lg = compose(&l, &g)?;
+    let h = build_h(inventory);
+    let hlg = compose(&h, &lg)?.trim();
+    if hlg.start().is_none() {
+        return Err(Error::graph(
+            "build_decoding_graph",
+            "composition is empty (lexicon/grammar mismatch)".to_string(),
+        ));
+    }
+    if !hlg.is_input_eps_free() {
+        return Err(Error::graph(
+            "build_decoding_graph",
+            "composed graph has input epsilons".to_string(),
+        ));
+    }
+    Ok(hlg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use darkside_acoustic::{Corpus, CorpusConfig};
+
+    fn tiny_corpus() -> Corpus {
+        let config = CorpusConfig {
+            num_words: 12,
+            successors_per_word: 4,
+            inventory: PhonemeInventory {
+                num_phonemes: 6,
+                states_per_phoneme: 3,
+            },
+            ..CorpusConfig::default_scaled()
+        };
+        Corpus::generate(config).unwrap()
+    }
+
+    #[test]
+    fn g_and_l_have_no_input_epsilons() {
+        let corpus = tiny_corpus();
+        let g = build_g(&corpus.grammar).unwrap();
+        let l = build_l(&corpus.lexicon).unwrap();
+        assert!(g.is_input_eps_free());
+        assert!(l.is_input_eps_free());
+        assert_eq!(g.num_states(), 1 + corpus.lexicon.num_words());
+    }
+
+    #[test]
+    fn h_covers_every_class_and_is_eps_free() {
+        let inv = PhonemeInventory {
+            num_phonemes: 4,
+            states_per_phoneme: 3,
+        };
+        let h = build_h(&inv);
+        assert!(h.is_input_eps_free());
+        let mut seen = vec![false; inv.num_classes()];
+        for s in 0..h.num_states() as u32 {
+            for arc in h.arcs(s) {
+                seen[label_class(arc.ilabel)] = true;
+            }
+        }
+        assert!(seen.iter().all(|&b| b), "some class unreachable in H");
+    }
+
+    #[test]
+    fn decoding_graph_is_eps_free_and_accepts_a_sampled_alignment() {
+        let corpus = tiny_corpus();
+        let hlg = build_decoding_graph(&corpus.config.inventory, &corpus.lexicon, &corpus.grammar)
+            .unwrap();
+        assert!(hlg.is_input_eps_free());
+        assert!(hlg.num_states() > 0);
+
+        // Any sampled utterance's frame alignment must be an accepting path
+        // whose output is (a homophone of) the word sequence. Follow the
+        // labels with a breadth-first token set (cheap: tiny graph).
+        let utt = corpus.sample_utterance(&mut darkside_nn::Rng::new(3));
+        let mut states: Vec<(u32, Vec<u32>)> = vec![(hlg.start().unwrap(), Vec::new())];
+        for &class in &utt.labels {
+            let want = class_label(class as usize);
+            let mut next: Vec<(u32, Vec<u32>)> = Vec::new();
+            for (s, words) in &states {
+                for arc in hlg.arcs(*s) {
+                    if arc.ilabel == want {
+                        let mut w = words.clone();
+                        if arc.olabel != EPSILON {
+                            w.push(arc.olabel - 1);
+                        }
+                        next.push((arc.next, w));
+                    }
+                }
+            }
+            // Dedup by (state, words) to keep the frontier small.
+            next.sort();
+            next.dedup();
+            states = next;
+            assert!(!states.is_empty(), "alignment fell off the graph");
+        }
+        let accepted: Vec<&(u32, Vec<u32>)> =
+            states.iter().filter(|(s, _)| hlg.is_final(*s)).collect();
+        assert!(
+            !accepted.is_empty(),
+            "alignment does not reach a final state"
+        );
+        // The true word sequence (as labels) must be among the accepted
+        // outputs — up to homophones, the exact sequence itself is there.
+        assert!(
+            accepted.iter().any(|(_, words)| *words == utt.words),
+            "true word sequence not among accepted outputs"
+        );
+    }
+}

@@ -1,0 +1,211 @@
+//! WFST composition over the tropical semiring.
+//!
+//! BFS over reachable state pairs with three move types: matched
+//! (`a.olabel == b.ilabel`, both non-eps), A-alone (`a.olabel == ε`), and
+//! B-alone (`b.ilabel == ε`). Without an epsilon filter this can duplicate
+//! epsilon interleavings — harmless here, because the tropical semiring is
+//! idempotent (`x ⊕ x = min(x, x) = x`), so shortest-path quantities are
+//! exact; only path *multiplicity* is affected.
+//!
+//! The H/L/G builders in [`crate::builders`] are arranged so the result of
+//! `H ∘ (L ∘ G)` is input-epsilon-free *by construction* (every H arc
+//! carries a class ilabel, and L/G carry no input epsilons), so no epsilon
+//! removal pass is needed before decoding.
+
+use crate::graph::{Arc, Fst, EPSILON};
+use darkside_error::Error;
+use std::collections::HashMap;
+
+/// Compose two transducers: `(a ∘ b)` maps `x → z` with weight
+/// `⊕ over y of a(x, y) ⊗ b(y, z)`.
+///
+/// Returns an error if either operand has no start state (an empty machine
+/// composes to nothing, which is always a config bug upstream here).
+pub fn compose(a: &Fst, b: &Fst) -> Result<Fst, Error> {
+    let (Some(a_start), Some(b_start)) = (a.start(), b.start()) else {
+        return Err(Error::graph(
+            "compose",
+            "operand has no start state".to_string(),
+        ));
+    };
+    let mut out = Fst::new();
+    let mut pair_id: HashMap<(u32, u32), u32> = HashMap::new();
+    let mut queue: Vec<(u32, u32)> = Vec::new();
+
+    let start = out.add_state();
+    pair_id.insert((a_start, b_start), start);
+    out.set_start(start);
+    queue.push((a_start, b_start));
+
+    let mut head = 0;
+    while head < queue.len() {
+        let (sa, sb) = queue[head];
+        head += 1;
+        let from = pair_id[&(sa, sb)];
+        let fw = a.final_weight(sa).times(b.final_weight(sb));
+        if fw != crate::TropicalWeight::ZERO {
+            out.set_final(from, fw);
+        }
+        let push = |out: &mut Fst,
+                    pair_id: &mut HashMap<(u32, u32), u32>,
+                    queue: &mut Vec<(u32, u32)>,
+                    pair: (u32, u32)| {
+            *pair_id.entry(pair).or_insert_with(|| {
+                queue.push(pair);
+                out.add_state()
+            })
+        };
+        for arc_a in a.arcs(sa) {
+            if arc_a.olabel == EPSILON {
+                // A moves alone.
+                let next = push(&mut out, &mut pair_id, &mut queue, (arc_a.next, sb));
+                out.add_arc(
+                    from,
+                    Arc {
+                        ilabel: arc_a.ilabel,
+                        olabel: EPSILON,
+                        weight: arc_a.weight,
+                        next,
+                    },
+                );
+                continue;
+            }
+            for arc_b in b.arcs(sb) {
+                if arc_b.ilabel == arc_a.olabel {
+                    let next = push(&mut out, &mut pair_id, &mut queue, (arc_a.next, arc_b.next));
+                    out.add_arc(
+                        from,
+                        Arc {
+                            ilabel: arc_a.ilabel,
+                            olabel: arc_b.olabel,
+                            weight: arc_a.weight.times(arc_b.weight),
+                            next,
+                        },
+                    );
+                }
+            }
+        }
+        for arc_b in b.arcs(sb) {
+            if arc_b.ilabel == EPSILON {
+                // B moves alone.
+                let next = push(&mut out, &mut pair_id, &mut queue, (sa, arc_b.next));
+                out.add_arc(
+                    from,
+                    Arc {
+                        ilabel: EPSILON,
+                        olabel: arc_b.olabel,
+                        weight: arc_b.weight,
+                        next,
+                    },
+                );
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TropicalWeight;
+
+    fn w(c: f32) -> TropicalWeight {
+        TropicalWeight(c)
+    }
+
+    /// A linear transducer over `(ilabel, olabel, weight)` triples.
+    fn chain(arcs: &[(u32, u32, f32)]) -> Fst {
+        let mut fst = Fst::new();
+        let mut prev = fst.add_state();
+        fst.set_start(prev);
+        for &(i, o, c) in arcs {
+            let next = fst.add_state();
+            fst.add_arc(
+                prev,
+                Arc {
+                    ilabel: i,
+                    olabel: o,
+                    weight: w(c),
+                    next,
+                },
+            );
+            prev = next;
+        }
+        fst.set_final(prev, TropicalWeight::ONE);
+        fst
+    }
+
+    /// Cost of the single accepting path of a linear FST, if any.
+    fn linear_cost(fst: &Fst) -> Option<(f32, Vec<u32>)> {
+        let mut s = fst.start()?;
+        let mut cost = 0.0;
+        let mut olabels = Vec::new();
+        loop {
+            if fst.is_final(s) && fst.arcs(s).is_empty() {
+                cost += fst.final_weight(s).0;
+                return Some((cost, olabels));
+            }
+            if fst.arcs(s).len() != 1 {
+                return None;
+            }
+            let arc = fst.arcs(s)[0];
+            cost += arc.weight.0;
+            if arc.olabel != EPSILON {
+                olabels.push(arc.olabel);
+            }
+            s = arc.next;
+        }
+    }
+
+    #[test]
+    fn matched_composition_multiplies_weights() {
+        let a = chain(&[(1, 10, 0.5), (2, 11, 1.0)]);
+        let b = chain(&[(10, 20, 0.25), (11, 21, 2.0)]);
+        let c = compose(&a, &b).unwrap();
+        let (cost, olabels) = linear_cost(&c).unwrap();
+        assert!((cost - 3.75).abs() < 1e-6);
+        assert_eq!(olabels, vec![20, 21]);
+    }
+
+    #[test]
+    fn one_sided_epsilons_advance_alone() {
+        // A emits ε in the middle; B consumes ε at its start.
+        let a = chain(&[(1, 10, 0.5), (2, EPSILON, 0.5), (3, 11, 0.5)]);
+        let b = chain(&[(EPSILON, 30, 0.25), (10, 20, 0.25), (11, 21, 0.25)]);
+        let c = compose(&a, &b).unwrap();
+        // The composed machine still accepts exactly input 1·2·3 with total
+        // cost 1.5 + 0.75 and outputs 30·20·21.
+        let trimmed = c.trim();
+        assert!(trimmed.num_states() > 0, "composition lost the path");
+        // Walk the cheapest path by brute force (tiny machine).
+        let mut best = f32::INFINITY;
+        fn dfs(fst: &Fst, s: u32, cost: f32, depth: usize, best: &mut f32) {
+            if depth > 10 {
+                return;
+            }
+            if fst.is_final(s) {
+                *best = best.min(cost + fst.final_weight(s).0);
+            }
+            for arc in fst.arcs(s) {
+                dfs(fst, arc.next, cost + arc.weight.0, depth + 1, best);
+            }
+        }
+        dfs(&trimmed, trimmed.start().unwrap(), 0.0, 0, &mut best);
+        assert!((best - 2.25).abs() < 1e-6, "best {best}");
+    }
+
+    #[test]
+    fn mismatched_labels_compose_to_nothing() {
+        let a = chain(&[(1, 10, 0.0)]);
+        let b = chain(&[(99, 20, 0.0)]);
+        let c = compose(&a, &b).unwrap().trim();
+        assert_eq!(c.num_states(), 0);
+    }
+
+    #[test]
+    fn empty_operand_is_an_error() {
+        let a = Fst::new();
+        let b = chain(&[(1, 1, 0.0)]);
+        assert!(matches!(compose(&a, &b).unwrap_err(), Error::Graph { .. }));
+    }
+}

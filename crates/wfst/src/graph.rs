@@ -1,0 +1,230 @@
+//! The transducer representation every builder and the decoder share.
+//!
+//! Label conventions (fixed here, relied on everywhere):
+//! * label `0` is epsilon ([`EPSILON`]);
+//! * in H (and in the composed decoding graph) input labels are
+//!   `sub-phoneme class id + 1`;
+//! * in L/G (and on the output side everywhere) word labels are
+//!   `word id + 1`, and the phoneme labels L consumes / H emits are
+//!   `phoneme id + 1`.
+
+use crate::TropicalWeight;
+
+/// The reserved epsilon label: consumes/emits nothing.
+pub const EPSILON: u32 = 0;
+
+/// One transition.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Arc {
+    pub ilabel: u32,
+    pub olabel: u32,
+    pub weight: TropicalWeight,
+    pub next: u32,
+}
+
+/// A weighted finite-state transducer over the tropical semiring, stored as
+/// per-state adjacency lists. State `final_weight` of [`TropicalWeight::ZERO`]
+/// means "not final".
+#[derive(Clone, Debug, Default)]
+pub struct Fst {
+    arcs: Vec<Vec<Arc>>,
+    finals: Vec<TropicalWeight>,
+    start: Option<u32>,
+}
+
+impl Fst {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn add_state(&mut self) -> u32 {
+        self.arcs.push(Vec::new());
+        self.finals.push(TropicalWeight::ZERO);
+        (self.arcs.len() - 1) as u32
+    }
+
+    pub fn set_start(&mut self, state: u32) {
+        debug_assert!((state as usize) < self.arcs.len());
+        self.start = Some(state);
+    }
+
+    pub fn set_final(&mut self, state: u32, weight: TropicalWeight) {
+        self.finals[state as usize] = weight;
+    }
+
+    pub fn add_arc(&mut self, from: u32, arc: Arc) {
+        debug_assert!((arc.next as usize) < self.arcs.len());
+        self.arcs[from as usize].push(arc);
+    }
+
+    pub fn start(&self) -> Option<u32> {
+        self.start
+    }
+
+    pub fn num_states(&self) -> usize {
+        self.arcs.len()
+    }
+
+    pub fn num_arcs(&self) -> usize {
+        self.arcs.iter().map(Vec::len).sum()
+    }
+
+    pub fn arcs(&self, state: u32) -> &[Arc] {
+        &self.arcs[state as usize]
+    }
+
+    pub fn final_weight(&self, state: u32) -> TropicalWeight {
+        self.finals[state as usize]
+    }
+
+    pub fn is_final(&self, state: u32) -> bool {
+        self.finals[state as usize] != TropicalWeight::ZERO
+    }
+
+    /// True iff no arc consumes epsilon — the property the frame-synchronous
+    /// decoder requires (every transition eats exactly one frame).
+    pub fn is_input_eps_free(&self) -> bool {
+        self.arcs
+            .iter()
+            .all(|arcs| arcs.iter().all(|a| a.ilabel != EPSILON))
+    }
+
+    /// Drop states that are not both accessible (reachable from the start)
+    /// and coaccessible (can reach a final state). Composition leaves
+    /// dead-end pairs behind; trimming keeps the decoder from expanding
+    /// hypotheses that can never finish.
+    pub fn trim(&self) -> Fst {
+        let n = self.num_states();
+        let Some(start) = self.start else {
+            return Fst::new();
+        };
+        // Forward reachability.
+        let mut accessible = vec![false; n];
+        let mut stack = vec![start];
+        accessible[start as usize] = true;
+        while let Some(s) = stack.pop() {
+            for arc in self.arcs(s) {
+                if !accessible[arc.next as usize] {
+                    accessible[arc.next as usize] = true;
+                    stack.push(arc.next);
+                }
+            }
+        }
+        // Backward reachability from final states over reversed arcs.
+        let mut rev: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for s in 0..n {
+            for arc in &self.arcs[s] {
+                rev[arc.next as usize].push(s as u32);
+            }
+        }
+        let mut coaccessible = vec![false; n];
+        let mut stack: Vec<u32> = (0..n as u32).filter(|&s| self.is_final(s)).collect();
+        for &s in &stack {
+            coaccessible[s as usize] = true;
+        }
+        while let Some(s) = stack.pop() {
+            for &p in &rev[s as usize] {
+                if !coaccessible[p as usize] {
+                    coaccessible[p as usize] = true;
+                    stack.push(p);
+                }
+            }
+        }
+        // Renumber survivors.
+        let mut remap = vec![u32::MAX; n];
+        let mut out = Fst::new();
+        for s in 0..n {
+            if accessible[s] && coaccessible[s] {
+                remap[s] = out.add_state();
+                out.finals[remap[s] as usize] = self.finals[s];
+            }
+        }
+        if remap[start as usize] == u32::MAX {
+            return Fst::new(); // no start-to-final path at all
+        }
+        out.set_start(remap[start as usize]);
+        for s in 0..n {
+            if remap[s] == u32::MAX {
+                continue;
+            }
+            for arc in &self.arcs[s] {
+                if remap[arc.next as usize] != u32::MAX {
+                    out.add_arc(
+                        remap[s],
+                        Arc {
+                            next: remap[arc.next as usize],
+                            ..*arc
+                        },
+                    );
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn w(c: f32) -> TropicalWeight {
+        TropicalWeight(c)
+    }
+
+    #[test]
+    fn build_and_query() {
+        let mut fst = Fst::new();
+        let s0 = fst.add_state();
+        let s1 = fst.add_state();
+        fst.set_start(s0);
+        fst.set_final(s1, w(0.5));
+        fst.add_arc(
+            s0,
+            Arc {
+                ilabel: 1,
+                olabel: 2,
+                weight: w(1.0),
+                next: s1,
+            },
+        );
+        assert_eq!(fst.start(), Some(s0));
+        assert_eq!(fst.num_states(), 2);
+        assert_eq!(fst.num_arcs(), 1);
+        assert!(fst.is_final(s1) && !fst.is_final(s0));
+        assert!(fst.is_input_eps_free());
+        fst.add_arc(
+            s1,
+            Arc {
+                ilabel: EPSILON,
+                olabel: EPSILON,
+                weight: w(0.0),
+                next: s0,
+            },
+        );
+        assert!(!fst.is_input_eps_free());
+    }
+
+    #[test]
+    fn trim_drops_dead_ends_and_unreachable_states() {
+        let mut fst = Fst::new();
+        let s0 = fst.add_state();
+        let s1 = fst.add_state();
+        let dead_end = fst.add_state(); // no path to a final state
+        let unreachable = fst.add_state();
+        fst.set_start(s0);
+        fst.set_final(s1, TropicalWeight::ONE);
+        fst.set_final(unreachable, TropicalWeight::ONE);
+        let arc = |ilabel, next| Arc {
+            ilabel,
+            olabel: EPSILON,
+            weight: w(1.0),
+            next,
+        };
+        fst.add_arc(s0, arc(1, s1));
+        fst.add_arc(s0, arc(2, dead_end));
+        let trimmed = fst.trim();
+        assert_eq!(trimmed.num_states(), 2);
+        assert_eq!(trimmed.num_arcs(), 1);
+        assert!(trimmed.is_final(1));
+    }
+}

@@ -6,9 +6,20 @@
 //! and composition into the epsilon-free decoding graph the Viterbi search
 //! walks.
 //!
-//! **Status:** skeleton (ISSUE 1 creates the workspace; graph builders and
-//! composition land with the decoder PR). The semiring below is final — it
-//! is the algebra every later component agrees on.
+//! The semiring below is the algebra every component agrees on. [`graph`]
+//! holds the transducer representation, [`compose`] the (filterless, exact
+//! under idempotence) composition, and [`builders`] the G/L/H constructions
+//! whose composition `H ∘ (L ∘ G)` is input-epsilon-free by construction —
+//! see [`builders::build_decoding_graph`].
+
+pub mod builders;
+pub mod compose;
+pub mod graph;
+
+pub use builders::{build_decoding_graph, build_g, build_h, build_l, class_label, label_class};
+pub use compose::compose;
+pub use darkside_error::Error;
+pub use graph::{Arc, Fst, EPSILON};
 
 /// A weight in the tropical semiring: a cost in −log space.
 ///

@@ -1,0 +1,153 @@
+//! Randomized properties of composition over the tropical semiring
+//! (ISSUE 2 satellite: `darkside_nn::check` as the proptest stand-in).
+//!
+//! Weights are quarter-integers so every ⊗ chain is exact in f32 and the
+//! brute-force path enumeration compares with `==`-grade tolerance.
+
+use darkside_nn::check::run_cases;
+use darkside_nn::Rng;
+use darkside_wfst::{compose, Arc, Fst, TropicalWeight};
+
+const MAX_LABEL: u32 = 3;
+const PATH_DEPTH: usize = 4;
+
+/// A random epsilon-free transducer: 2–6 states, 1–3 arcs per state,
+/// labels in `1..=MAX_LABEL`, quarter-integer weights, ≥1 final state.
+fn random_fst(rng: &mut Rng) -> Fst {
+    let n = 2 + rng.below(5);
+    let mut fst = Fst::new();
+    for _ in 0..n {
+        fst.add_state();
+    }
+    fst.set_start(0);
+    for s in 0..n as u32 {
+        for _ in 0..1 + rng.below(3) {
+            fst.add_arc(
+                s,
+                Arc {
+                    ilabel: 1 + rng.below(MAX_LABEL as usize) as u32,
+                    olabel: 1 + rng.below(MAX_LABEL as usize) as u32,
+                    weight: TropicalWeight(rng.below(8) as f32 * 0.25),
+                    next: rng.below(n) as u32,
+                },
+            );
+        }
+    }
+    for s in 0..n as u32 {
+        if rng.next_f32() < 0.4 {
+            fst.set_final(s, TropicalWeight(rng.below(4) as f32 * 0.25));
+        }
+    }
+    if (0..n as u32).all(|s| !fst.is_final(s)) {
+        fst.set_final((n - 1) as u32, TropicalWeight::ONE);
+    }
+    fst
+}
+
+/// All accepting paths up to `PATH_DEPTH` arcs: `(ilabels, olabels, cost)`.
+fn accepting_paths(fst: &Fst) -> Vec<(Vec<u32>, Vec<u32>, f32)> {
+    let mut out = Vec::new();
+    let mut stack = vec![(fst.start().unwrap(), Vec::new(), Vec::new(), 0.0f32)];
+    while let Some((s, ilabels, olabels, cost)) = stack.pop() {
+        if fst.is_final(s) {
+            out.push((
+                ilabels.clone(),
+                olabels.clone(),
+                cost + fst.final_weight(s).0,
+            ));
+        }
+        if ilabels.len() == PATH_DEPTH {
+            continue;
+        }
+        for arc in fst.arcs(s) {
+            let mut i = ilabels.clone();
+            let mut o = olabels.clone();
+            i.push(arc.ilabel);
+            o.push(arc.olabel);
+            stack.push((arc.next, i, o, cost + arc.weight.0));
+        }
+    }
+    out
+}
+
+/// ⊕ over a set of path costs (min; ZERO when empty).
+fn path_sum(costs: impl Iterator<Item = f32>) -> f32 {
+    costs.fold(f32::INFINITY, f32::min)
+}
+
+#[test]
+fn composition_matches_brute_force_path_pairing() {
+    run_cases(0xC0_5E, 60, |rng, _case| {
+        let a = random_fst(rng);
+        let b = random_fst(rng);
+        let c = compose(&a, &b).expect("both operands have start states");
+
+        let paths_a = accepting_paths(&a);
+        let paths_b = accepting_paths(&b);
+        // ⊕ over every (x→y, y→z) pairing: the definition of composition.
+        let want = path_sum(paths_a.iter().flat_map(|(_, oa, ca)| {
+            paths_b
+                .iter()
+                .filter(move |(ib, _, _)| ib == oa)
+                .map(move |(_, _, cb)| ca + cb)
+        }));
+        // Both operands are eps-free, so composed paths advance both sides
+        // each arc and the same depth cap enumerates the same path set.
+        let got = path_sum(accepting_paths(&c).into_iter().map(|(_, _, c)| c));
+        assert!(
+            (want.is_infinite() && got.is_infinite()) || (want - got).abs() < 1e-4,
+            "shortest composed cost: brute force {want}, compose() {got}"
+        );
+    });
+}
+
+#[test]
+fn composing_with_identity_preserves_shortest_costs() {
+    run_cases(0x1D, 40, |rng, _case| {
+        let a = random_fst(rng);
+        // The identity transducer on the label alphabet.
+        let mut id = Fst::new();
+        let s = id.add_state();
+        id.set_start(s);
+        id.set_final(s, TropicalWeight::ONE);
+        for l in 1..=MAX_LABEL {
+            id.add_arc(
+                s,
+                Arc {
+                    ilabel: l,
+                    olabel: l,
+                    weight: TropicalWeight::ONE,
+                    next: s,
+                },
+            );
+        }
+        let c = compose(&a, &id).expect("compose with identity");
+        let want = path_sum(accepting_paths(&a).into_iter().map(|(_, _, c)| c));
+        let got = path_sum(accepting_paths(&c).into_iter().map(|(_, _, c)| c));
+        assert!(
+            (want.is_infinite() && got.is_infinite()) || (want - got).abs() < 1e-4,
+            "identity composition changed shortest cost: {want} vs {got}"
+        );
+    });
+}
+
+#[test]
+fn semiring_axioms_hold_on_random_weights() {
+    run_cases(0xA1, 200, |rng, _case| {
+        let w = |rng: &mut Rng| TropicalWeight(rng.below(64) as f32 * 0.25 - 4.0);
+        let (a, b, c) = (w(rng), w(rng), w(rng));
+        // ⊕ commutative + associative, ⊗ associative.
+        assert_eq!(a.plus(b), b.plus(a));
+        assert_eq!(a.plus(b.plus(c)), a.plus(b).plus(c));
+        assert_eq!(a.times(b.times(c)), a.times(b).times(c));
+        // Identities and annihilator.
+        assert_eq!(a.plus(TropicalWeight::ZERO), a);
+        assert_eq!(a.times(TropicalWeight::ONE), a);
+        assert_eq!(a.times(TropicalWeight::ZERO), TropicalWeight::ZERO);
+        // Distributivity (exact: quarter-integer costs).
+        assert_eq!(a.times(b.plus(c)), a.times(b).plus(a.times(c)));
+        // Idempotence of ⊕ — the property that makes filterless
+        // composition exact for shortest paths.
+        assert_eq!(a.plus(a), a);
+    });
+}

@@ -28,7 +28,7 @@ mod tests {
         let _ = crate::dnn_accel::DnnAccelConfig::paper();
         let _ = crate::hwmodel::EnergyAccount::default();
         let _ = crate::nn::Matrix::zeros(1, 1);
-        let _ = crate::pruning::Csr::from_dense(&crate::nn::Matrix::zeros(1, 1));
+        let _ = crate::pruning::Csr::from_dense(&crate::nn::Matrix::zeros(1, 1)).unwrap();
         let _ = crate::viterbi_accel::NBestTableConfig::paper();
         let _ = crate::wfst::TropicalWeight::ONE;
     }

@@ -7,7 +7,7 @@
 //! through a pruned-and-rebuilt layer.
 
 use darkside::nn::check::{assert_matrices_close, assert_slices_close, random_matrix, run_cases};
-use darkside::nn::{gemm_naive, gemm_with_threads, Frame, Matrix, Mlp, Rng};
+use darkside::nn::{gemm_naive, gemm_with_threads, Frame, FrameScorer, Matrix, Mlp, Rng};
 use darkside::pruning::{prune_to_sparsity, Csr, PrunedAffine};
 
 #[test]
@@ -80,7 +80,7 @@ fn csr_spmv_matches_dense_gemv() {
             rng.normal()
         }
     });
-    let csr = Csr::from_dense(&dense);
+    let csr = Csr::from_dense(&dense).unwrap();
     assert!(csr.sparsity() > 0.8);
     let x: Vec<f32> = (0..128).map(|_| rng.normal()).collect();
     let mut want = vec![0.0f32; 96];
