@@ -1,7 +1,7 @@
 //! Shared table formatting + shape-target checking for the experiment
-//! binaries (`exp_fig3`, `exp_fig4`, `pipeline_smoke`).
+//! binaries (`exp_fig3`, `exp_fig4`, `exp_fig7`, `pipeline_smoke`).
 
-use darkside_core::PipelineReport;
+use darkside_core::{PipelineReport, PolicyGridReport};
 
 /// Print the run provenance line every experiment starts with.
 pub fn print_run_header(name: &str, report: &PipelineReport) {
@@ -38,6 +38,30 @@ pub fn print_level_table(report: &PipelineReport) {
             level.mean_hypotheses,
             level.mean_best_cost
         );
+    }
+}
+
+/// Print the per-level × per-policy search-effort table (`exp_fig7`;
+/// markdown-ish, pasteable into EXPERIMENTS.md).
+pub fn print_policy_grid(report: &PolicyGridReport) {
+    println!(
+        "| {:<7} | {:<7} | {:>10} | {:>7} | {:>9} | {:>9} | {:>9} |",
+        "level", "policy", "hyps/frame", "WER%", "evictions", "overflows", "occupancy"
+    );
+    println!("|---------|---------|------------|---------|-----------|-----------|-----------|");
+    for level in &report.levels {
+        for cell in &level.per_policy {
+            println!(
+                "| {:<7} | {:<7} | {:>10.1} | {:>7.2} | {:>9} | {:>9} | {:>9.1} |",
+                level.label,
+                cell.policy,
+                cell.mean_hypotheses,
+                cell.wer_percent,
+                cell.evictions,
+                cell.overflows,
+                cell.mean_table_occupancy
+            );
+        }
     }
 }
 

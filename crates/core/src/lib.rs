@@ -12,9 +12,13 @@
 //! prune → decode study.
 
 pub mod pipeline;
+pub mod policy;
 
 pub use darkside_error::Error;
-pub use pipeline::{LevelReport, Pipeline, PipelineConfig, PipelineReport};
+pub use pipeline::{
+    LevelReport, Pipeline, PipelineConfig, PipelineReport, PolicyGridLevel, PolicyGridReport,
+};
+pub use policy::PolicyKind;
 
 pub use darkside_acoustic as acoustic;
 pub use darkside_decoder as decoder;

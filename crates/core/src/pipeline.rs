@@ -9,10 +9,10 @@
 //! through the *same* [`FrameScorer`]-driven decode path — and returns the
 //! per-level [`LevelReport`]s that EXPERIMENTS.md tables are printed from.
 
-use crate::{acoustic, decoder, nn, pruning, wfst};
+use crate::{acoustic, decoder, nn, pruning, wfst, PolicyKind};
 use acoustic::{training_set, Corpus, CorpusConfig, Utterance};
 use darkside_error::Error;
-use decoder::{acoustic_costs, decode, BeamConfig, WerStats};
+use decoder::{acoustic_costs, decode_with_policy, BeamConfig, WerStats};
 use nn::{evaluate, FrameScorer, Mlp, Rng, SgdConfig, Trainer};
 use pruning::{prune_mlp_to_sparsity, PrunedMlp};
 use wfst::{build_decoding_graph, Fst};
@@ -35,6 +35,9 @@ pub struct PipelineConfig {
     pub train_utterances: usize,
     pub test_utterances: usize,
     pub beam: BeamConfig,
+    /// Which pruning policy every decode in [`Pipeline::run`] uses
+    /// (ISSUE 3; [`Pipeline::run_policy_grid`] sweeps several at once).
+    pub policy: PolicyKind,
     /// Global sparsity targets to sweep (the paper's 70/80/90 %).
     pub prune_levels: Vec<f64>,
     /// Seed for model init, training shuffles, and train/test sampling.
@@ -60,6 +63,7 @@ impl PipelineConfig {
             train_utterances: 300,
             test_utterances: 60,
             beam: BeamConfig::default(),
+            policy: PolicyKind::Beam,
             prune_levels: vec![0.70, 0.80, 0.90],
             seed: 0xDA_2C,
         }
@@ -94,6 +98,7 @@ impl PipelineConfig {
             train_utterances: 40,
             test_utterances: 8,
             beam: BeamConfig::default(),
+            policy: PolicyKind::Beam,
             prune_levels: vec![0.90],
             seed: 0x5310,
         }
@@ -133,6 +138,11 @@ impl PipelineConfig {
         self
     }
 
+    pub fn with_policy(mut self, policy: PolicyKind) -> Self {
+        self.policy = policy;
+        self
+    }
+
     pub fn with_prune_levels(mut self, levels: Vec<f64>) -> Self {
         self.prune_levels = levels;
         self
@@ -160,6 +170,9 @@ impl PipelineConfig {
         if self.prune_levels.iter().any(|&s| !(0.0..1.0).contains(&s)) {
             return fail(format!("prune levels {:?}", self.prune_levels));
         }
+        // Policy geometry problems (non-power-of-two sets, …) surface here
+        // rather than mid-run.
+        self.policy.build(&self.beam)?;
         Ok(())
     }
 }
@@ -170,6 +183,9 @@ impl PipelineConfig {
 pub struct LevelReport {
     /// `"dense"` or the sparsity percentage, e.g. `"90%"`.
     pub label: String,
+    /// Pruning-policy label this row was decoded under ("beam" / "unfold"
+    /// / "nbest").
+    pub policy: String,
     /// Achieved global sparsity of the scorer (0 for dense).
     pub sparsity: f64,
     /// Mean top-1 softmax probability over test frames (Fig. 3's y-axis).
@@ -182,6 +198,17 @@ pub struct LevelReport {
     pub mean_hypotheses: f64,
     /// Mean best-path cost per utterance.
     pub mean_best_cost: f64,
+    /// Total hypothesis-storage evictions across the test set (Fig. 7's
+    /// companion count; 0 for storage-free policies).
+    pub evictions: u64,
+    /// Total overflow/discard events across the test set.
+    pub overflows: u64,
+    /// Mean policy-storage occupancy per decoded frame.
+    pub mean_table_occupancy: f64,
+    /// Total hypothesis-storage reads across the test set.
+    pub table_reads: u64,
+    /// Total hypothesis-storage writes across the test set.
+    pub table_writes: u64,
 }
 
 /// The full study: dense row first, then one row per pruning level.
@@ -206,6 +233,31 @@ impl PipelineReport {
     pub fn pruned(&self) -> &[LevelReport] {
         &self.levels[1..]
     }
+}
+
+/// One pruning level decoded under every policy in the sweep — a row of
+/// the Fig. 7 table with one [`LevelReport`] per column.
+#[derive(Clone, Debug)]
+pub struct PolicyGridLevel {
+    /// `"dense"` or the sparsity percentage, e.g. `"90%"`.
+    pub label: String,
+    /// Achieved global sparsity of the scorer (0 for dense).
+    pub sparsity: f64,
+    /// One report per swept policy, in [`PolicyGridReport::policies`]
+    /// order. All share the same scorer, so confidence/accuracy columns
+    /// agree; the search columns are what differ.
+    pub per_policy: Vec<LevelReport>,
+}
+
+/// Per-level × per-policy study (ISSUE 3): the Fig. 7 reproduction —
+/// hypotheses/frame under a bounded N-best table stays roughly flat as
+/// pruning inflates the beam search.
+#[derive(Clone, Debug)]
+pub struct PolicyGridReport {
+    /// Column labels, in sweep order ("beam" / "unfold" / "nbest").
+    pub policies: Vec<String>,
+    /// Dense row first, then one row per configured pruning level.
+    pub levels: Vec<PolicyGridLevel>,
 }
 
 /// The end-to-end system. Construction ([`Pipeline::build`]) does the
@@ -265,14 +317,29 @@ impl Pipeline {
         })
     }
 
-    /// Decode the held-out set through `scorer` and aggregate the metrics.
-    /// Every score — dense or pruned — flows through this one method, so
-    /// level comparisons differ only in the [`FrameScorer`] behind them.
+    /// Decode the held-out set through `scorer` under the run's configured
+    /// policy. Every score — dense or pruned — flows through this one
+    /// path, so level comparisons differ only in the [`FrameScorer`]
+    /// behind them.
     pub fn evaluate_scorer(
         &self,
         label: &str,
         sparsity: f64,
         scorer: &dyn FrameScorer,
+    ) -> Result<LevelReport, Error> {
+        self.evaluate_scorer_with_policy(label, sparsity, scorer, &self.config.policy)
+    }
+
+    /// [`Pipeline::evaluate_scorer`] under an explicit [`PolicyKind`] —
+    /// the per-cell worker of [`Pipeline::run_policy_grid`]. A fresh
+    /// policy value is built per utterance (policies carry per-utterance
+    /// storage state and traffic counters).
+    pub fn evaluate_scorer_with_policy(
+        &self,
+        label: &str,
+        sparsity: f64,
+        scorer: &dyn FrameScorer,
+        kind: &PolicyKind,
     ) -> Result<LevelReport, Error> {
         let mut confidence = 0.0f64;
         let mut correct = 0usize;
@@ -280,6 +347,11 @@ impl Pipeline {
         let mut wer = WerStats::default();
         let mut hypotheses = 0.0f64;
         let mut best_cost = 0.0f64;
+        let mut evictions = 0u64;
+        let mut overflows = 0u64;
+        let mut occupancy = 0usize;
+        let mut table_reads = 0u64;
+        let mut table_writes = 0u64;
         for utt in &self.test_set {
             let scores = scorer.score_frames(&utt.frames);
             confidence += scores.mean_confidence() as f64 * utt.frames.len() as f64;
@@ -290,20 +362,32 @@ impl Pipeline {
             }
             frames += utt.frames.len();
             let costs = acoustic_costs(&scores, &self.config.beam);
-            let result = decode(&self.graph, &costs, &self.config.beam)?;
+            let mut policy = kind.build(&self.config.beam)?;
+            let result = decode_with_policy(&self.graph, &costs, policy.as_mut())?;
             wer.accumulate(&decoder::word_errors(&utt.words, &result.words));
             hypotheses += result.stats.mean_hypotheses();
             best_cost += result.cost as f64;
+            evictions += result.stats.evictions;
+            overflows += result.stats.overflows;
+            occupancy += result.stats.table_occupancy.iter().sum::<usize>();
+            table_reads += result.stats.table_reads;
+            table_writes += result.stats.table_writes;
         }
         let utts = self.test_set.len() as f64;
         Ok(LevelReport {
             label: label.to_string(),
+            policy: kind.label().to_string(),
             sparsity,
             mean_confidence: confidence / frames as f64,
             frame_accuracy: correct as f64 / frames as f64,
             wer_percent: wer.percent(),
             mean_hypotheses: hypotheses / utts,
             mean_best_cost: best_cost / utts,
+            evictions,
+            overflows,
+            mean_table_occupancy: occupancy as f64 / frames as f64,
+            table_reads,
+            table_writes,
         })
     }
 
@@ -362,6 +446,40 @@ impl Pipeline {
             model_params: self.model.num_params(),
             final_train_loss: self.final_train_loss,
             final_train_accuracy: self.final_train_accuracy,
+        })
+    }
+
+    /// Per-level × per-policy sweep: prune once per level, then decode the
+    /// same pruned scorer under every policy in `policies` (so the columns
+    /// differ only in hypothesis admission, never in the acoustic model).
+    pub fn run_policy_grid(&self, policies: &[PolicyKind]) -> Result<PolicyGridReport, Error> {
+        let mut levels = vec![self.grid_level("dense", 0.0, &self.model, policies)?];
+        for &target in &self.config.prune_levels {
+            let (pruned, sparsity) = self.prune_to(target)?;
+            let label = format!("{:.0}%", target * 100.0);
+            levels.push(self.grid_level(&label, sparsity, &pruned, policies)?);
+        }
+        Ok(PolicyGridReport {
+            policies: policies.iter().map(|p| p.label().to_string()).collect(),
+            levels,
+        })
+    }
+
+    fn grid_level(
+        &self,
+        label: &str,
+        sparsity: f64,
+        scorer: &dyn FrameScorer,
+        policies: &[PolicyKind],
+    ) -> Result<PolicyGridLevel, Error> {
+        let per_policy = policies
+            .iter()
+            .map(|kind| self.evaluate_scorer_with_policy(label, sparsity, scorer, kind))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(PolicyGridLevel {
+            label: label.to_string(),
+            sparsity,
+            per_policy,
         })
     }
 }

@@ -1,0 +1,69 @@
+//! Pipeline-level pruning-policy selection (ISSUE 3): one value that names
+//! which [`darkside_decoder::PruningPolicy`] every decode in a run uses,
+//! carried by [`crate::PipelineConfig`] and fanned out per-level by
+//! [`crate::Pipeline::run_policy_grid`].
+
+use darkside_decoder::{BeamConfig, BeamPolicy, PruningPolicy};
+use darkside_error::Error;
+use darkside_viterbi_accel::{
+    LooseNBestPolicy, NBestTableConfig, UnfoldHashConfig, UnfoldHashPolicy,
+};
+
+/// Which hypothesis-admission scheme the search runs under.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PolicyKind {
+    /// Classic software beam (the paper's "Baseline" search).
+    Beam,
+    /// UNFOLD's storage: large hash + backup buffer + overflow-to-memory.
+    /// Decodes identically to `Beam`; only the storage accounting differs.
+    UnfoldHash(UnfoldHashConfig),
+    /// The paper's loose N-best: K-way set-associative table with Max-Heap
+    /// replacement, bounding survivors per frame.
+    LooseNBest(NBestTableConfig),
+}
+
+impl PolicyKind {
+    /// Stable report label ("beam" / "unfold" / "nbest").
+    pub fn label(&self) -> &'static str {
+        match self {
+            PolicyKind::Beam => "beam",
+            PolicyKind::UnfoldHash(_) => "unfold",
+            PolicyKind::LooseNBest(_) => "nbest",
+        }
+    }
+
+    /// Instantiate a fresh policy value (one per utterance; policies carry
+    /// per-utterance traffic accounting).
+    pub fn build(&self, beam: &BeamConfig) -> Result<Box<dyn PruningPolicy>, Error> {
+        Ok(match self {
+            PolicyKind::Beam => Box::new(BeamPolicy::new(beam.beam)),
+            PolicyKind::UnfoldHash(cfg) => Box::new(UnfoldHashPolicy::new(*cfg, beam.beam)?),
+            PolicyKind::LooseNBest(cfg) => Box::new(LooseNBestPolicy::new(*cfg, beam.beam)?),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_and_buildability() {
+        let beam = BeamConfig::default();
+        for kind in [
+            PolicyKind::Beam,
+            PolicyKind::UnfoldHash(UnfoldHashConfig::scaled()),
+            PolicyKind::LooseNBest(NBestTableConfig::paper()),
+        ] {
+            let policy = kind.build(&beam).unwrap();
+            assert_eq!(policy.name(), kind.label());
+        }
+        // Invalid geometry surfaces at build time.
+        assert!(PolicyKind::LooseNBest(NBestTableConfig {
+            entries: 24,
+            ways: 8
+        })
+        .build(&beam)
+        .is_err());
+    }
+}

@@ -1,9 +1,14 @@
-//! # darkside-decoder — software Viterbi beam search
+//! # darkside-decoder — policy-parameterized Viterbi search
 //!
 //! DESIGN.md §3: walks the `darkside-wfst` decoding graph over acoustic
-//! scores from `darkside-nn`. [`search::decode`] is the frame-synchronous
-//! token-passing beam search (with the per-frame hypothesis statistics the
-//! paper's Fig. 4 plots), [`wer`] scores hypotheses against references.
+//! scores from `darkside-nn`. [`search::SearchCore`] is the
+//! frame-synchronous token-passing recursion (with the per-frame hypothesis
+//! statistics the paper's Fig. 4 plots); every admit/evict/threshold
+//! decision is delegated to a [`policy::PruningPolicy`], so the classic
+//! beam ([`policy::BeamPolicy`], via [`search::decode`]), the UNFOLD-style
+//! hash, and the paper's loose N-best table (both in
+//! `darkside-viterbi-accel`) are drop-in swaps over one search core.
+//! [`wer`] scores hypotheses against references.
 //!
 //! The scoring interface: the decoder consumes per-frame **acoustic costs**
 //! (−log probabilities, scaled), produced in batch from
@@ -11,11 +16,13 @@
 //! [`darkside_nn::FrameScorer::score_frames`] call — the amortization the
 //! ISSUE 1 `batched_score` bench measures.
 
+pub mod policy;
 pub mod search;
 pub mod wer;
 
 pub use darkside_error::Error;
-pub use search::{decode, DecodeResult, DecodeStats};
+pub use policy::{Admit, BeamPolicy, FramePruneStats, PruningPolicy};
+pub use search::{decode, decode_with_policy, DecodeResult, DecodeStats, SearchCore};
 pub use wer::{word_errors, WerStats};
 
 use darkside_nn::{Matrix, Scores};

@@ -1,0 +1,132 @@
+//! The pruning-policy interface of the search core (ISSUE 3 tentpole).
+//!
+//! The paper's contribution (§IV, Figs. 7–9) is not the Viterbi recursion
+//! but *how hypotheses are admitted and evicted per frame*. This module
+//! fixes the contract between the policy-agnostic [`crate::SearchCore`]
+//! and any admission scheme:
+//!
+//! * while a frame is being expanded, the core calls
+//!   [`PruningPolicy::admit`] for **every** candidate hypothesis (one per
+//!   expanded arc, pre-merge) and mirrors the decision in its token map;
+//! * at frame end, [`PruningPolicy::end_frame`] reports the frame's
+//!   storage traffic plus an optional cost `cutoff` the core applies to
+//!   the survivors (the beam threshold lives here, not in the core).
+//!
+//! Policies that bound their storage (the paper's loose N-best table, the
+//! UNFOLD hash in `darkside-viterbi-accel`) answer [`Admit::Replace`] /
+//! [`Admit::Reject`]; the plain software beam ([`BeamPolicy`]) admits
+//! everything and prunes purely through the end-of-frame cutoff.
+
+/// Decision for one candidate hypothesis `(state, cost)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Admit {
+    /// Store the candidate. If the state is already held, this is an
+    /// update: the core keeps the cheaper of the held and candidate costs,
+    /// and a content-tracking policy must only answer `Accept` for a held
+    /// state when the candidate improves it.
+    Accept,
+    /// Discard the candidate (worse than the held entry, or no room and
+    /// not better than anything stored).
+    Reject,
+    /// Store the candidate, displacing `evicted` — the core forgets the
+    /// evicted state's token. The evicted state is never the candidate's
+    /// own (a held state is updated via `Accept`, not replaced).
+    Replace(u32),
+}
+
+/// Per-frame report from a policy: the survivor threshold plus the frame's
+/// hypothesis-storage traffic (all zero for storage-free policies).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct FramePruneStats {
+    /// Cost threshold applied to the frame's survivors (`None` = keep all
+    /// admitted tokens). Tokens with `cost > cutoff` are dropped.
+    pub cutoff: Option<f32>,
+    /// Entries displaced from bounded storage this frame.
+    pub evictions: u64,
+    /// Candidates that found no storage at all (set/backup full) — the
+    /// UNFOLD overflow-to-memory path, or the N-best table's full-set
+    /// discards.
+    pub overflows: u64,
+    /// Entries live in the policy's storage at frame end.
+    pub occupancy: usize,
+    /// Storage reads this frame (hash probes, tag compares).
+    pub reads: u64,
+    /// Storage writes this frame (inserts, in-place updates, spills).
+    pub writes: u64,
+}
+
+/// One per-frame hypothesis admission scheme. Implementations reset their
+/// per-frame state in [`PruningPolicy::end_frame`]; a fresh policy value is
+/// expected per utterance.
+pub trait PruningPolicy {
+    /// Stable identifier for reports ("beam", "nbest", "unfold").
+    fn name(&self) -> &'static str;
+
+    /// Decide the fate of one candidate hypothesis.
+    fn admit(&mut self, state: u32, cost: f32) -> Admit;
+
+    /// Close the frame: report traffic + the survivor cutoff, and reset
+    /// per-frame storage for the next frame.
+    fn end_frame(&mut self) -> FramePruneStats;
+}
+
+/// The classic software beam: admit every candidate, then cut survivors to
+/// a cost window around the frame's best. Bit-for-bit the pre-refactor
+/// `decode()` behavior.
+#[derive(Clone, Copy, Debug)]
+pub struct BeamPolicy {
+    beam: f32,
+    best: f32,
+}
+
+impl BeamPolicy {
+    pub fn new(beam: f32) -> Self {
+        Self {
+            beam,
+            best: f32::INFINITY,
+        }
+    }
+}
+
+impl PruningPolicy for BeamPolicy {
+    fn name(&self) -> &'static str {
+        "beam"
+    }
+
+    fn admit(&mut self, _state: u32, cost: f32) -> Admit {
+        // Running minimum over every candidate equals the minimum over the
+        // merged token map (merging keeps per-state minima), so the cutoff
+        // below matches the old merged-map-then-min computation exactly.
+        self.best = self.best.min(cost);
+        Admit::Accept
+    }
+
+    fn end_frame(&mut self) -> FramePruneStats {
+        let cutoff = self.best + self.beam;
+        self.best = f32::INFINITY;
+        FramePruneStats {
+            cutoff: Some(cutoff),
+            ..FramePruneStats::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn beam_tracks_the_frame_best_and_resets() {
+        let mut p = BeamPolicy::new(2.0);
+        assert_eq!(p.admit(3, 5.0), Admit::Accept);
+        assert_eq!(p.admit(4, 1.5), Admit::Accept);
+        assert_eq!(p.admit(5, 9.0), Admit::Accept);
+        let frame = p.end_frame();
+        assert_eq!(frame.cutoff, Some(3.5));
+        assert_eq!(frame.evictions, 0);
+        assert_eq!(frame.occupancy, 0);
+        // Next frame starts from a fresh best.
+        p.admit(6, 10.0);
+        assert_eq!(p.end_frame().cutoff, Some(12.0));
+    }
+}

@@ -1,4 +1,4 @@
-//! Frame-synchronous Viterbi beam search over the composed decoding graph.
+//! Frame-synchronous Viterbi search over the composed decoding graph.
 //!
 //! Token passing: each active graph state holds its best-path cost and a
 //! backpointer into a word-emission arena. Because the decoding graph is
@@ -6,22 +6,47 @@
 //! every frame advances every token by exactly one arc — there is no
 //! epsilon-closure inner loop, which is what makes the per-frame hypothesis
 //! count a faithful effort metric (the paper's Fig. 4 quantity).
+//!
+//! The search itself is policy-parameterized (ISSUE 3): [`SearchCore`] owns
+//! token propagation, the backpointer arena, and stats collection, and
+//! delegates every admit/evict/threshold decision to a
+//! [`PruningPolicy`](crate::PruningPolicy). [`decode`] is the beam-policy
+//! entry point (the pre-refactor behavior, bit for bit);
+//! [`decode_with_policy`] runs any policy through the same core.
+//!
+//! Determinism: active tokens are kept sorted by state id and expanded in
+//! that order, and survivors are materialized in sorted order, so
+//! equal-cost ties always resolve the same way — hash-map iteration order
+//! never influences the result (ISSUE 3 satellite).
 
+use crate::policy::{Admit, BeamPolicy, PruningPolicy};
 use crate::{BeamConfig, PROB_FLOOR};
 use darkside_error::Error;
 use darkside_nn::Matrix;
 use darkside_wfst::{label_class, Fst, EPSILON};
 use std::collections::HashMap;
 
-/// Per-frame search effort and quality traces (the paper's Fig. 4 inputs).
+/// Per-frame search effort and quality traces (the paper's Fig. 4 inputs),
+/// plus the pruning-policy storage counters (Fig. 7 inputs).
 #[derive(Clone, Debug, Default)]
 pub struct DecodeStats {
-    /// Tokens alive after beam pruning, per frame.
+    /// Tokens alive after pruning, per frame.
     pub active_tokens: Vec<usize>,
     /// Arcs expanded (hypotheses explored), per frame.
     pub arcs_expanded: Vec<usize>,
     /// Best-path cost after each frame.
     pub best_cost: Vec<f32>,
+    /// Entries live in the policy's hypothesis storage at each frame end
+    /// (all zero for storage-free policies such as the plain beam).
+    pub table_occupancy: Vec<usize>,
+    /// Total entries displaced from bounded storage over the utterance.
+    pub evictions: u64,
+    /// Total candidates that found no storage (overflow/discard path).
+    pub overflows: u64,
+    /// Total hypothesis-storage reads (hash probes, tag compares).
+    pub table_reads: u64,
+    /// Total hypothesis-storage writes (inserts, updates, spills).
+    pub table_writes: u64,
 }
 
 impl DecodeStats {
@@ -31,6 +56,14 @@ impl DecodeStats {
             return 0.0;
         }
         self.arcs_expanded.iter().sum::<usize>() as f64 / self.arcs_expanded.len() as f64
+    }
+
+    /// Mean policy-storage occupancy per frame (0 for storage-free policies).
+    pub fn mean_table_occupancy(&self) -> f64 {
+        if self.table_occupancy.is_empty() {
+            return 0.0;
+        }
+        self.table_occupancy.iter().sum::<usize>() as f64 / self.table_occupancy.len() as f64
     }
 }
 
@@ -42,7 +75,7 @@ pub struct DecodeResult {
     /// Total best-path cost (graph ⊗ acoustic ⊗ final).
     pub cost: f32,
     /// Whether the best path ended in a final state (false only when the
-    /// beam pruned every finishing hypothesis; the best mid-graph token is
+    /// policy pruned every finishing hypothesis; the best mid-graph token is
     /// returned so the pipeline can still score the utterance).
     pub reached_final: bool,
     pub stats: DecodeStats,
@@ -64,23 +97,212 @@ struct WordLink {
     olabel: u32,
 }
 
-/// Decode one utterance's acoustic-cost matrix (`frames × classes`, from
-/// [`crate::acoustic_costs`]) against the decoding graph.
-pub fn decode(graph: &Fst, costs: &Matrix, config: &BeamConfig) -> Result<DecodeResult, Error> {
-    let start = graph
-        .start()
-        .ok_or_else(|| Error::graph("decode", "graph has no start state".to_string()))?;
-    if !graph.is_input_eps_free() {
-        return Err(Error::graph(
-            "decode",
-            "graph has input epsilons; decode needs one frame per arc".to_string(),
-        ));
+/// A merged-but-not-yet-pruned hypothesis for one target state.
+#[derive(Clone, Copy)]
+struct Candidate {
+    cost: f32,
+    parent: u32,
+    olabel: u32,
+}
+
+/// The policy-agnostic frame-synchronous search core: token propagation,
+/// the backpointer arena, and stats collection. Every admit/evict/threshold
+/// decision is delegated to the [`PruningPolicy`] passed to
+/// [`SearchCore::advance`], so beam, UNFOLD-style hash, and the paper's
+/// loose N-best are drop-in swaps over the identical recursion.
+///
+/// Invariant kept with content-tracking policies: after every frame, the
+/// core's token set equals the set of states the policy's storage holds
+/// (minus any tokens the end-of-frame cutoff removed) — `Accept` upserts,
+/// `Replace` forgets the evicted state, `Reject` leaves the map untouched.
+pub struct SearchCore<'a> {
+    graph: &'a Fst,
+    arena: Vec<WordLink>,
+    /// Active tokens, sorted by state id (deterministic expansion order).
+    tokens: Vec<(u32, Token)>,
+    /// Scratch merge map for the frame under construction (reused).
+    next: HashMap<u32, Candidate>,
+    stats: DecodeStats,
+    frame: usize,
+}
+
+impl<'a> SearchCore<'a> {
+    /// Seed the search at the graph's start state. Fails on a missing start
+    /// state or a graph with input epsilons (the frame-synchronous recursion
+    /// needs exactly one consumed frame per arc).
+    pub fn new(graph: &'a Fst) -> Result<Self, Error> {
+        let start = graph
+            .start()
+            .ok_or_else(|| Error::graph("decode", "graph has no start state".to_string()))?;
+        if !graph.is_input_eps_free() {
+            return Err(Error::graph(
+                "decode",
+                "graph has input epsilons; decode needs one frame per arc".to_string(),
+            ));
+        }
+        Ok(Self {
+            graph,
+            arena: Vec::new(),
+            tokens: vec![(
+                start,
+                Token {
+                    cost: 0.0,
+                    backpointer: NO_BACKPOINTER,
+                },
+            )],
+            next: HashMap::new(),
+            stats: DecodeStats::default(),
+            frame: 0,
+        })
     }
-    let max_ilabel = (0..graph.num_states() as u32)
-        .flat_map(|s| graph.arcs(s))
-        .map(|a| a.ilabel)
-        .max()
-        .unwrap_or(EPSILON);
+
+    /// Advance every token by one arc over one frame of acoustic costs
+    /// (indexed by class id), consulting `policy` for every candidate and
+    /// applying its end-of-frame cutoff to the survivors.
+    pub fn advance(&mut self, frame: &[f32], policy: &mut dyn PruningPolicy) -> Result<(), Error> {
+        let mut expanded = 0usize;
+        self.next.clear();
+        for &(state, token) in &self.tokens {
+            for arc in self.graph.arcs(state) {
+                expanded += 1;
+                let cost = token.cost + arc.weight.0 + frame[label_class(arc.ilabel)];
+                match policy.admit(arc.next, cost) {
+                    Admit::Reject => {}
+                    Admit::Accept => upsert(
+                        &mut self.next,
+                        arc.next,
+                        cost,
+                        token.backpointer,
+                        arc.olabel,
+                    ),
+                    Admit::Replace(evicted) => {
+                        self.next.remove(&evicted);
+                        upsert(
+                            &mut self.next,
+                            arc.next,
+                            cost,
+                            token.backpointer,
+                            arc.olabel,
+                        );
+                    }
+                }
+            }
+        }
+        if self.next.is_empty() {
+            return Err(Error::graph(
+                "decode",
+                format!("all hypotheses died at frame {}", self.frame),
+            ));
+        }
+        let best = self
+            .next
+            .values()
+            .map(|c| c.cost)
+            .fold(f32::INFINITY, f32::min);
+        let prune = policy.end_frame();
+        let cutoff = prune.cutoff.unwrap_or(f32::INFINITY);
+        // Deterministic survivor order: sorted by state id, so the arena
+        // layout and equal-cost tie resolution never depend on hash-map
+        // iteration order. Word links materialize for survivors only,
+        // keeping the arena proportional to what actually lives on.
+        let mut survivors: Vec<(u32, Candidate)> = self.next.drain().collect();
+        survivors.sort_unstable_by_key(|&(state, _)| state);
+        self.tokens.clear();
+        for (state, cand) in survivors {
+            if cand.cost > cutoff {
+                continue;
+            }
+            let backpointer = if cand.olabel == EPSILON {
+                cand.parent
+            } else {
+                self.arena.push(WordLink {
+                    prev: cand.parent,
+                    olabel: cand.olabel,
+                });
+                (self.arena.len() - 1) as u32
+            };
+            self.tokens.push((
+                state,
+                Token {
+                    cost: cand.cost,
+                    backpointer,
+                },
+            ));
+        }
+        self.stats.active_tokens.push(self.tokens.len());
+        self.stats.arcs_expanded.push(expanded);
+        self.stats.best_cost.push(best);
+        self.stats.table_occupancy.push(prune.occupancy);
+        self.stats.evictions += prune.evictions;
+        self.stats.overflows += prune.overflows;
+        self.stats.table_reads += prune.reads;
+        self.stats.table_writes += prune.writes;
+        self.frame += 1;
+        Ok(())
+    }
+
+    /// Pick the best finishing hypothesis (⊗ final weight; falling back to
+    /// the best mid-graph token when every finisher was pruned) and trace
+    /// its word sequence back through the arena.
+    pub fn finish(self) -> DecodeResult {
+        let finisher = self
+            .tokens
+            .iter()
+            .filter(|&&(s, _)| self.graph.is_final(s))
+            .map(|&(s, tok)| (tok.cost + self.graph.final_weight(s).0, tok.backpointer))
+            .min_by(|a, b| a.0.total_cmp(&b.0));
+        let (cost, backpointer, reached_final) = match finisher {
+            Some((cost, bp)) => (cost, bp, true),
+            None => {
+                let &(_, tok) = self
+                    .tokens
+                    .iter()
+                    .min_by(|a, b| a.1.cost.total_cmp(&b.1.cost))
+                    .expect("token set is non-empty after every frame");
+                (tok.cost, tok.backpointer, false)
+            }
+        };
+        let mut words = Vec::new();
+        let mut bp = backpointer;
+        while bp != NO_BACKPOINTER {
+            let link = &self.arena[bp as usize];
+            words.push(link.olabel - 1);
+            bp = link.prev;
+        }
+        words.reverse();
+        DecodeResult {
+            words,
+            cost,
+            reached_final,
+            stats: self.stats,
+        }
+    }
+}
+
+/// Min-merge a candidate into the frame's token map (the Viterbi ⊕).
+fn upsert(next: &mut HashMap<u32, Candidate>, state: u32, cost: f32, parent: u32, olabel: u32) {
+    let entry = next.entry(state).or_insert(Candidate {
+        cost: f32::INFINITY,
+        parent: NO_BACKPOINTER,
+        olabel: EPSILON,
+    });
+    if cost < entry.cost {
+        *entry = Candidate {
+            cost,
+            parent,
+            olabel,
+        };
+    }
+}
+
+/// Decode one utterance's acoustic-cost matrix (`frames × classes`, from
+/// [`crate::acoustic_costs`]) under any pruning policy.
+pub fn decode_with_policy(
+    graph: &Fst,
+    costs: &Matrix,
+    policy: &mut dyn PruningPolicy,
+) -> Result<DecodeResult, Error> {
+    let max_ilabel = graph.max_ilabel();
     if max_ilabel != EPSILON && label_class(max_ilabel) >= costs.cols() {
         return Err(Error::shape(
             "decode",
@@ -91,99 +313,18 @@ pub fn decode(graph: &Fst, costs: &Matrix, config: &BeamConfig) -> Result<Decode
             ),
         ));
     }
-
-    let mut arena: Vec<WordLink> = Vec::new();
-    let mut tokens: HashMap<u32, Token> = HashMap::new();
-    tokens.insert(
-        start,
-        Token {
-            cost: 0.0,
-            backpointer: NO_BACKPOINTER,
-        },
-    );
-    let mut stats = DecodeStats::default();
-
+    let mut core = SearchCore::new(graph)?;
     for t in 0..costs.rows() {
-        let frame = costs.row(t);
-        // (cost, parent backpointer, pending word) per target state.
-        let mut next: HashMap<u32, (f32, u32, u32)> = HashMap::new();
-        let mut expanded = 0usize;
-        for (&state, token) in &tokens {
-            for arc in graph.arcs(state) {
-                expanded += 1;
-                let cost = token.cost + arc.weight.0 + frame[label_class(arc.ilabel)];
-                let entry =
-                    next.entry(arc.next)
-                        .or_insert((f32::INFINITY, NO_BACKPOINTER, EPSILON));
-                if cost < entry.0 {
-                    *entry = (cost, token.backpointer, arc.olabel);
-                }
-            }
-        }
-        if next.is_empty() {
-            return Err(Error::graph(
-                "decode",
-                format!("all hypotheses died at frame {t}"),
-            ));
-        }
-        // Beam pruning around the frame's best, then materialize word links
-        // for the survivors only (keeps the arena proportional to survivors).
-        let best = next
-            .values()
-            .map(|&(c, _, _)| c)
-            .fold(f32::INFINITY, f32::min);
-        let cutoff = best + config.beam;
-        tokens.clear();
-        for (state, (cost, parent, olabel)) in next {
-            if cost > cutoff {
-                continue;
-            }
-            let backpointer = if olabel == EPSILON {
-                parent
-            } else {
-                arena.push(WordLink {
-                    prev: parent,
-                    olabel,
-                });
-                (arena.len() - 1) as u32
-            };
-            tokens.insert(state, Token { cost, backpointer });
-        }
-        stats.active_tokens.push(tokens.len());
-        stats.arcs_expanded.push(expanded);
-        stats.best_cost.push(best);
+        core.advance(costs.row(t), policy)?;
     }
+    Ok(core.finish())
+}
 
-    // Prefer hypotheses that finish in a final state (⊗ final weight).
-    let finisher = tokens
-        .iter()
-        .filter(|(&s, _)| graph.is_final(s))
-        .map(|(&s, tok)| (tok.cost + graph.final_weight(s).0, tok.backpointer, s))
-        .min_by(|a, b| a.0.total_cmp(&b.0));
-    let (cost, backpointer, reached_final) = match finisher {
-        Some((cost, bp, _)) => (cost, bp, true),
-        None => {
-            let (_, tok) = tokens
-                .iter()
-                .min_by(|a, b| a.1.cost.total_cmp(&b.1.cost))
-                .expect("token set is non-empty after every frame");
-            (tok.cost, tok.backpointer, false)
-        }
-    };
-    let mut words = Vec::new();
-    let mut bp = backpointer;
-    while bp != NO_BACKPOINTER {
-        let link = &arena[bp as usize];
-        words.push(link.olabel - 1);
-        bp = link.prev;
-    }
-    words.reverse();
-    Ok(DecodeResult {
-        words,
-        cost,
-        reached_final,
-        stats,
-    })
+/// Decode under the classic beam policy (the [`BeamConfig`] entry point
+/// every pre-ISSUE-3 call site uses).
+pub fn decode(graph: &Fst, costs: &Matrix, config: &BeamConfig) -> Result<DecodeResult, Error> {
+    let mut policy = BeamPolicy::new(config.beam);
+    decode_with_policy(graph, costs, &mut policy)
 }
 
 /// Floor of the acoustic cost scale: with probabilities clamped at
@@ -251,6 +392,10 @@ mod tests {
         assert_eq!(r.stats.active_tokens.len(), 3);
         assert_eq!(r.stats.arcs_expanded[0], 2); // start state has 2 arcs
         assert!(r.stats.mean_hypotheses() > 0.0);
+        // The plain beam has no hypothesis storage to account for.
+        assert_eq!(r.stats.evictions, 0);
+        assert_eq!(r.stats.overflows, 0);
+        assert_eq!(r.stats.mean_table_occupancy(), 0.0);
     }
 
     #[test]
@@ -309,5 +454,93 @@ mod tests {
         assert!(r.words.is_empty());
         // Start state is not final in the toy graph.
         assert!(!r.reached_final);
+    }
+
+    /// A policy that rejects everything — the core must report the died-out
+    /// frame as an error rather than panicking or returning an empty path.
+    struct RejectAll;
+    impl PruningPolicy for RejectAll {
+        fn name(&self) -> &'static str {
+            "reject-all"
+        }
+        fn admit(&mut self, _state: u32, _cost: f32) -> Admit {
+            Admit::Reject
+        }
+        fn end_frame(&mut self) -> crate::FramePruneStats {
+            crate::FramePruneStats::default()
+        }
+    }
+
+    #[test]
+    fn a_policy_that_rejects_everything_dies_cleanly() {
+        let g = toy_graph();
+        let costs = Matrix::new(1, 2, vec![0.1, 0.1]).unwrap();
+        let err = decode_with_policy(&g, &costs, &mut RejectAll).unwrap_err();
+        assert!(matches!(err, Error::Graph { .. }));
+    }
+
+    /// A policy that keeps only the single cheapest state per frame by
+    /// evicting whatever it previously held — exercises `Admit::Replace`
+    /// bookkeeping in the core.
+    struct KeepOne {
+        held: Option<(u32, f32)>,
+    }
+    impl PruningPolicy for KeepOne {
+        fn name(&self) -> &'static str {
+            "keep-one"
+        }
+        fn admit(&mut self, state: u32, cost: f32) -> Admit {
+            match self.held {
+                None => {
+                    self.held = Some((state, cost));
+                    Admit::Accept
+                }
+                Some((held_state, held_cost)) => {
+                    if state == held_state {
+                        if cost < held_cost {
+                            self.held = Some((state, cost));
+                            Admit::Accept
+                        } else {
+                            Admit::Reject
+                        }
+                    } else if cost < held_cost {
+                        self.held = Some((state, cost));
+                        Admit::Replace(held_state)
+                    } else {
+                        Admit::Reject
+                    }
+                }
+            }
+        }
+        fn end_frame(&mut self) -> crate::FramePruneStats {
+            let occupancy = usize::from(self.held.is_some());
+            self.held = None;
+            crate::FramePruneStats {
+                occupancy,
+                ..Default::default()
+            }
+        }
+    }
+
+    #[test]
+    fn replace_evicts_the_displaced_state_from_the_token_map() {
+        let g = toy_graph();
+        let costs = Matrix::new(
+            3,
+            2,
+            vec![
+                0.1, 2.0, //
+                0.1, 2.0, //
+                2.0, 0.1,
+            ],
+        )
+        .unwrap();
+        let r = decode_with_policy(&g, &costs, &mut KeepOne { held: None }).unwrap();
+        // Exactly one token survives every frame.
+        assert!(r.stats.active_tokens.iter().all(|&k| k == 1));
+        assert_eq!(r.stats.table_occupancy, vec![1, 1, 1]);
+        // Greedy single-token search still finds the word on this input.
+        assert!(r.reached_final);
+        assert_eq!(r.words, vec![5]);
     }
 }

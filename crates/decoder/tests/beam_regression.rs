@@ -1,0 +1,200 @@
+//! `BeamPolicy` through the new `SearchCore` must reproduce the
+//! pre-refactor (PR 2) `decode()` exactly (ISSUE 3 acceptance).
+//!
+//! The oracle below is the PR 2 beam search verbatim — monolithic loop,
+//! `HashMap` token set, merged-map best, `best + beam` cutoff — except
+//! that graphs here use continuous random weights so equal-cost ties
+//! (which the old code resolved by hash-map iteration order, i.e.
+//! nondeterministically) have probability zero. Away from ties the old
+//! algorithm is a deterministic function, and the refactored core must
+//! compute the same one: words, cost, finish flag, and all three stat
+//! traces.
+
+use darkside_decoder::{decode, BeamConfig};
+use darkside_nn::check::run_cases;
+use darkside_nn::{Matrix, Rng};
+use darkside_wfst::{label_class, Arc, Fst, TropicalWeight, EPSILON};
+use std::collections::HashMap;
+
+const NUM_CLASSES: usize = 5;
+
+#[derive(Clone, Copy)]
+struct Token {
+    cost: f32,
+    backpointer: u32,
+}
+
+const NO_BACKPOINTER: u32 = u32::MAX;
+
+struct WordLink {
+    prev: u32,
+    olabel: u32,
+}
+
+/// The PR 2 `decode()` loop, verbatim (minus the input validation the
+/// public API still performs). Returns `None` where the old code errored
+/// ("all hypotheses died").
+#[allow(clippy::type_complexity)]
+fn reference_decode(
+    graph: &Fst,
+    costs: &Matrix,
+    config: &BeamConfig,
+) -> Option<(Vec<u32>, f32, bool, Vec<usize>, Vec<usize>, Vec<f32>)> {
+    let start = graph.start().unwrap();
+    let mut arena: Vec<WordLink> = Vec::new();
+    let mut tokens: HashMap<u32, Token> = HashMap::new();
+    tokens.insert(
+        start,
+        Token {
+            cost: 0.0,
+            backpointer: NO_BACKPOINTER,
+        },
+    );
+    let (mut active, mut expanded_trace, mut best_trace) = (Vec::new(), Vec::new(), Vec::new());
+    for t in 0..costs.rows() {
+        let frame = costs.row(t);
+        let mut next: HashMap<u32, (f32, u32, u32)> = HashMap::new();
+        let mut expanded = 0usize;
+        for (&state, token) in &tokens {
+            for arc in graph.arcs(state) {
+                expanded += 1;
+                let cost = token.cost + arc.weight.0 + frame[label_class(arc.ilabel)];
+                let entry =
+                    next.entry(arc.next)
+                        .or_insert((f32::INFINITY, NO_BACKPOINTER, EPSILON));
+                if cost < entry.0 {
+                    *entry = (cost, token.backpointer, arc.olabel);
+                }
+            }
+        }
+        if next.is_empty() {
+            return None;
+        }
+        let best = next
+            .values()
+            .map(|&(c, _, _)| c)
+            .fold(f32::INFINITY, f32::min);
+        let cutoff = best + config.beam;
+        tokens.clear();
+        for (state, (cost, parent, olabel)) in next {
+            if cost > cutoff {
+                continue;
+            }
+            let backpointer = if olabel == EPSILON {
+                parent
+            } else {
+                arena.push(WordLink {
+                    prev: parent,
+                    olabel,
+                });
+                (arena.len() - 1) as u32
+            };
+            tokens.insert(state, Token { cost, backpointer });
+        }
+        active.push(tokens.len());
+        expanded_trace.push(expanded);
+        best_trace.push(best);
+    }
+    let finisher = tokens
+        .iter()
+        .filter(|(&s, _)| graph.is_final(s))
+        .map(|(&s, tok)| (tok.cost + graph.final_weight(s).0, tok.backpointer))
+        .min_by(|a, b| a.0.total_cmp(&b.0));
+    let (cost, backpointer, reached_final) = match finisher {
+        Some((cost, bp)) => (cost, bp, true),
+        None => {
+            let (_, tok) = tokens
+                .iter()
+                .min_by(|a, b| a.1.cost.total_cmp(&b.1.cost))
+                .unwrap();
+            (tok.cost, tok.backpointer, false)
+        }
+    };
+    let mut words = Vec::new();
+    let mut bp = backpointer;
+    while bp != NO_BACKPOINTER {
+        let link = &arena[bp as usize];
+        words.push(link.olabel - 1);
+        bp = link.prev;
+    }
+    words.reverse();
+    Some((
+        words,
+        cost,
+        reached_final,
+        active,
+        expanded_trace,
+        best_trace,
+    ))
+}
+
+fn random_graph(rng: &mut Rng) -> Fst {
+    let n = 2 + rng.below(49);
+    let mut fst = Fst::new();
+    for _ in 0..n {
+        fst.add_state();
+    }
+    fst.set_start(0);
+    for s in 0..n as u32 {
+        for _ in 0..1 + rng.below(3) {
+            let olabel = if rng.next_f32() < 0.3 {
+                1 + rng.below(7) as u32
+            } else {
+                EPSILON
+            };
+            fst.add_arc(
+                s,
+                Arc {
+                    ilabel: 1 + rng.below(NUM_CLASSES) as u32,
+                    olabel,
+                    // Continuous weights: no exact ties, so the PR 2
+                    // algorithm is a deterministic function of the input.
+                    weight: TropicalWeight(rng.uniform(0.0, 2.0)),
+                    next: rng.below(n) as u32,
+                },
+            );
+        }
+    }
+    for s in 0..n as u32 {
+        if rng.next_f32() < 0.3 {
+            fst.set_final(s, TropicalWeight(rng.uniform(0.0, 1.0)));
+        }
+    }
+    if (0..n as u32).all(|s| !fst.is_final(s)) {
+        fst.set_final((n - 1) as u32, TropicalWeight::ONE);
+    }
+    fst
+}
+
+#[test]
+fn searchcore_beam_matches_the_pr2_decoder_exactly() {
+    for &beam in &[2.0f32, 6.0, f32::INFINITY] {
+        let config = BeamConfig {
+            beam,
+            acoustic_scale: 0.3,
+        };
+        run_cases(0x9E62 ^ beam.to_bits() as u64, 40, |rng, case| {
+            let graph = random_graph(rng);
+            let frames = 1 + rng.below(12);
+            let costs = Matrix::from_fn(frames, NUM_CLASSES, |_, _| rng.uniform(0.0, 4.0));
+            let want = reference_decode(&graph, &costs, &config);
+            let got = decode(&graph, &costs, &config);
+            match (want, got) {
+                (Some((words, cost, reached, active, expanded, best)), Ok(got)) => {
+                    assert_eq!(got.words, words, "case {case} beam {beam}: words");
+                    assert_eq!(got.cost, cost, "case {case} beam {beam}: cost");
+                    assert_eq!(got.reached_final, reached, "case {case} beam {beam}");
+                    assert_eq!(got.stats.active_tokens, active, "case {case} beam {beam}");
+                    assert_eq!(got.stats.arcs_expanded, expanded, "case {case} beam {beam}");
+                    assert_eq!(got.stats.best_cost, best, "case {case} beam {beam}");
+                }
+                (None, Err(_)) => {}
+                (want, got) => panic!(
+                    "case {case} beam {beam}: reference {:?} vs refactor {:?} disagree on failure",
+                    want.is_some(),
+                    got.is_ok()
+                ),
+            }
+        });
+    }
+}

@@ -1,0 +1,123 @@
+//! Same-seed-twice determinism (ISSUE 3 satellite).
+//!
+//! The pre-refactor `decode()` iterated active tokens in `HashMap` order,
+//! so equal-cost ties could resolve differently across runs (std's
+//! `RandomState` seeds every map differently, even within one process).
+//! The `SearchCore` rewrite expands tokens and materializes survivors in
+//! sorted-state order; these tests pin that down on graphs built to tie.
+
+use darkside_decoder::{decode, BeamConfig};
+use darkside_nn::check::run_cases;
+use darkside_nn::Matrix;
+use darkside_wfst::{Arc, Fst, TropicalWeight, EPSILON};
+
+const NUM_CLASSES: usize = 4;
+
+/// A graph where many distinct paths cost *exactly* the same: every arc
+/// weight is 1.0, every class cost is equal per frame, and several
+/// same-cost arcs emit different words toward different states.
+fn tie_graph(words: u32, fanout: usize) -> Fst {
+    let mut g = Fst::new();
+    let start = g.add_state();
+    g.set_start(start);
+    let mut layer = vec![start];
+    for _ in 0..3 {
+        let mut next_layer = Vec::new();
+        for &from in &layer {
+            for k in 0..fanout {
+                let to = g.add_state();
+                g.add_arc(
+                    from,
+                    Arc {
+                        ilabel: 1 + (k % NUM_CLASSES) as u32,
+                        olabel: 1 + (k as u32 % words),
+                        weight: TropicalWeight(1.0),
+                        next: to,
+                    },
+                );
+                next_layer.push(to);
+            }
+        }
+        layer = next_layer;
+    }
+    for &s in &layer {
+        g.set_final(s, TropicalWeight::ONE);
+    }
+    g
+}
+
+#[test]
+fn equal_cost_ties_resolve_identically_across_runs() {
+    let g = tie_graph(5, 3);
+    // Identical per-class costs per frame: every root-to-leaf path in the
+    // graph has exactly the same total cost, so the word sequence is pure
+    // tie-breaking — the old HashMap iteration would flake here.
+    let costs = Matrix::from_fn(3, NUM_CLASSES, |i, _| 0.25 * (i as f32 + 1.0));
+    let config = BeamConfig::default();
+    let first = decode(&g, &costs, &config).unwrap();
+    assert!(first.reached_final);
+    assert_eq!(first.words.len(), 3);
+    for run in 0..20 {
+        let again = decode(&g, &costs, &config).unwrap();
+        assert_eq!(again.words, first.words, "run {run}: words flipped");
+        assert_eq!(again.cost, first.cost, "run {run}");
+        assert_eq!(
+            again.stats.active_tokens, first.stats.active_tokens,
+            "run {run}"
+        );
+        assert_eq!(again.stats.best_cost, first.stats.best_cost, "run {run}");
+    }
+}
+
+#[test]
+fn random_graphs_decode_identically_twice() {
+    run_cases(0xDE7E, 40, |rng, case| {
+        // Quarter-integer weights on purpose: collisions are common, so
+        // any order-dependence in merging or survivor materialization
+        // would show up as flipped words or stats.
+        let n = 2 + rng.below(40);
+        let mut g = Fst::new();
+        for _ in 0..n {
+            g.add_state();
+        }
+        g.set_start(0);
+        for s in 0..n as u32 {
+            for _ in 0..1 + rng.below(3) {
+                g.add_arc(
+                    s,
+                    Arc {
+                        ilabel: 1 + rng.below(NUM_CLASSES) as u32,
+                        olabel: if rng.next_f32() < 0.4 {
+                            1 + rng.below(6) as u32
+                        } else {
+                            EPSILON
+                        },
+                        weight: TropicalWeight(rng.below(4) as f32 * 0.25),
+                        next: rng.below(n) as u32,
+                    },
+                );
+            }
+        }
+        g.set_final((n - 1) as u32, TropicalWeight::ONE);
+        let costs = Matrix::from_fn(1 + rng.below(10), NUM_CLASSES, |_, _| {
+            rng.below(8) as f32 * 0.25
+        });
+        let config = BeamConfig {
+            beam: 3.0,
+            acoustic_scale: 0.3,
+        };
+        let (a, b) = (decode(&g, &costs, &config), decode(&g, &costs, &config));
+        match (a, b) {
+            (Ok(a), Ok(b)) => {
+                assert_eq!(a.words, b.words, "case {case}");
+                assert_eq!(a.cost, b.cost, "case {case}");
+                assert_eq!(a.reached_final, b.reached_final, "case {case}");
+                assert_eq!(a.stats.active_tokens, b.stats.active_tokens, "case {case}");
+                assert_eq!(a.stats.arcs_expanded, b.stats.arcs_expanded, "case {case}");
+                assert_eq!(a.stats.best_cost, b.stats.best_cost, "case {case}");
+            }
+            (Err(_), Err(_)) => {}
+            _ => panic!("case {case}: the two runs disagree on failure"),
+        }
+    });
+}

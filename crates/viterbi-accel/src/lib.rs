@@ -6,10 +6,27 @@
 //! their K cheapest hypotheses with a single-cycle Max-Heap replacement
 //! unit (Fig. 8, Table III).
 //!
-//! **Status:** skeleton (ISSUE 1 creates the workspace; the pipeline and
-//! hash/Max-Heap land with the accelerator PR). The configuration below is
-//! final — it carries the paper's Table III N-best table geometry and the
-//! DESIGN.md §4b scaled variant.
+//! ISSUE 3: the two hypothesis-storage designs are implemented as
+//! [`darkside_decoder::PruningPolicy`] implementations over the shared
+//! [`darkside_decoder::SearchCore`]:
+//!
+//! * [`nbest::LooseNBestPolicy`] — the paper's 1024-entry 8-way table with
+//!   per-set Max-Heap replacement (loose N-best selection);
+//! * [`unfold::UnfoldHashPolicy`] — the UNFOLD baseline: a large hash
+//!   table, a bounded backup buffer for collisions, and an
+//!   overflow-to-memory path.
+//!
+//! Both charge their storage traffic to a
+//! [`darkside_hwmodel::EnergyAccount`]; the per-access coefficients
+//! ([`nbest::NBEST_TABLE_ENERGY`], [`unfold::UNFOLD_HASH_ENERGY`]) are
+//! CACTI-like stand-in constants (DESIGN.md §2, last row). The cycle-level
+//! pipeline model lands with the accelerator PR.
+
+pub mod nbest;
+pub mod unfold;
+
+pub use nbest::{LooseNBestPolicy, NBEST_TABLE_ENERGY};
+pub use unfold::{UnfoldHashConfig, UnfoldHashPolicy, DRAM_SPILL_PJ, UNFOLD_HASH_ENERGY};
 
 /// Geometry of the N-best hypothesis hash table (paper: 1024 entries, 8-way).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -44,8 +61,11 @@ impl NBestTableConfig {
     pub fn set_of(&self, state_id: u64) -> usize {
         let sets = self.sets();
         debug_assert!(sets.is_power_of_two());
-        let mut x = state_id;
         let bits = sets.trailing_zeros();
+        if bits == 0 {
+            return 0; // fully-associative degenerate case: one set
+        }
+        let mut x = state_id;
         let mut folded = 0u64;
         while x != 0 {
             folded ^= x & (sets as u64 - 1);
@@ -76,5 +96,46 @@ mod tests {
         }
         // Every set should see traffic under a well-spread id stream.
         assert!(hits.iter().all(|&h| h > 0));
+    }
+
+    #[test]
+    fn single_set_table_hashes_everything_to_set_zero() {
+        // sets == 1 means 0 index bits; the fold must terminate and land
+        // every id in set 0 (the fully-associative configuration the
+        // unbounded-capacity property tests use).
+        let cfg = NBestTableConfig {
+            entries: 64,
+            ways: 64,
+        };
+        assert_eq!(cfg.sets(), 1);
+        for state in [0u64, 1, 17, u64::MAX] {
+            assert_eq!(cfg.set_of(state), 0);
+        }
+    }
+
+    #[test]
+    fn random_ids_spread_within_2x_of_uniform() {
+        // ISSUE 3 satellite: the set index must distribute random state ids
+        // across sets within 2× of uniform in both directions.
+        let cfg = NBestTableConfig::paper();
+        let mut hits = vec![0usize; cfg.sets()];
+        // Seeded SplitMix64 stream — random ids, not a crafted sequence.
+        let mut x = 0x5EED_CAFE_u64;
+        let n = 100_000usize;
+        for _ in 0..n {
+            x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            hits[cfg.set_of(z)] += 1;
+        }
+        let expected = n / cfg.sets();
+        for (set, &h) in hits.iter().enumerate() {
+            assert!(
+                h >= expected / 2 && h <= expected * 2,
+                "set {set}: {h} hits vs uniform {expected}"
+            );
+        }
     }
 }

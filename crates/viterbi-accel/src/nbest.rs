@@ -1,0 +1,272 @@
+//! The paper's loose N-best hypothesis selection (§IV, Fig. 8, Table III):
+//! a K-way set-associative hash table whose sets keep their K cheapest
+//! hypotheses via a Max-Heap replacement unit.
+//!
+//! Admission semantics, per candidate `(state, cost)`:
+//! * hash the state to a set ([`NBestTableConfig::set_of`]);
+//! * if the state is already held, update in place when the candidate is
+//!   cheaper (a heap decrease-key, single sift);
+//! * else insert when a way is free;
+//! * else, when the candidate beats the set's worst entry (the heap root),
+//!   replace the root and evict its state — the single-cycle Max-Heap
+//!   replacement of Fig. 8;
+//! * else discard the candidate (the "loose" part: a globally good
+//!   hypothesis can be discarded because *its set* is full of better ones).
+//!
+//! The policy also applies the beam threshold at frame end, exactly like
+//! [`darkside_decoder::BeamPolicy`] — the table bounds how many survivors
+//! the threshold can let through, which is what keeps hypotheses/frame flat
+//! across pruning levels (Fig. 7). With capacity no smaller than the
+//! active-state set it admits everything the beam admits, making it
+//! bit-identical to the beam policy (property-tested in
+//! `tests/policy_prop.rs`).
+
+use crate::NBestTableConfig;
+use darkside_decoder::{Admit, Error, FramePruneStats, PruningPolicy};
+use darkside_hwmodel::{EnergyAccount, EnergyCoefficients};
+
+/// CACTI-like per-access coefficients for the ~1 K-entry N-best table
+/// (stand-in constants — DESIGN.md §2: paper-testbed energies enter only
+/// as coefficients).
+pub const NBEST_TABLE_ENERGY: EnergyCoefficients = EnergyCoefficients {
+    read_pj: 1.2,
+    write_pj: 1.4,
+    leakage_pj_per_cycle: 0.05,
+};
+
+#[derive(Clone, Copy)]
+struct Entry {
+    state: u32,
+    cost: f32,
+}
+
+/// The loose N-best pruning policy (paper geometry:
+/// [`NBestTableConfig::paper`], 1024 entries × 8 ways).
+pub struct LooseNBestPolicy {
+    cfg: NBestTableConfig,
+    beam: f32,
+    best: f32,
+    /// Per-set max-heaps (`sets[s].len() <= ways`, worst cost at the root).
+    sets: Vec<Vec<Entry>>,
+    frame: FramePruneStats,
+    /// Cumulative table traffic across the utterance, for the energy model
+    /// (multiply by [`NBEST_TABLE_ENERGY`]).
+    pub energy: EnergyAccount,
+}
+
+impl LooseNBestPolicy {
+    /// A policy over `cfg` geometry that also applies `beam` as the
+    /// end-of-frame survivor threshold.
+    pub fn new(cfg: NBestTableConfig, beam: f32) -> Result<Self, Error> {
+        if cfg.ways == 0 || cfg.entries == 0 || !cfg.entries.is_multiple_of(cfg.ways) {
+            return Err(Error::config(
+                "LooseNBestPolicy",
+                format!(
+                    "{} entries not divisible into {}-way sets",
+                    cfg.entries, cfg.ways
+                ),
+            ));
+        }
+        if !cfg.sets().is_power_of_two() {
+            return Err(Error::config(
+                "LooseNBestPolicy",
+                format!("{} sets is not a power of two (XOR-fold hash)", cfg.sets()),
+            ));
+        }
+        Ok(Self {
+            cfg,
+            beam,
+            best: f32::INFINITY,
+            sets: vec![Vec::with_capacity(cfg.ways); cfg.sets()],
+            frame: FramePruneStats::default(),
+            energy: EnergyAccount::default(),
+        })
+    }
+
+    pub fn config(&self) -> NBestTableConfig {
+        self.cfg
+    }
+}
+
+impl PruningPolicy for LooseNBestPolicy {
+    fn name(&self) -> &'static str {
+        "nbest"
+    }
+
+    fn admit(&mut self, state: u32, cost: f32) -> Admit {
+        self.best = self.best.min(cost);
+        // Every candidate probes its set (tag compare across the ways).
+        self.frame.reads += 1;
+        self.energy.reads += 1;
+        let ways = self.cfg.ways;
+        let set = &mut self.sets[self.cfg.set_of(state as u64)];
+        if let Some(i) = set.iter().position(|e| e.state == state) {
+            if cost < set[i].cost {
+                set[i].cost = cost;
+                sift_down(set, i); // decrease-key in a max-heap
+                self.frame.writes += 1;
+                self.energy.writes += 1;
+                Admit::Accept
+            } else {
+                Admit::Reject
+            }
+        } else if set.len() < ways {
+            set.push(Entry { state, cost });
+            let last = set.len() - 1;
+            sift_up(set, last);
+            self.frame.writes += 1;
+            self.energy.writes += 1;
+            Admit::Accept
+        } else if cost < set[0].cost {
+            // Fig. 8: replace the heap root (the set's worst) in one cycle.
+            let victim = set[0].state;
+            set[0] = Entry { state, cost };
+            sift_down(set, 0);
+            self.frame.writes += 1;
+            self.energy.writes += 1;
+            self.frame.evictions += 1;
+            Admit::Replace(victim)
+        } else {
+            // Set full of cheaper hypotheses: the candidate is discarded.
+            self.frame.overflows += 1;
+            Admit::Reject
+        }
+    }
+
+    fn end_frame(&mut self) -> FramePruneStats {
+        let mut out = self.frame;
+        out.cutoff = Some(self.best + self.beam);
+        out.occupancy = self.sets.iter().map(Vec::len).sum();
+        for set in &mut self.sets {
+            set.clear(); // valid-bit flash; free in hardware
+        }
+        self.best = f32::INFINITY;
+        self.frame = FramePruneStats::default();
+        out
+    }
+}
+
+/// Restore the max-heap property upward from `i` (after a push).
+fn sift_up(heap: &mut [Entry], mut i: usize) {
+    while i > 0 {
+        let parent = (i - 1) / 2;
+        if heap[i].cost > heap[parent].cost {
+            heap.swap(i, parent);
+            i = parent;
+        } else {
+            break;
+        }
+    }
+}
+
+/// Restore the max-heap property downward from `i` (after a root
+/// replacement or a decrease-key).
+fn sift_down(heap: &mut [Entry], mut i: usize) {
+    loop {
+        let left = 2 * i + 1;
+        let right = left + 1;
+        let mut largest = i;
+        if left < heap.len() && heap[left].cost > heap[largest].cost {
+            largest = left;
+        }
+        if right < heap.len() && heap[right].cost > heap[largest].cost {
+            largest = right;
+        }
+        if largest == i {
+            break;
+        }
+        heap.swap(i, largest);
+        i = largest;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn one_set_policy(ways: usize) -> LooseNBestPolicy {
+        LooseNBestPolicy::new(
+            NBestTableConfig {
+                entries: ways,
+                ways,
+            },
+            f32::INFINITY,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn rejects_bad_geometry() {
+        assert!(LooseNBestPolicy::new(
+            NBestTableConfig {
+                entries: 10,
+                ways: 4
+            },
+            1.0
+        )
+        .is_err());
+        assert!(LooseNBestPolicy::new(
+            NBestTableConfig {
+                entries: 24,
+                ways: 8
+            },
+            1.0
+        )
+        .is_err());
+        assert!(LooseNBestPolicy::new(
+            NBestTableConfig {
+                entries: 0,
+                ways: 8
+            },
+            1.0
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn full_set_evicts_its_worst_and_discards_worse() {
+        let mut p = one_set_policy(2);
+        assert_eq!(p.admit(1, 5.0), Admit::Accept);
+        assert_eq!(p.admit(2, 3.0), Admit::Accept);
+        // Worse than the set's worst (5.0): discarded.
+        assert_eq!(p.admit(3, 6.0), Admit::Reject);
+        // Better than the worst: replaces state 1 (the heap root).
+        assert_eq!(p.admit(4, 4.0), Admit::Replace(1));
+        // Update-in-place of a held state never evicts.
+        assert_eq!(p.admit(2, 1.0), Admit::Accept);
+        assert_eq!(p.admit(2, 2.0), Admit::Reject); // not an improvement
+        let frame = p.end_frame();
+        assert_eq!(frame.evictions, 1);
+        assert_eq!(frame.overflows, 1);
+        assert_eq!(frame.occupancy, 2);
+        assert_eq!(frame.cutoff, Some(f32::INFINITY));
+        // Table cleared for the next frame.
+        assert_eq!(p.end_frame().occupancy, 0);
+    }
+
+    #[test]
+    fn heap_replacement_always_targets_the_current_worst() {
+        let mut p = one_set_policy(8);
+        let costs = [9.0, 3.0, 7.0, 1.0, 8.0, 2.0, 6.0, 4.0];
+        for (state, &cost) in costs.iter().enumerate() {
+            assert_eq!(p.admit(state as u32, cost), Admit::Accept);
+        }
+        // Successive improving candidates must evict in worst-first order.
+        assert_eq!(p.admit(100, 0.5), Admit::Replace(0)); // cost 9.0
+        assert_eq!(p.admit(101, 0.5), Admit::Replace(4)); // cost 8.0
+        assert_eq!(p.admit(102, 0.5), Admit::Replace(2)); // cost 7.0
+        assert_eq!(p.end_frame().evictions, 3);
+    }
+
+    #[test]
+    fn traffic_is_charged_to_the_energy_account() {
+        let mut p = one_set_policy(2);
+        p.admit(1, 1.0); // read + write
+        p.admit(1, 2.0); // read only (no improvement)
+        p.admit(2, 3.0); // read + write
+        p.end_frame();
+        assert_eq!(p.energy.reads, 3);
+        assert_eq!(p.energy.writes, 2);
+        assert!(p.energy.total_pj(&NBEST_TABLE_ENERGY) > 0.0);
+    }
+}

@@ -1,0 +1,191 @@
+//! Policy-equivalence property tests (ISSUE 3 satellite).
+//!
+//! On random input-epsilon-free graphs:
+//! * `LooseNBestPolicy` with *unbounded* capacity (one fully-associative
+//!   set whose way count exceeds every possible active-state count, so
+//!   nothing can ever be evicted or discarded) must decode identically to
+//!   `BeamPolicy` with the same beam — same words, same cost, same
+//!   per-frame stats;
+//! * `UnfoldHashPolicy` must decode identically to `BeamPolicy` always
+//!   (it stores every hypothesis somewhere; only the traffic accounting
+//!   differs);
+//! * a *bounded* N-best table never explores more hypotheses than the
+//!   beam it loosens.
+
+use darkside_decoder::{decode_with_policy, BeamPolicy, DecodeResult};
+use darkside_nn::check::run_cases;
+use darkside_nn::{Matrix, Rng};
+use darkside_viterbi_accel::{
+    LooseNBestPolicy, NBestTableConfig, UnfoldHashConfig, UnfoldHashPolicy,
+};
+use darkside_wfst::{Arc, Fst, TropicalWeight, EPSILON};
+
+const NUM_CLASSES: usize = 5;
+const MAX_STATES: usize = 50;
+
+/// Random input-eps-free decoding graph: ≤50 states, class ilabels,
+/// occasional word olabels, continuous weights (ties measure-zero).
+fn random_graph(rng: &mut Rng) -> Fst {
+    let n = 2 + rng.below(MAX_STATES - 1);
+    let mut fst = Fst::new();
+    for _ in 0..n {
+        fst.add_state();
+    }
+    fst.set_start(0);
+    for s in 0..n as u32 {
+        for _ in 0..1 + rng.below(3) {
+            let olabel = if rng.next_f32() < 0.3 {
+                1 + rng.below(7) as u32
+            } else {
+                EPSILON
+            };
+            fst.add_arc(
+                s,
+                Arc {
+                    ilabel: 1 + rng.below(NUM_CLASSES) as u32,
+                    olabel,
+                    weight: TropicalWeight(rng.uniform(0.0, 2.0)),
+                    next: rng.below(n) as u32,
+                },
+            );
+        }
+    }
+    for s in 0..n as u32 {
+        if rng.next_f32() < 0.3 {
+            fst.set_final(s, TropicalWeight(rng.uniform(0.0, 1.0)));
+        }
+    }
+    if (0..n as u32).all(|s| !fst.is_final(s)) {
+        fst.set_final((n - 1) as u32, TropicalWeight::ONE);
+    }
+    fst
+}
+
+fn random_costs(rng: &mut Rng) -> Matrix {
+    let frames = 1 + rng.below(12);
+    Matrix::from_fn(frames, NUM_CLASSES, |_, _| rng.uniform(0.0, 4.0))
+}
+
+fn assert_same_decode(a: &DecodeResult, b: &DecodeResult, what: &str) {
+    assert_eq!(a.words, b.words, "{what}: words differ");
+    assert_eq!(a.cost, b.cost, "{what}: cost differs");
+    assert_eq!(a.reached_final, b.reached_final, "{what}: finish differs");
+    assert_eq!(
+        a.stats.active_tokens, b.stats.active_tokens,
+        "{what}: active tokens differ"
+    );
+    assert_eq!(
+        a.stats.arcs_expanded, b.stats.arcs_expanded,
+        "{what}: arcs expanded differ"
+    );
+    assert_eq!(
+        a.stats.best_cost, b.stats.best_cost,
+        "{what}: best cost traces differ"
+    );
+}
+
+#[test]
+fn unbounded_nbest_equals_beam() {
+    // One set, 64 ways ≥ 50 states: no set can ever fill, so no eviction
+    // or discard is possible regardless of how states hash.
+    let unbounded = NBestTableConfig {
+        entries: 64,
+        ways: 64,
+    };
+    let beam = 4.0f32;
+    run_cases(0xAB3E, 60, |rng, case| {
+        let graph = random_graph(rng);
+        let costs = random_costs(rng);
+        let mut beam_policy = BeamPolicy::new(beam);
+        let mut nbest = LooseNBestPolicy::new(unbounded, beam).unwrap();
+        let want = decode_with_policy(&graph, &costs, &mut beam_policy);
+        let got = decode_with_policy(&graph, &costs, &mut nbest);
+        match (want, got) {
+            (Ok(want), Ok(got)) => {
+                assert_same_decode(&got, &want, "nbest vs beam");
+                assert_eq!(got.stats.evictions, 0, "case {case}: evicted");
+                assert_eq!(got.stats.overflows, 0, "case {case}: discarded");
+                // The table held exactly the admitted states each frame.
+                assert!(got
+                    .stats
+                    .table_occupancy
+                    .iter()
+                    .zip(&got.stats.active_tokens)
+                    .all(|(&occ, &active)| occ >= active));
+            }
+            (Err(_), Err(_)) => {} // both died on the same frame
+            (want, got) => panic!(
+                "case {case}: beam {:?} vs nbest {:?} disagree on failure",
+                want.is_ok(),
+                got.is_ok()
+            ),
+        }
+    });
+}
+
+#[test]
+fn unfold_equals_beam_always() {
+    // Tiny hash + backup to force heavy collision/overflow traffic: the
+    // decode must be unaffected because UNFOLD never drops a hypothesis.
+    let cramped = UnfoldHashConfig {
+        entries: 8,
+        backup_capacity: 4,
+    };
+    let beam = 4.0f32;
+    run_cases(0x0F01D, 60, |rng, case| {
+        let graph = random_graph(rng);
+        let costs = random_costs(rng);
+        let mut beam_policy = BeamPolicy::new(beam);
+        let mut unfold = UnfoldHashPolicy::new(cramped, beam).unwrap();
+        let want = decode_with_policy(&graph, &costs, &mut beam_policy);
+        let got = decode_with_policy(&graph, &costs, &mut unfold);
+        match (want, got) {
+            (Ok(want), Ok(got)) => {
+                assert_same_decode(&got, &want, "unfold vs beam");
+                assert_eq!(got.stats.evictions, 0, "case {case}: UNFOLD evicted");
+            }
+            (Err(_), Err(_)) => {}
+            (want, got) => panic!(
+                "case {case}: beam {:?} vs unfold {:?} disagree on failure",
+                want.is_ok(),
+                got.is_ok()
+            ),
+        }
+    });
+}
+
+#[test]
+fn bounded_nbest_never_explores_more_than_beam() {
+    // A tight table (2 sets × 2 ways) loosens the beam *downward* only:
+    // per-frame survivors, and therefore expanded arcs, can never exceed
+    // the pure beam's.
+    let tight = NBestTableConfig {
+        entries: 4,
+        ways: 2,
+    };
+    let beam = 6.0f32;
+    run_cases(0xB071, 40, |rng, case| {
+        let graph = random_graph(rng);
+        let costs = random_costs(rng);
+        let mut beam_policy = BeamPolicy::new(beam);
+        let mut nbest = LooseNBestPolicy::new(tight, beam).unwrap();
+        let want = decode_with_policy(&graph, &costs, &mut beam_policy);
+        let got = decode_with_policy(&graph, &costs, &mut nbest);
+        let (Ok(want), Ok(got)) = (want, got) else {
+            return; // a died-out search has no effort to compare
+        };
+        for (frame, (&n, &b)) in got
+            .stats
+            .active_tokens
+            .iter()
+            .zip(&want.stats.active_tokens)
+            .enumerate()
+        {
+            assert!(
+                n <= b,
+                "case {case} frame {frame}: nbest kept {n} tokens vs beam {b}"
+            );
+            assert!(n <= tight.entries, "case {case}: capacity exceeded");
+        }
+    });
+}

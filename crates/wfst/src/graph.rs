@@ -30,6 +30,11 @@ pub struct Fst {
     arcs: Vec<Vec<Arc>>,
     finals: Vec<TropicalWeight>,
     start: Option<u32>,
+    /// Largest input label on any arc, maintained incrementally by
+    /// [`Fst::add_arc`] (arcs are never removed; [`Fst::trim`] rebuilds
+    /// through `add_arc`, which may only shrink it toward the true max).
+    /// [`EPSILON`] when the graph has no arcs.
+    max_ilabel: u32,
 }
 
 impl Fst {
@@ -54,6 +59,7 @@ impl Fst {
 
     pub fn add_arc(&mut self, from: u32, arc: Arc) {
         debug_assert!((arc.next as usize) < self.arcs.len());
+        self.max_ilabel = self.max_ilabel.max(arc.ilabel);
         self.arcs[from as usize].push(arc);
     }
 
@@ -71,6 +77,13 @@ impl Fst {
 
     pub fn arcs(&self, state: u32) -> &[Arc] {
         &self.arcs[state as usize]
+    }
+
+    /// Largest input label on any arc ([`EPSILON`] for an arc-free graph).
+    /// O(1): cached at construction so per-utterance decoding does not
+    /// re-walk every arc to size-check its score matrix.
+    pub fn max_ilabel(&self) -> u32 {
+        self.max_ilabel
     }
 
     pub fn final_weight(&self, state: u32) -> TropicalWeight {
@@ -202,6 +215,38 @@ mod tests {
             },
         );
         assert!(!fst.is_input_eps_free());
+    }
+
+    #[test]
+    fn max_ilabel_tracks_additions_and_survives_trim() {
+        let mut fst = Fst::new();
+        assert_eq!(fst.max_ilabel(), EPSILON);
+        let s0 = fst.add_state();
+        let s1 = fst.add_state();
+        fst.set_start(s0);
+        fst.set_final(s1, w(0.0));
+        fst.add_arc(
+            s0,
+            Arc {
+                ilabel: 7,
+                olabel: EPSILON,
+                weight: w(0.0),
+                next: s1,
+            },
+        );
+        assert_eq!(fst.max_ilabel(), 7);
+        fst.add_arc(
+            s0,
+            Arc {
+                ilabel: 3,
+                olabel: EPSILON,
+                weight: w(0.0),
+                next: s1,
+            },
+        );
+        assert_eq!(fst.max_ilabel(), 7);
+        // Trim rebuilds through add_arc, so the cache matches the kept arcs.
+        assert_eq!(fst.trim().max_ilabel(), 7);
     }
 
     #[test]
