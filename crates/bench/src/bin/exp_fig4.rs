@@ -7,16 +7,27 @@
 //! within 1 point of dense — accuracy is preserved, *work* explodes.
 //! Prints the per-level table and exits nonzero if a target fails.
 
-use darkside_bench::report::{check, print_level_table, print_run_header};
+use darkside_bench::report::{
+    check, json_arg, pipeline_report_json, print_level_table, print_run_header, write_json_file,
+};
 use darkside_core::{Pipeline, PipelineConfig};
 
 fn main() {
+    let json_path = json_arg().unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    });
     let start = std::time::Instant::now();
     let pipeline = Pipeline::build(PipelineConfig::default_scaled()).expect("pipeline build");
     let report = pipeline.run().expect("pipeline run");
     print_run_header("exp_fig4", &report);
     print_level_table(&report);
     println!("elapsed: {:.1}s", start.elapsed().as_secs_f64());
+    if let Some(path) = &json_path {
+        write_json_file(path, &pipeline_report_json("exp_fig4", &report))
+            .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+        println!("recorded {path}");
+    }
 
     let dense = report.dense();
     let p90 = report

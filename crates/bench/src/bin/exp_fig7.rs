@@ -18,9 +18,13 @@
 //! `--smoke` runs the CI-sized pipeline and checks the ordering only
 //! (N-best growth < Beam growth), in seconds.
 
-use darkside_bench::report::{check, print_policy_grid};
+use darkside_bench::report::{
+    check, json_arg, policy_grid_json, print_policy_grid, print_policy_latency, write_json_file,
+};
+use darkside_core::trace::{self, MemoryRecorder};
 use darkside_core::viterbi_accel::{NBestTableConfig, UnfoldHashConfig};
 use darkside_core::{Pipeline, PipelineConfig, PolicyGridReport, PolicyKind};
+use std::rc::Rc;
 
 /// Hypotheses/frame for one (level, policy) cell.
 fn hyps(report: &PolicyGridReport, level: &str, policy: &str) -> f64 {
@@ -35,6 +39,10 @@ fn hyps(report: &PolicyGridReport, level: &str, policy: &str) -> f64 {
 
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
+    let json_path = json_arg().unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    });
     let start = std::time::Instant::now();
 
     let (config, nbest) = if smoke {
@@ -69,7 +77,13 @@ fn main() {
     ];
 
     let pipeline = Pipeline::build(config).expect("pipeline build");
-    let report = pipeline.run_policy_grid(&policies).expect("policy grid");
+    // The grid runs under a MemoryRecorder so every cell carries per-frame
+    // latency percentiles (ISSUE 4); trace_neutrality.rs pins that the
+    // recorder cannot change the decode itself.
+    let report = trace::with_recorder(Rc::new(MemoryRecorder::new()), || {
+        pipeline.run_policy_grid(&policies)
+    })
+    .expect("policy grid");
     println!(
         "exp_fig7{}: graph {} states / {} arcs, nbest table {} entries × {} ways",
         if smoke { " (smoke)" } else { "" },
@@ -79,7 +93,14 @@ fn main() {
         nbest.ways,
     );
     print_policy_grid(&report);
+    println!();
+    print_policy_latency(&report);
     println!("elapsed: {:.1}s", start.elapsed().as_secs_f64());
+    if let Some(path) = &json_path {
+        write_json_file(path, &policy_grid_json("exp_fig7", &report))
+            .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+        println!("recorded {path}");
+    }
 
     let beam_growth = hyps(&report, "90%", "beam") / hyps(&report, "dense", "beam");
     let nbest_growth = hyps(&report, "90%", "nbest") / hyps(&report, "dense", "nbest");

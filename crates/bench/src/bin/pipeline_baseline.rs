@@ -1,0 +1,110 @@
+//! Records the traced end-to-end pipeline baseline into
+//! `BENCH_pipeline.json` (ISSUE 4 satellite; schema in EXPERIMENTS.md).
+//!
+//! Run: `cargo run --release -p darkside-bench --bin pipeline_baseline`
+//! (optionally `-- --out <path>`; default `BENCH_pipeline.json` in the
+//! working directory).
+//!
+//! Runs `Pipeline::run_traced` on the CI smoke configuration (plus one
+//! retrain epoch, so every stage span exists) under a `MemoryRecorder`,
+//! then writes the derived per-stage wall-times and per-level decode
+//! latency percentiles alongside the full `RunReport` — so later PRs can
+//! diff both the headline numbers and the raw metric set.
+
+use darkside_bench::report::write_json_file;
+use darkside_core::trace::{Json, MemoryRecorder};
+use darkside_core::{Pipeline, PipelineConfig};
+use std::rc::Rc;
+
+fn main() {
+    let out_path = match parse_out_arg() {
+        Ok(p) => p,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            std::process::exit(1);
+        }
+    };
+    if let Err(e) = std::fs::write(&out_path, "") {
+        eprintln!("error: cannot write {out_path}: {e}");
+        std::process::exit(1);
+    }
+
+    let config = PipelineConfig::smoke().with_training(20, 1);
+    let recorder = Rc::new(MemoryRecorder::new());
+    let (_pipeline, report, run) =
+        Pipeline::run_traced(config, "pipeline_baseline", recorder).expect("traced pipeline run");
+
+    // --- per-stage wall-times --------------------------------------------
+    let stages = ["corpus", "graph", "train", "prune", "retrain"];
+    let mut stage_fields: Vec<(String, Json)> = Vec::new();
+    println!("pipeline_baseline: per-stage wall-times");
+    for stage in stages {
+        let ms = run.stage_ms(stage).unwrap_or(0.0);
+        println!("  {stage:<8} {ms:>9.2} ms");
+        stage_fields.push((stage.to_string(), ms.into()));
+    }
+    for level in &report.levels {
+        let span = format!("decode.{}", level.label);
+        let ms = run.stage_ms(&span).unwrap_or(0.0);
+        println!("  {span:<12} {ms:>5.2} ms");
+        stage_fields.push((span, ms.into()));
+    }
+
+    // --- per-level decode latency percentiles ----------------------------
+    let mut decode_fields: Vec<(String, Json)> = Vec::new();
+    println!("decode per-frame latency (ns):");
+    for level in &report.levels {
+        println!(
+            "  {:<6} p50 {:>8.0}  p95 {:>8.0}  p99 {:>8.0}  (hyps/frame p95 {:.0})",
+            level.label, level.frame_ns_p50, level.frame_ns_p95, level.frame_ns_p99, level.hyps_p95
+        );
+        decode_fields.push((
+            level.label.clone(),
+            Json::obj(vec![
+                ("frame_ns_p50", level.frame_ns_p50.into()),
+                ("frame_ns_p95", level.frame_ns_p95.into()),
+                ("frame_ns_p99", level.frame_ns_p99.into()),
+                ("hyps_p50", level.hyps_p50.into()),
+                ("hyps_p95", level.hyps_p95.into()),
+                ("hyps_p99", level.hyps_p99.into()),
+            ]),
+        ));
+    }
+
+    let json = Json::obj(vec![
+        ("schema_version", 1u64.into()),
+        ("generated_by", Json::str("pipeline_baseline")),
+        (
+            "host",
+            Json::obj(vec![
+                (
+                    "hw_threads",
+                    std::thread::available_parallelism()
+                        .map_or(1, |p| p.get())
+                        .into(),
+                ),
+                ("arch", Json::str(std::env::consts::ARCH)),
+            ]),
+        ),
+        ("stage_ms", Json::Obj(stage_fields)),
+        ("decode_latency", Json::Obj(decode_fields)),
+        ("run_report", run.to_json()),
+    ]);
+    if let Err(e) = write_json_file(&out_path, &json) {
+        eprintln!("error: cannot write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    println!("recorded {out_path}");
+}
+
+fn parse_out_arg() -> Result<String, String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.as_slice() {
+        [] => Ok("BENCH_pipeline.json".to_string()),
+        [flag, path] if flag == "--out" => Ok(path.clone()),
+        [flag] if flag == "--out" => Err("--out requires a path".to_string()),
+        other => Err(format!(
+            "unknown arguments {other:?}; usage: pipeline_baseline [--out <path>]"
+        )),
+    }
+}

@@ -7,9 +7,14 @@
 //! breaks, so CI catches a regression in any layer of the corpus → train →
 //! prune → decode path.
 
+use darkside_bench::report::{json_arg, pipeline_report_json, write_json_file};
 use darkside_core::{Pipeline, PipelineConfig};
 
 fn main() {
+    let json_path = json_arg().unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    });
     let start = std::time::Instant::now();
     let pipeline = Pipeline::build(PipelineConfig::smoke()).expect("smoke pipeline build");
     let report = pipeline.run().expect("smoke pipeline run");
@@ -43,6 +48,11 @@ fn main() {
         );
     }
     println!("elapsed: {:.1}s", start.elapsed().as_secs_f64());
+    if let Some(path) = &json_path {
+        write_json_file(path, &pipeline_report_json("pipeline_smoke", &report))
+            .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+        println!("recorded {path}");
+    }
 
     let dense = report.dense();
     let pruned = report.pruned().last().expect("one pruned level");

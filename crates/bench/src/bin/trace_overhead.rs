@@ -1,0 +1,191 @@
+//! CI trace-overhead gate (ISSUE 4 acceptance): decode under the default
+//! `NullRecorder` must cost within 5 % of the pre-PR search loop.
+//!
+//! Run: `cargo run --release -p darkside-bench --bin trace_overhead`.
+//!
+//! Builds the `pipeline_smoke` system, scores its held-out corpus sample
+//! once, then times the instrumented `darkside_decoder::decode` (trace
+//! hooks compiled in, no recorder installed) against an in-bin verbatim
+//! copy of the PR 2 beam-search loop over the identical cost matrices.
+//! Samples are interleaved and medians compared, so drift hits both sides
+//! equally. Exits nonzero when the median ratio exceeds
+//! [`MAX_OVERHEAD_RATIO`]. The two loops' outputs are also cross-checked
+//! (words + cost) before any timing, so the gate can never pass on a loop
+//! that diverged.
+
+use darkside_core::decoder::{acoustic_costs, decode, BeamConfig};
+use darkside_core::nn::{FrameScorer, Matrix, Rng};
+use darkside_core::wfst::{label_class, Fst, EPSILON};
+use darkside_core::{Pipeline, PipelineConfig};
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Instrumented-over-reference median wall-time budget (the ISSUE 4 ≤ 5 %
+/// acceptance bound).
+const MAX_OVERHEAD_RATIO: f64 = 1.05;
+/// Interleaved timing samples per side.
+const SAMPLES: usize = 15;
+/// Decode passes over the whole test set per timing sample.
+const PASSES_PER_SAMPLE: usize = 3;
+
+// --- the PR 2 decode loop, verbatim (as pinned by
+// --- crates/decoder/tests/beam_regression.rs) --------------------------
+
+#[derive(Clone, Copy)]
+struct Token {
+    cost: f32,
+    backpointer: u32,
+}
+
+const NO_BACKPOINTER: u32 = u32::MAX;
+
+struct WordLink {
+    prev: u32,
+    olabel: u32,
+}
+
+fn reference_decode(graph: &Fst, costs: &Matrix, config: &BeamConfig) -> Option<(Vec<u32>, f32)> {
+    use std::collections::HashMap;
+    let start = graph.start().unwrap();
+    let mut arena: Vec<WordLink> = Vec::new();
+    let mut tokens: HashMap<u32, Token> = HashMap::new();
+    tokens.insert(
+        start,
+        Token {
+            cost: 0.0,
+            backpointer: NO_BACKPOINTER,
+        },
+    );
+    for t in 0..costs.rows() {
+        let frame = costs.row(t);
+        let mut next: HashMap<u32, (f32, u32, u32)> = HashMap::new();
+        for (&state, token) in &tokens {
+            for arc in graph.arcs(state) {
+                let cost = token.cost + arc.weight.0 + frame[label_class(arc.ilabel)];
+                let entry =
+                    next.entry(arc.next)
+                        .or_insert((f32::INFINITY, NO_BACKPOINTER, EPSILON));
+                if cost < entry.0 {
+                    *entry = (cost, token.backpointer, arc.olabel);
+                }
+            }
+        }
+        if next.is_empty() {
+            return None;
+        }
+        let best = next
+            .values()
+            .map(|&(c, _, _)| c)
+            .fold(f32::INFINITY, f32::min);
+        let cutoff = best + config.beam;
+        tokens.clear();
+        for (state, (cost, parent, olabel)) in next {
+            if cost > cutoff {
+                continue;
+            }
+            let backpointer = if olabel == EPSILON {
+                parent
+            } else {
+                arena.push(WordLink {
+                    prev: parent,
+                    olabel,
+                });
+                (arena.len() - 1) as u32
+            };
+            tokens.insert(state, Token { cost, backpointer });
+        }
+    }
+    let finisher = tokens
+        .iter()
+        .filter(|(&s, _)| graph.is_final(s))
+        .map(|(&s, tok)| (tok.cost + graph.final_weight(s).0, tok.backpointer))
+        .min_by(|a, b| a.0.total_cmp(&b.0));
+    let (cost, backpointer) = match finisher {
+        Some((cost, bp)) => (cost, bp),
+        None => {
+            let (_, tok) = tokens
+                .iter()
+                .min_by(|a, b| a.1.cost.total_cmp(&b.1.cost))
+                .unwrap();
+            (tok.cost, tok.backpointer)
+        }
+    };
+    let mut words = Vec::new();
+    let mut bp = backpointer;
+    while bp != NO_BACKPOINTER {
+        let link = &arena[bp as usize];
+        words.push(link.olabel - 1);
+        bp = link.prev;
+    }
+    words.reverse();
+    Some((words, cost))
+}
+
+fn median_ns(mut samples: Vec<u64>) -> u64 {
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+fn main() {
+    let config = PipelineConfig::smoke();
+    let beam = config.beam;
+    println!("trace_overhead: building the pipeline_smoke system...");
+    let pipeline = Pipeline::build(config).expect("smoke pipeline build");
+
+    // A fixed sample of the smoke corpus, scored once up front so timing
+    // covers the search loops only.
+    let mut rng = Rng::new(0x0BE4);
+    let utterances = pipeline.corpus.sample_set(12, &mut rng);
+    let costs: Vec<Matrix> = utterances
+        .iter()
+        .map(|u| acoustic_costs(&pipeline.model.score_frames(&u.frames), &beam))
+        .collect();
+    let graph = &pipeline.graph;
+    let frames: usize = costs.iter().map(Matrix::rows).sum();
+
+    // Correctness cross-check before any timing.
+    for (i, c) in costs.iter().enumerate() {
+        let got = decode(graph, c, &beam).expect("instrumented decode");
+        let (words, cost) = reference_decode(graph, c, &beam).expect("reference decode");
+        assert_eq!(got.words, words, "utterance {i}: words diverged");
+        assert_eq!(got.cost, cost, "utterance {i}: cost diverged");
+    }
+    println!("instrumented vs PR 2 reference decode: identical on {frames} frames");
+
+    // Interleaved timing: [instrumented, reference] per round, medians.
+    let mut instrumented_ns = Vec::with_capacity(SAMPLES);
+    let mut reference_ns = Vec::with_capacity(SAMPLES);
+    for _ in 0..SAMPLES {
+        let t0 = Instant::now();
+        for _ in 0..PASSES_PER_SAMPLE {
+            for c in &costs {
+                black_box(decode(graph, black_box(c), &beam).unwrap());
+            }
+        }
+        instrumented_ns.push(t0.elapsed().as_nanos() as u64);
+
+        let t0 = Instant::now();
+        for _ in 0..PASSES_PER_SAMPLE {
+            for c in &costs {
+                black_box(reference_decode(graph, black_box(c), &beam).unwrap());
+            }
+        }
+        reference_ns.push(t0.elapsed().as_nanos() as u64);
+    }
+    let instr = median_ns(instrumented_ns);
+    let refr = median_ns(reference_ns);
+    let ratio = instr as f64 / refr as f64;
+    let per_frame = instr as f64 / (PASSES_PER_SAMPLE * frames) as f64;
+    println!(
+        "median decode pass: instrumented {:.3} ms vs reference {:.3} ms \
+         ({per_frame:.0} ns/frame instrumented)",
+        instr as f64 / 1e6,
+        refr as f64 / 1e6
+    );
+    let pass = ratio <= MAX_OVERHEAD_RATIO;
+    println!(
+        "{} trace overhead: {ratio:.4}x (budget <= {MAX_OVERHEAD_RATIO}x)",
+        if pass { "PASS" } else { "FAIL" }
+    );
+    std::process::exit(if pass { 0 } else { 1 });
+}

@@ -11,15 +11,23 @@
 //! * `batched_score` — per-frame vs batched utterance scoring
 //!
 //! The binary `perf_baseline` runs the acceptance subset and records
-//! `BENCH_compute.json` (schema in EXPERIMENTS.md) so later PRs append
-//! comparable numbers.
+//! `BENCH_compute.json`; `pipeline_baseline` runs the traced smoke pipeline
+//! and records `BENCH_pipeline.json` (schemas in EXPERIMENTS.md) so later
+//! PRs append comparable numbers. `trace_overhead` is the ISSUE 4 CI gate:
+//! instrumented decode under the default `NullRecorder` must stay within
+//! 5 % of the pre-instrumentation search loop.
 
-//! The experiment binaries (`exp_fig3`, `exp_fig4`, `pipeline_smoke`) run
-//! the `darkside_core::Pipeline` end to end and check the paper's shape
-//! targets; [`report`] holds their shared table formatting.
+//! The experiment binaries (`exp_fig3`, `exp_fig4`, `exp_fig7`,
+//! `pipeline_smoke`) run the `darkside_core::Pipeline` end to end and check
+//! the paper's shape targets; [`report`] holds their shared table
+//! formatting and the `--json <path>` structured-report writer every
+//! experiment accepts.
 
 pub mod harness;
 pub mod report;
 
 pub use harness::{bench, bench_with, BenchOptions, BenchResult};
-pub use report::{check, print_level_table, print_run_header};
+pub use report::{
+    check, json_arg, print_level_table, print_policy_grid, print_policy_latency, print_run_header,
+    write_json_file,
+};

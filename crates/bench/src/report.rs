@@ -1,7 +1,11 @@
-//! Shared table formatting + shape-target checking for the experiment
-//! binaries (`exp_fig3`, `exp_fig4`, `exp_fig7`, `pipeline_smoke`).
+//! Shared table formatting, shape-target checking, and `--json` report
+//! writing for the experiment binaries (`exp_fig3`, `exp_fig4`, `exp_fig7`,
+//! `pipeline_smoke`, `pipeline_baseline`).
 
-use darkside_core::{PipelineReport, PolicyGridReport};
+use darkside_core::trace::Json;
+use darkside_core::{LevelReport, PipelineReport, PolicyGridReport};
+use std::io::Write;
+use std::path::Path;
 
 /// Print the run provenance line every experiment starts with.
 pub fn print_run_header(name: &str, report: &PipelineReport) {
@@ -42,20 +46,36 @@ pub fn print_level_table(report: &PipelineReport) {
 }
 
 /// Print the per-level × per-policy search-effort table (`exp_fig7`;
-/// markdown-ish, pasteable into EXPERIMENTS.md).
+/// markdown-ish, pasteable into EXPERIMENTS.md). The p50/p95/p99 columns
+/// are the per-frame hypotheses percentiles (ISSUE 4) — the tail the
+/// paper's Fig. 7 clamping argument is actually about.
 pub fn print_policy_grid(report: &PolicyGridReport) {
     println!(
-        "| {:<7} | {:<7} | {:>10} | {:>7} | {:>9} | {:>9} | {:>9} |",
-        "level", "policy", "hyps/frame", "WER%", "evictions", "overflows", "occupancy"
+        "| {:<7} | {:<7} | {:>10} | {:>8} | {:>8} | {:>8} | {:>7} | {:>9} | {:>9} | {:>9} |",
+        "level",
+        "policy",
+        "hyps/frame",
+        "hyps-p50",
+        "hyps-p95",
+        "hyps-p99",
+        "WER%",
+        "evictions",
+        "overflows",
+        "occupancy"
     );
-    println!("|---------|---------|------------|---------|-----------|-----------|-----------|");
+    println!(
+        "|---------|---------|------------|----------|----------|----------|---------|-----------|-----------|-----------|"
+    );
     for level in &report.levels {
         for cell in &level.per_policy {
             println!(
-                "| {:<7} | {:<7} | {:>10.1} | {:>7.2} | {:>9} | {:>9} | {:>9.1} |",
+                "| {:<7} | {:<7} | {:>10.1} | {:>8.0} | {:>8.0} | {:>8.0} | {:>7.2} | {:>9} | {:>9} | {:>9.1} |",
                 level.label,
                 cell.policy,
                 cell.mean_hypotheses,
+                cell.hyps_p50,
+                cell.hyps_p95,
+                cell.hyps_p99,
                 cell.wer_percent,
                 cell.evictions,
                 cell.overflows,
@@ -65,8 +85,125 @@ pub fn print_policy_grid(report: &PolicyGridReport) {
     }
 }
 
+/// Print the per-level × per-policy frame-latency table. Only meaningful
+/// when the grid ran under an installed recorder (`trace::with_recorder`);
+/// untraced runs leave every percentile at zero and callers should skip
+/// this table.
+pub fn print_policy_latency(report: &PolicyGridReport) {
+    println!(
+        "| {:<7} | {:<7} | {:>11} | {:>11} | {:>11} |",
+        "level", "policy", "frame-p50ns", "frame-p95ns", "frame-p99ns"
+    );
+    println!("|---------|---------|-------------|-------------|-------------|");
+    for level in &report.levels {
+        for cell in &level.per_policy {
+            println!(
+                "| {:<7} | {:<7} | {:>11.0} | {:>11.0} | {:>11.0} |",
+                level.label, cell.policy, cell.frame_ns_p50, cell.frame_ns_p95, cell.frame_ns_p99
+            );
+        }
+    }
+}
+
 /// Record one shape-target check; returns `ok` so callers can fold.
 pub fn check(name: &str, ok: bool, detail: String) -> bool {
     println!("{} {name}: {detail}", if ok { "PASS" } else { "FAIL" });
     ok
+}
+
+/// One [`LevelReport`] as JSON (every table column plus the ISSUE 4
+/// percentile fields).
+pub fn level_json(level: &LevelReport) -> Json {
+    Json::obj(vec![
+        ("label", Json::str(&level.label)),
+        ("policy", Json::str(&level.policy)),
+        ("sparsity", level.sparsity.into()),
+        ("mean_confidence", level.mean_confidence.into()),
+        ("frame_accuracy", level.frame_accuracy.into()),
+        ("wer_percent", level.wer_percent.into()),
+        ("mean_hypotheses", level.mean_hypotheses.into()),
+        ("hyps_p50", level.hyps_p50.into()),
+        ("hyps_p95", level.hyps_p95.into()),
+        ("hyps_p99", level.hyps_p99.into()),
+        ("frame_ns_p50", level.frame_ns_p50.into()),
+        ("frame_ns_p95", level.frame_ns_p95.into()),
+        ("frame_ns_p99", level.frame_ns_p99.into()),
+        ("mean_best_cost", level.mean_best_cost.into()),
+        ("evictions", level.evictions.into()),
+        ("overflows", level.overflows.into()),
+        ("mean_table_occupancy", level.mean_table_occupancy.into()),
+        ("table_reads", level.table_reads.into()),
+        ("table_writes", level.table_writes.into()),
+    ])
+}
+
+/// A whole [`PipelineReport`] as JSON — what `exp_fig3`/`exp_fig4`/
+/// `pipeline_smoke --json <path>` write for the CI artifact upload.
+pub fn pipeline_report_json(name: &str, report: &PipelineReport) -> Json {
+    Json::obj(vec![
+        ("schema_version", 1u64.into()),
+        ("name", Json::str(name)),
+        ("train_frames", report.train_frames.into()),
+        ("test_frames", report.test_frames.into()),
+        ("graph_states", report.graph_states.into()),
+        ("graph_arcs", report.graph_arcs.into()),
+        ("model_params", report.model_params.into()),
+        ("final_train_loss", report.final_train_loss.into()),
+        ("final_train_accuracy", report.final_train_accuracy.into()),
+        (
+            "levels",
+            Json::Arr(report.levels.iter().map(level_json).collect()),
+        ),
+    ])
+}
+
+/// A [`PolicyGridReport`] as JSON — what `exp_fig7 --json <path>` writes.
+pub fn policy_grid_json(name: &str, report: &PolicyGridReport) -> Json {
+    Json::obj(vec![
+        ("schema_version", 1u64.into()),
+        ("name", Json::str(name)),
+        (
+            "policies",
+            Json::Arr(report.policies.iter().map(Json::str).collect()),
+        ),
+        (
+            "levels",
+            Json::Arr(
+                report
+                    .levels
+                    .iter()
+                    .map(|level| {
+                        Json::obj(vec![
+                            ("label", Json::str(&level.label)),
+                            ("sparsity", level.sparsity.into()),
+                            (
+                                "per_policy",
+                                Json::Arr(level.per_policy.iter().map(level_json).collect()),
+                            ),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// Write a rendered JSON document (newline-terminated) to `path`.
+pub fn write_json_file(path: impl AsRef<Path>, json: &Json) -> std::io::Result<()> {
+    let mut f = std::fs::File::create(path)?;
+    writeln!(f, "{}", json.render())
+}
+
+/// Scan the process arguments for `--json <path>` (the shared experiment
+/// flag). Other flags are left for the caller; a trailing `--json` without
+/// a path is an error.
+pub fn json_arg() -> Result<Option<String>, String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.iter().position(|a| a == "--json") {
+        None => Ok(None),
+        Some(i) => match args.get(i + 1) {
+            Some(path) if !path.starts_with("--") => Ok(Some(path.clone())),
+            _ => Err("--json requires a path".to_string()),
+        },
+    }
 }

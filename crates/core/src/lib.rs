@@ -26,6 +26,7 @@ pub use darkside_dnn_accel as dnn_accel;
 pub use darkside_hwmodel as hwmodel;
 pub use darkside_nn as nn;
 pub use darkside_pruning as pruning;
+pub use darkside_trace as trace;
 pub use darkside_viterbi_accel as viterbi_accel;
 pub use darkside_wfst as wfst;
 

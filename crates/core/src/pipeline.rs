@@ -12,9 +12,11 @@
 use crate::{acoustic, decoder, nn, pruning, wfst, PolicyKind};
 use acoustic::{training_set, Corpus, CorpusConfig, Utterance};
 use darkside_error::Error;
+use darkside_trace::{self as trace, Json};
 use decoder::{acoustic_costs, decode_with_policy, BeamConfig, WerStats};
 use nn::{evaluate, FrameScorer, Mlp, Rng, SgdConfig, Trainer};
 use pruning::{prune_mlp_to_sparsity, PrunedMlp};
+use std::rc::Rc;
 use wfst::{build_decoding_graph, Fst};
 
 /// Everything `Pipeline::run` needs, with DESIGN.md §4b defaults.
@@ -153,6 +155,32 @@ impl PipelineConfig {
         self
     }
 
+    /// The run-identifying knobs, for the `RunReport` `config` section
+    /// (ISSUE 4). Not exhaustive — corpus internals stay behind the corpus
+    /// seed — but enough to identify and re-launch the run.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("num_words", self.corpus.num_words.into()),
+            ("num_classes", self.corpus.inventory.num_classes().into()),
+            ("corpus_seed", self.corpus.seed.into()),
+            ("hidden_dim", self.hidden_dim.into()),
+            ("pnorm_group", self.pnorm_group.into()),
+            ("hidden_blocks", self.hidden_blocks.into()),
+            ("epochs", self.epochs.into()),
+            ("retrain_epochs", self.retrain_epochs.into()),
+            ("train_utterances", self.train_utterances.into()),
+            ("test_utterances", self.test_utterances.into()),
+            ("beam", (self.beam.beam as f64).into()),
+            ("acoustic_scale", (self.beam.acoustic_scale as f64).into()),
+            ("policy", Json::str(self.policy.label())),
+            (
+                "prune_levels",
+                Json::Arr(self.prune_levels.iter().map(|&s| s.into()).collect()),
+            ),
+            ("seed", self.seed.into()),
+        ])
+    }
+
     fn validate(&self) -> Result<(), Error> {
         let fail = |detail: String| Err(Error::config("PipelineConfig", detail));
         if self.hidden_dim == 0 || !self.hidden_dim.is_multiple_of(self.pnorm_group) {
@@ -196,6 +224,18 @@ pub struct LevelReport {
     pub wer_percent: f64,
     /// Mean hypotheses (arcs) explored per frame (Fig. 4's y-axis).
     pub mean_hypotheses: f64,
+    /// Nearest-rank percentiles of hypotheses per frame over every decoded
+    /// test frame — the tail view the mean hides (ISSUE 4; the paper's
+    /// Fig. 7 argues from exactly this distribution).
+    pub hyps_p50: f64,
+    pub hyps_p95: f64,
+    pub hyps_p99: f64,
+    /// Per-frame decode latency percentiles, nanoseconds. Nonzero only when
+    /// the level was decoded under an active `darkside_trace` recorder (the
+    /// untraced hot loop never reads the clock).
+    pub frame_ns_p50: f64,
+    pub frame_ns_p95: f64,
+    pub frame_ns_p99: f64,
     /// Mean best-path cost per utterance.
     pub mean_best_cost: f64,
     /// Total hypothesis-storage evictions across the test set (Fig. 7's
@@ -282,9 +322,14 @@ impl Pipeline {
     /// acoustic model.
     pub fn build(config: PipelineConfig) -> Result<Self, Error> {
         config.validate()?;
-        let corpus = Corpus::generate(config.corpus.clone())?;
-        let graph =
-            build_decoding_graph(&corpus.config.inventory, &corpus.lexicon, &corpus.grammar)?;
+        let corpus = {
+            let _s = trace::span!("corpus");
+            Corpus::generate(config.corpus.clone())?
+        };
+        let graph = {
+            let _s = trace::span!("graph");
+            build_decoding_graph(&corpus.config.inventory, &corpus.lexicon, &corpus.grammar)?
+        };
 
         let mut rng = Rng::new(config.seed);
         let train = corpus.sample_set(config.train_utterances, &mut rng);
@@ -301,9 +346,13 @@ impl Pipeline {
         );
         let mut trainer = Trainer::new(config.sgd, &model);
         let mut last = evaluate(&model, &features, &labels);
-        for _ in 0..config.epochs {
-            last = trainer.train_epoch(&mut model, &features, &labels, &mut rng, |_| {});
-            trainer.end_epoch();
+        {
+            let _train_span = trace::span!("train");
+            for _ in 0..config.epochs {
+                let _epoch = trace::span!("train.epoch");
+                last = trainer.train_epoch(&mut model, &features, &labels, &mut rng, |_| {});
+                trainer.end_epoch();
+            }
         }
         Ok(Self {
             config,
@@ -341,6 +390,18 @@ impl Pipeline {
         scorer: &dyn FrameScorer,
         kind: &PolicyKind,
     ) -> Result<LevelReport, Error> {
+        // Stage span + per-level metric names (ISSUE 4). When tracing is
+        // off the span is inert and the names are never formatted.
+        let traced = trace::active();
+        let _decode_span = trace::span(format!("decode.{label}"));
+        let (hyps_metric, ns_metric) = if traced {
+            (
+                format!("decode.{label}.{}.hyps", kind.label()),
+                format!("decode.{label}.{}.frame_ns", kind.label()),
+            )
+        } else {
+            (String::new(), String::new())
+        };
         let mut confidence = 0.0f64;
         let mut correct = 0usize;
         let mut frames = 0usize;
@@ -352,6 +413,8 @@ impl Pipeline {
         let mut occupancy = 0usize;
         let mut table_reads = 0u64;
         let mut table_writes = 0u64;
+        let mut arcs_per_frame: Vec<f64> = Vec::new();
+        let mut frame_ns: Vec<f64> = Vec::new();
         for utt in &self.test_set {
             let scores = scorer.score_frames(&utt.frames);
             confidence += scores.mean_confidence() as f64 * utt.frames.len() as f64;
@@ -372,8 +435,19 @@ impl Pipeline {
             occupancy += result.stats.table_occupancy.iter().sum::<usize>();
             table_reads += result.stats.table_reads;
             table_writes += result.stats.table_writes;
+            arcs_per_frame.extend(result.stats.arcs_expanded.iter().map(|&a| a as f64));
+            if traced {
+                for &a in &result.stats.arcs_expanded {
+                    trace::sample(&hyps_metric, a as f64);
+                }
+                for &ns in &result.stats.frame_ns {
+                    trace::sample(&ns_metric, ns as f64);
+                    frame_ns.push(ns as f64);
+                }
+            }
         }
         let utts = self.test_set.len() as f64;
+        let pct = trace::exact_percentile;
         Ok(LevelReport {
             label: label.to_string(),
             policy: kind.label().to_string(),
@@ -382,6 +456,12 @@ impl Pipeline {
             frame_accuracy: correct as f64 / frames as f64,
             wer_percent: wer.percent(),
             mean_hypotheses: hypotheses / utts,
+            hyps_p50: pct(&arcs_per_frame, 0.50),
+            hyps_p95: pct(&arcs_per_frame, 0.95),
+            hyps_p99: pct(&arcs_per_frame, 0.99),
+            frame_ns_p50: pct(&frame_ns, 0.50),
+            frame_ns_p95: pct(&frame_ns, 0.95),
+            frame_ns_p99: pct(&frame_ns, 0.99),
             mean_best_cost: best_cost / utts,
             evictions,
             overflows,
@@ -395,9 +475,14 @@ impl Pipeline {
     /// and return the CSR-backed scorer plus its achieved sparsity.
     pub fn prune_to(&self, target: f64) -> Result<(PrunedMlp, f64), Error> {
         let mut model = self.model.clone();
-        let result = prune_mlp_to_sparsity(&model, target, 0.005);
-        result.apply(&mut model);
+        let result = {
+            let _s = trace::span!("prune");
+            let result = prune_mlp_to_sparsity(&model, target, 0.005);
+            result.apply(&mut model);
+            result
+        };
         if self.config.retrain_epochs > 0 {
+            let _retrain_span = trace::span!("retrain");
             let (features, labels) = {
                 // Retrain on a fresh sample of the same task (the paper
                 // retrains on the training distribution).
@@ -447,6 +532,36 @@ impl Pipeline {
             final_train_loss: self.final_train_loss,
             final_train_accuracy: self.final_train_accuracy,
         })
+    }
+
+    /// The traced study (ISSUE 4 tentpole): build + run the whole pipeline
+    /// with `recorder` installed, so every stage lands in a span ("corpus",
+    /// "graph", "train" / "train.epoch", "prune", "retrain",
+    /// "decode.{label}"), the decoder emits per-frame latency/effort
+    /// histograms, and the pruning policies export their storage/energy
+    /// counters. Returns the built pipeline, the usual [`PipelineReport`],
+    /// and the assembled [`trace::RunReport`] (name + seed + config + the
+    /// recorder's aggregated [`trace::MetricsSnapshot`]).
+    ///
+    /// Pass a [`trace::MemoryRecorder`] for the report alone or a
+    /// [`trace::JsonlRecorder`] to also stream every event to disk; with a
+    /// [`trace::NullRecorder`] this is `build` + `run` with an empty
+    /// metrics section.
+    pub fn run_traced(
+        config: PipelineConfig,
+        name: &str,
+        recorder: Rc<dyn trace::Recorder>,
+    ) -> Result<(Self, PipelineReport, trace::RunReport), Error> {
+        let seed = config.seed;
+        let config_json = config.to_json();
+        let (pipeline, report) = trace::with_recorder(recorder.clone(), || {
+            let pipeline = Self::build(config)?;
+            let report = pipeline.run()?;
+            Ok::<_, Error>((pipeline, report))
+        })?;
+        let metrics = recorder.snapshot().unwrap_or_default();
+        let run = trace::RunReport::new(name, seed, config_json, metrics);
+        Ok((pipeline, report, run))
     }
 
     /// Per-level × per-policy sweep: prune once per level, then decode the

@@ -68,6 +68,14 @@ pub trait PruningPolicy {
     /// Close the frame: report traffic + the survivor cutoff, and reset
     /// per-frame storage for the next frame.
     fn end_frame(&mut self) -> FramePruneStats;
+
+    /// Close the utterance (ISSUE 4 observability): called once by
+    /// [`crate::decode_with_policy`] after the last frame, before the best
+    /// path is traced back. Stateful policies override this to export their
+    /// cumulative storage/energy totals as named `darkside_trace` metrics
+    /// ("policy.{name}.evictions", "energy.{component}.pj", ...); the
+    /// default — and the storage-free [`BeamPolicy`] — does nothing.
+    fn end_utterance(&mut self) {}
 }
 
 /// The classic software beam: admit every candidate, then cut survivors to

@@ -23,6 +23,7 @@ use crate::policy::{Admit, BeamPolicy, PruningPolicy};
 use crate::{BeamConfig, PROB_FLOOR};
 use darkside_error::Error;
 use darkside_nn::Matrix;
+use darkside_trace as trace;
 use darkside_wfst::{label_class, Fst, EPSILON};
 use std::collections::HashMap;
 
@@ -47,6 +48,10 @@ pub struct DecodeStats {
     pub table_reads: u64,
     /// Total hypothesis-storage writes (inserts, updates, spills).
     pub table_writes: u64,
+    /// Wall-clock nanoseconds per frame. Populated only while a
+    /// `darkside_trace` recorder is active (ISSUE 4) — empty otherwise, so
+    /// the untraced hot loop never touches the clock.
+    pub frame_ns: Vec<u64>,
 }
 
 impl DecodeStats {
@@ -160,6 +165,10 @@ impl<'a> SearchCore<'a> {
     /// (indexed by class id), consulting `policy` for every candidate and
     /// applying its end-of-frame cutoff to the survivors.
     pub fn advance(&mut self, frame: &[f32], policy: &mut dyn PruningPolicy) -> Result<(), Error> {
+        // Per-frame event hooks (ISSUE 4): one flag read when tracing is
+        // off; clock reads and histogram samples only on the active path.
+        let traced = trace::active();
+        let t0 = if traced { trace::now_ns() } else { 0 };
         let mut expanded = 0usize;
         self.next.clear();
         for &(state, token) in &self.tokens {
@@ -237,6 +246,13 @@ impl<'a> SearchCore<'a> {
         self.stats.overflows += prune.overflows;
         self.stats.table_reads += prune.reads;
         self.stats.table_writes += prune.writes;
+        if traced {
+            let ns = trace::now_ns().saturating_sub(t0);
+            self.stats.frame_ns.push(ns);
+            trace::sample("decode.frame.ns", ns as f64);
+            trace::sample("decode.frame.arcs", expanded as f64);
+            trace::counter("decode.frames", 1);
+        }
         self.frame += 1;
         Ok(())
     }
@@ -317,6 +333,9 @@ pub fn decode_with_policy(
     for t in 0..costs.rows() {
         core.advance(costs.row(t), policy)?;
     }
+    // Let stateful policies export their cumulative metrics (ISSUE 4);
+    // a no-op for the plain beam and for every policy when tracing is off.
+    policy.end_utterance();
     Ok(core.finish())
 }
 

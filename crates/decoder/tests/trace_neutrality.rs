@@ -1,0 +1,105 @@
+//! Tracing must never change a decode (ISSUE 4 acceptance).
+//!
+//! Three decodes of identical inputs — under the ambient default (no
+//! recorder), under an explicitly installed `NullRecorder`, and under an
+//! active `MemoryRecorder` — must agree bit for bit on words, cost, and
+//! every stat trace. (`beam_regression.rs` separately pins the no-recorder
+//! decode against the verbatim PR 2 loop, so together these pin the
+//! instrumented decoder to the uninstrumented original.) The only permitted
+//! difference is observational: `frame_ns` is populated, and the recorder
+//! holds one histogram sample per frame, exactly when tracing is active.
+
+use darkside_decoder::{decode, BeamConfig, DecodeResult};
+use darkside_nn::check::run_cases;
+use darkside_nn::{Matrix, Rng};
+use darkside_trace::{self as trace, MemoryRecorder, NullRecorder, Recorder as _};
+use darkside_wfst::{Arc, Fst, TropicalWeight, EPSILON};
+use std::rc::Rc;
+
+const NUM_CLASSES: usize = 5;
+
+fn random_graph(rng: &mut Rng) -> Fst {
+    let n = 2 + rng.below(30);
+    let mut fst = Fst::new();
+    for _ in 0..n {
+        fst.add_state();
+    }
+    fst.set_start(0);
+    for s in 0..n as u32 {
+        for _ in 0..1 + rng.below(3) {
+            let olabel = if rng.next_f32() < 0.3 {
+                1 + rng.below(7) as u32
+            } else {
+                EPSILON
+            };
+            fst.add_arc(
+                s,
+                Arc {
+                    ilabel: 1 + rng.below(NUM_CLASSES) as u32,
+                    olabel,
+                    weight: TropicalWeight(rng.uniform(0.0, 2.0)),
+                    next: rng.below(n) as u32,
+                },
+            );
+        }
+    }
+    fst.set_final((n - 1) as u32, TropicalWeight::ONE);
+    fst
+}
+
+fn assert_same_decode(a: &DecodeResult, b: &DecodeResult, what: &str) {
+    assert_eq!(a.words, b.words, "{what}: words");
+    assert_eq!(a.cost, b.cost, "{what}: cost");
+    assert_eq!(a.reached_final, b.reached_final, "{what}: finish flag");
+    assert_eq!(a.stats.active_tokens, b.stats.active_tokens, "{what}");
+    assert_eq!(a.stats.arcs_expanded, b.stats.arcs_expanded, "{what}");
+    assert_eq!(a.stats.best_cost, b.stats.best_cost, "{what}");
+}
+
+#[test]
+fn recorders_never_change_the_decode() {
+    let config = BeamConfig {
+        beam: 6.0,
+        acoustic_scale: 0.3,
+    };
+    run_cases(0x7AC3, 25, |rng, case| {
+        let graph = random_graph(rng);
+        let frames = 1 + rng.below(10);
+        let costs = Matrix::from_fn(frames, NUM_CLASSES, |_, _| rng.uniform(0.0, 4.0));
+
+        let bare = decode(&graph, &costs, &config);
+        let nulled =
+            trace::with_recorder(Rc::new(NullRecorder), || decode(&graph, &costs, &config));
+        let mem = Rc::new(MemoryRecorder::new());
+        let traced = trace::with_recorder(mem.clone(), || decode(&graph, &costs, &config));
+
+        match (bare, nulled, traced) {
+            (Ok(bare), Ok(nulled), Ok(traced)) => {
+                assert_same_decode(&bare, &nulled, &format!("case {case}: null recorder"));
+                assert_same_decode(&bare, &traced, &format!("case {case}: memory recorder"));
+                // The clock is only read under an active recorder...
+                assert!(bare.stats.frame_ns.is_empty(), "case {case}");
+                assert!(nulled.stats.frame_ns.is_empty(), "case {case}");
+                assert_eq!(traced.stats.frame_ns.len(), frames, "case {case}");
+                // ...and the recorder saw one sample per frame.
+                let snap = mem.snapshot().unwrap();
+                assert_eq!(snap.counters["decode.frames"], frames as u64);
+                assert_eq!(snap.histograms["decode.frame.ns"].count, frames as u64);
+                assert_eq!(snap.histograms["decode.frame.arcs"].count, frames as u64);
+                let total_arcs: usize = traced.stats.arcs_expanded.iter().sum();
+                assert_eq!(
+                    snap.histograms["decode.frame.arcs"].mean,
+                    total_arcs as f64 / frames as f64,
+                    "case {case}"
+                );
+            }
+            (Err(_), Err(_), Err(_)) => {} // all died identically
+            (bare, nulled, traced) => panic!(
+                "case {case}: decodes disagree on failure: bare {:?} null {:?} traced {:?}",
+                bare.is_ok(),
+                nulled.is_ok(),
+                traced.is_ok()
+            ),
+        }
+    });
+}

@@ -33,6 +33,29 @@ impl EnergyAccount {
             + self.writes as f64 * c.write_pj
             + self.powered_cycles as f64 * c.leakage_pj_per_cycle
     }
+
+    /// Export this account as named `darkside_trace` metrics (ISSUE 4):
+    /// counters `energy.{component}.reads` / `.writes` and one
+    /// `energy.{component}.pj` histogram sample for the account's total
+    /// under `coeffs`. No-op (one flag read) when tracing is inactive, so
+    /// simulators can call it unconditionally at utterance end.
+    pub fn trace_as(&self, component: &str, coeffs: &EnergyCoefficients) {
+        if !darkside_trace::active() {
+            return;
+        }
+        let mut name = String::with_capacity(7 + component.len() + 7);
+        name.push_str("energy.");
+        name.push_str(component);
+        let base = name.len();
+        name.push_str(".reads");
+        darkside_trace::counter(&name, self.reads);
+        name.truncate(base);
+        name.push_str(".writes");
+        darkside_trace::counter(&name, self.writes);
+        name.truncate(base);
+        name.push_str(".pj");
+        darkside_trace::sample(&name, self.total_pj(coeffs));
+    }
 }
 
 #[cfg(test)]

@@ -27,6 +27,8 @@
 //! results agree to ~1e-6 relative, not bitwise — tests use the 1e-4 relative
 //! tolerance from the acceptance criteria.
 
+use darkside_trace as trace;
+
 /// Micro-tile rows (register blocking in `m`).
 pub const MR: usize = 8;
 /// Micro-tile columns (register blocking in `n`; one AVX2 vector of f32).
@@ -82,6 +84,34 @@ pub fn gemm(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
     gemm_with_threads(m, n, k, a, b, c, threads);
 }
 
+/// Kernel-timing hook (ISSUE 4): time `f` as one whole call on the caller's
+/// thread and charge it to the `nn.<kernel>` trace metrics. Inactive trace
+/// costs one thread-local flag read.
+#[inline]
+pub(crate) fn timed_kernel<T>(kernel: &str, flops: u64, f: impl FnOnce() -> T) -> T {
+    if !trace::active() {
+        return f();
+    }
+    let t0 = trace::now_ns();
+    let out = f();
+    let ns = trace::now_ns().saturating_sub(t0);
+    let mut name = String::with_capacity(3 + kernel.len() + 6);
+    name.push_str("nn.");
+    name.push_str(kernel);
+    let base = name.len();
+    name.push_str(".ns");
+    trace::sample(&name, ns as f64);
+    name.truncate(base);
+    name.push_str(".calls");
+    trace::counter(&name, 1);
+    if flops > 0 {
+        name.truncate(base);
+        name.push_str(".flops");
+        trace::counter(&name, flops);
+    }
+    out
+}
+
 /// [`gemm`] with an explicit worker count (`threads >= 1`).
 pub fn gemm_with_threads(
     m: usize,
@@ -92,6 +122,12 @@ pub fn gemm_with_threads(
     c: &mut [f32],
     threads: usize,
 ) {
+    timed_kernel("gemm", 2 * (m * n * k) as u64, || {
+        gemm_blocked(m, n, k, a, b, c, threads)
+    });
+}
+
+fn gemm_blocked(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f32], threads: usize) {
     check_shapes(m, n, k, a, b, c);
     c.fill(0.0);
     if m == 0 || n == 0 || k == 0 {

@@ -31,5 +31,5 @@ pub use layers::{renormalize_in_place, softmax_in_place, Affine, Layer, PNorm};
 pub use matrix::Matrix;
 pub use model::{Frame, Mlp, Scores};
 pub use rng::Rng;
-pub use scorer::{stack_frames, FrameScorer};
+pub use scorer::{stack_frames, traced_score_frames, FrameScorer};
 pub use train::{evaluate, SgdConfig, TrainStats, Trainer};

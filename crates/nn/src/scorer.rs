@@ -10,6 +10,7 @@
 
 use crate::matrix::Matrix;
 use crate::model::{Frame, Mlp, Scores};
+use darkside_trace as trace;
 
 /// An acoustic model that maps feature frames to per-class posteriors.
 pub trait FrameScorer {
@@ -26,6 +27,26 @@ pub trait FrameScorer {
     fn score_frame(&self, frame: &Frame) -> Scores {
         self.score_frames(std::slice::from_ref(frame))
     }
+}
+
+/// Kernel-timing hook for [`FrameScorer::score_frames`] implementations
+/// (ISSUE 4): one whole-utterance timing sample plus frame/call counters
+/// under `nn.score_frames.*`, shared by the dense [`Mlp`] and the CSR-backed
+/// `darkside_pruning::PrunedMlp` so dense-vs-pruned scoring cost lands in
+/// one comparable metric. Inactive trace costs a thread-local flag read.
+pub fn traced_score_frames(num_frames: usize, f: impl FnOnce() -> Scores) -> Scores {
+    if !trace::active() {
+        return f();
+    }
+    let t0 = trace::now_ns();
+    let out = f();
+    trace::sample(
+        "nn.score_frames.ns",
+        trace::now_ns().saturating_sub(t0) as f64,
+    );
+    trace::counter("nn.score_frames.calls", 1);
+    trace::counter("nn.score_frames.frames", num_frames as u64);
+    out
 }
 
 /// Stack an utterance's frames into the `batch × dim` matrix the batched
@@ -58,9 +79,9 @@ impl FrameScorer for Mlp {
 
     /// Batched scoring: one GEMM per layer for the whole utterance.
     fn score_frames(&self, frames: &[Frame]) -> Scores {
-        Scores {
+        traced_score_frames(frames.len(), || Scores {
             probs: self.forward(stack_frames(frames, Mlp::input_dim(self))),
-        }
+        })
     }
 }
 

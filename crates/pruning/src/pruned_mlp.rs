@@ -8,7 +8,7 @@
 use crate::magnitude::Mask;
 use crate::model::ModelPruneResult;
 use crate::pruned_layer::PrunedAffine;
-use darkside_nn::{stack_frames, Frame, FrameScorer, Layer, Mlp, Scores};
+use darkside_nn::{stack_frames, traced_score_frames, Frame, FrameScorer, Layer, Mlp, Scores};
 
 /// One layer of a pruned model: either a CSR-compressed affine or a dense
 /// pass-through (LDA, p-norm, renormalize, softmax are never pruned).
@@ -97,14 +97,16 @@ impl FrameScorer for PrunedMlp {
     }
 
     fn score_frames(&self, frames: &[Frame]) -> Scores {
-        let mut x = stack_frames(frames, self.input_dim);
-        for layer in &self.layers {
-            x = match layer {
-                ScoringLayer::Dense(l) => l.forward(x),
-                ScoringLayer::Sparse(p) => p.forward(&x),
-            };
-        }
-        Scores { probs: x }
+        traced_score_frames(frames.len(), || {
+            let mut x = stack_frames(frames, self.input_dim);
+            for layer in &self.layers {
+                x = match layer {
+                    ScoringLayer::Dense(l) => l.forward(x),
+                    ScoringLayer::Sparse(p) => p.forward(&x),
+                };
+            }
+            Scores { probs: x }
+        })
     }
 }
 

@@ -1,0 +1,253 @@
+//! # darkside-trace — zero-dependency tracing/metrics substrate (ISSUE 4)
+//!
+//! The paper's argument is observational — pruning looks free on accuracy
+//! but explodes decode work — so the pipeline needs one measurement layer
+//! instead of the ad-hoc stat structs each crate grew. This crate provides
+//! it with the workspace's no-external-deps rule intact:
+//!
+//! * a [`Recorder`] sink trait with [`NullRecorder`] (inactive, the
+//!   default), [`MemoryRecorder`] (aggregating), and [`JsonlRecorder`]
+//!   (aggregating + event stream on disk);
+//! * monotonic-clock nested spans via [`span`]/[`span!`] RAII guards;
+//! * counters, gauges, and log-bucketed [`hist::LogHistogram`]s
+//!   (p50/p95/p99/max) behind free functions ([`counter`], [`gauge`],
+//!   [`sample`]);
+//! * [`RunReport`] — run identity + config + the aggregated
+//!   [`MetricsSnapshot`], rendered through the in-tree [`json::Json`].
+//!
+//! ## Ambient, per-thread installation
+//!
+//! Instrumentation sites (decoder frames, `nn::gemm`, pruning policies)
+//! call the free functions unconditionally; each checks one thread-local
+//! flag first, so with no recorder installed the cost is a branch — no
+//! clock reads, no allocation, no formatting. Install a sink around a
+//! region with [`with_recorder`] (or [`set_recorder`] for manual control):
+//!
+//! ```
+//! use darkside_trace::{self as trace, Recorder as _};
+//! use std::rc::Rc;
+//!
+//! let rec = Rc::new(trace::MemoryRecorder::new());
+//! trace::with_recorder(rec.clone(), || {
+//!     let _stage = trace::span!("train");
+//!     trace::counter("train.frames", 128);
+//!     trace::sample("train.epoch_ms", 12.5);
+//! });
+//! let snap = rec.snapshot().unwrap();
+//! assert_eq!(snap.counters["train.frames"], 128);
+//! assert_eq!(snap.spans["train"].count, 1);
+//! ```
+//!
+//! The recorder is thread-local by design: the pipeline is single-threaded
+//! at stage granularity, and the thread-parallel kernels (`nn::gemm`) are
+//! timed as whole calls from the caller's thread, so worker threads never
+//! race on a sink and no locks sit on the hot path.
+
+pub mod hist;
+pub mod json;
+pub mod recorder;
+pub mod report;
+
+pub use hist::{exact_percentile, HistogramSummary, LogHistogram};
+pub use json::Json;
+pub use recorder::{JsonlRecorder, MemoryRecorder, NullRecorder, Recorder};
+pub use report::{MetricsSnapshot, RunReport, SpanAgg};
+
+use std::cell::{Cell, RefCell};
+use std::rc::Rc;
+use std::sync::OnceLock;
+use std::time::Instant;
+
+thread_local! {
+    static RECORDER: RefCell<Rc<dyn Recorder>> = RefCell::new(Rc::new(NullRecorder));
+    /// Fast-path mirror of `RECORDER.is_active()` — one `Cell` read gates
+    /// every instrumentation site.
+    static ACTIVE: Cell<bool> = const { Cell::new(false) };
+    static DEPTH: Cell<usize> = const { Cell::new(0) };
+}
+
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+
+/// Monotonic nanoseconds since the first call in this process.
+pub fn now_ns() -> u64 {
+    EPOCH.get_or_init(Instant::now).elapsed().as_nanos() as u64
+}
+
+/// Whether an active recorder is installed on this thread. Instrumentation
+/// sites may use this to skip preparing expensive event payloads.
+pub fn active() -> bool {
+    ACTIVE.get()
+}
+
+/// Install `recorder` as this thread's sink; returns the previous one.
+pub fn set_recorder(recorder: Rc<dyn Recorder>) -> Rc<dyn Recorder> {
+    ACTIVE.set(recorder.is_active());
+    RECORDER.with(|r| std::mem::replace(&mut *r.borrow_mut(), recorder))
+}
+
+/// Run `f` with `recorder` installed, restoring the previous sink after —
+/// including on panic (the restore lives in a drop guard).
+pub fn with_recorder<T>(recorder: Rc<dyn Recorder>, f: impl FnOnce() -> T) -> T {
+    struct Restore(Option<Rc<dyn Recorder>>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            if let Some(prev) = self.0.take() {
+                set_recorder(prev);
+            }
+        }
+    }
+    let _restore = Restore(Some(set_recorder(recorder)));
+    f()
+}
+
+/// Snapshot this thread's current recorder ([`None`] under the null sink).
+pub fn snapshot() -> Option<MetricsSnapshot> {
+    RECORDER.with(|r| r.borrow().snapshot())
+}
+
+/// Add `delta` to the named counter (no-op when inactive).
+pub fn counter(name: &str, delta: u64) {
+    if ACTIVE.get() {
+        RECORDER.with(|r| r.borrow().counter(name, delta));
+    }
+}
+
+/// Set the named gauge (no-op when inactive).
+pub fn gauge(name: &str, value: f64) {
+    if ACTIVE.get() {
+        RECORDER.with(|r| r.borrow().gauge(name, value));
+    }
+}
+
+/// Record one histogram sample (no-op when inactive).
+pub fn sample(name: &str, value: f64) {
+    if ACTIVE.get() {
+        RECORDER.with(|r| r.borrow().sample(name, value));
+    }
+}
+
+/// RAII handle for one open span; closes (and times) it on drop.
+pub struct SpanGuard {
+    name: Option<String>,
+    start_ns: u64,
+}
+
+/// Open a nested monotonic-clock span. Inert (no clock read, no
+/// allocation beyond evaluating `name`) when no recorder is active.
+pub fn span(name: impl Into<String>) -> SpanGuard {
+    if !ACTIVE.get() {
+        return SpanGuard {
+            name: None,
+            start_ns: 0,
+        };
+    }
+    let name = name.into();
+    let depth = DEPTH.get() + 1;
+    DEPTH.set(depth);
+    let start_ns = now_ns();
+    RECORDER.with(|r| r.borrow().span_enter(&name, depth, start_ns));
+    SpanGuard {
+        name: Some(name),
+        start_ns,
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some(name) = self.name.take() {
+            let depth = DEPTH.get();
+            DEPTH.set(depth.saturating_sub(1));
+            let end_ns = now_ns();
+            if ACTIVE.get() {
+                RECORDER.with(|r| r.borrow().span_exit(&name, depth, self.start_ns, end_ns));
+            }
+        }
+    }
+}
+
+/// `span!("train.epoch")` — the idiomatic spelling of [`span`]; bind the
+/// guard (`let _s = span!(...)`) so the span covers the enclosing scope.
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::span($name)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_sink_is_inactive() {
+        // Free functions are safe no-ops with nothing installed.
+        assert!(!active());
+        counter("x", 1);
+        gauge("x", 1.0);
+        sample("x", 1.0);
+        let _s = span!("x");
+        assert!(snapshot().is_none());
+    }
+
+    #[test]
+    fn with_recorder_scopes_and_restores() {
+        let outer = Rc::new(MemoryRecorder::new());
+        let inner = Rc::new(MemoryRecorder::new());
+        with_recorder(outer.clone(), || {
+            counter("c", 1);
+            with_recorder(inner.clone(), || counter("c", 10));
+            counter("c", 2);
+        });
+        assert!(!active());
+        assert_eq!(outer.snapshot().unwrap().counters["c"], 3);
+        assert_eq!(inner.snapshot().unwrap().counters["c"], 10);
+    }
+
+    #[test]
+    fn installing_the_null_recorder_deactivates_tracing() {
+        let mem = Rc::new(MemoryRecorder::new());
+        with_recorder(mem.clone(), || {
+            assert!(active());
+            with_recorder(Rc::new(NullRecorder), || {
+                assert!(!active());
+                counter("c", 5);
+            });
+            assert!(active());
+        });
+        assert!(mem.snapshot().unwrap().counters.is_empty());
+    }
+
+    #[test]
+    fn spans_nest_and_time_monotonically() {
+        let mem = Rc::new(MemoryRecorder::new());
+        with_recorder(mem.clone(), || {
+            let _outer = span!("outer");
+            for _ in 0..3 {
+                let _inner = span!(format!("inner.{}", "x"));
+            }
+        });
+        let snap = mem.snapshot().unwrap();
+        assert_eq!(snap.spans["outer"].count, 1);
+        assert_eq!(snap.spans["inner.x"].count, 3);
+        assert!(snap.spans["outer"].total_ns >= snap.spans["inner.x"].total_ns);
+        assert_eq!(mem.unbalanced_closes(), 0);
+        assert_eq!(mem.open_spans(), 0);
+    }
+
+    #[test]
+    fn panic_inside_with_recorder_still_restores() {
+        let mem: Rc<MemoryRecorder> = Rc::new(MemoryRecorder::new());
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            with_recorder(mem.clone(), || panic!("boom"));
+        }));
+        assert!(result.is_err());
+        assert!(!active());
+    }
+
+    #[test]
+    fn now_ns_is_monotone() {
+        let a = now_ns();
+        let b = now_ns();
+        assert!(b >= a);
+    }
+}

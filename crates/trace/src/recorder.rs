@@ -1,0 +1,317 @@
+//! Recorder sinks: where trace events go.
+//!
+//! * [`NullRecorder`] — the default. `is_active()` is `false`, so every
+//!   instrumentation site short-circuits on one thread-local flag before
+//!   touching the clock or formatting a name; decode under the null
+//!   recorder is regression-pinned bit-for-bit against an uninstrumented
+//!   loop (`darkside-decoder/tests/trace_neutrality.rs`) and wall-clock
+//!   gated at ≤ 5 % overhead in CI (`darkside-bench --bin trace_overhead`).
+//! * [`MemoryRecorder`] — aggregates counters/gauges/histograms/span
+//!   totals in memory; `snapshot()` yields the [`MetricsSnapshot`] a
+//!   `RunReport` is assembled from.
+//! * [`JsonlRecorder`] — a [`MemoryRecorder`] that additionally appends
+//!   one JSON line per event to a file, for post-hoc analysis or live
+//!   tailing of long runs.
+//!
+//! Recorders use interior mutability (`RefCell`) and are installed
+//! per-thread via `Rc` ([`crate::set_recorder`] / [`crate::with_recorder`]);
+//! the worker threads `darkside_nn::gemm` spawns never record directly —
+//! kernel hooks time whole calls from the caller's thread.
+
+use crate::hist::LogHistogram;
+use crate::report::{MetricsSnapshot, SpanAgg};
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+
+/// One sink for trace events. Metric names are plain dot-separated strings
+/// ("decode.frame.ns"); aggregation is by exact name.
+pub trait Recorder {
+    /// `false` short-circuits every instrumentation site (the null sink).
+    fn is_active(&self) -> bool {
+        true
+    }
+
+    /// Add `delta` to a monotonically increasing counter.
+    fn counter(&self, name: &str, delta: u64);
+
+    /// Set a last-write-wins value.
+    fn gauge(&self, name: &str, value: f64);
+
+    /// Record one sample into the named log-bucketed histogram.
+    fn sample(&self, name: &str, value: f64);
+
+    /// A span opened (`depth` counts nesting, outermost = 1).
+    fn span_enter(&self, name: &str, depth: usize, start_ns: u64);
+
+    /// A span closed. `start_ns` is the matching enter time.
+    fn span_exit(&self, name: &str, depth: usize, start_ns: u64, end_ns: u64);
+
+    /// Aggregated view of everything recorded so far (`None` for sinks that
+    /// keep no state, i.e. the null recorder).
+    fn snapshot(&self) -> Option<MetricsSnapshot> {
+        None
+    }
+}
+
+/// The no-op sink: statically does nothing, reports inactive.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NullRecorder;
+
+impl Recorder for NullRecorder {
+    fn is_active(&self) -> bool {
+        false
+    }
+    fn counter(&self, _name: &str, _delta: u64) {}
+    fn gauge(&self, _name: &str, _value: f64) {}
+    fn sample(&self, _name: &str, _value: f64) {}
+    fn span_enter(&self, _name: &str, _depth: usize, _start_ns: u64) {}
+    fn span_exit(&self, _name: &str, _depth: usize, _start_ns: u64, _end_ns: u64) {}
+}
+
+#[derive(Default)]
+struct MemoryState {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, LogHistogram>,
+    spans: BTreeMap<String, SpanAgg>,
+    /// Names of currently open spans, for unbalanced-close detection.
+    open: Vec<String>,
+    unbalanced_closes: u64,
+}
+
+impl MemoryState {
+    fn snapshot(&self) -> MetricsSnapshot {
+        let mut counters = self.counters.clone();
+        if self.unbalanced_closes > 0 {
+            counters.insert("trace.unbalanced_closes".into(), self.unbalanced_closes);
+        }
+        MetricsSnapshot {
+            counters,
+            gauges: self.gauges.clone(),
+            histograms: self
+                .histograms
+                .iter()
+                .map(|(k, h)| (k.clone(), h.summary()))
+                .collect(),
+            spans: self.spans.clone(),
+        }
+    }
+}
+
+/// In-memory aggregating sink.
+#[derive(Default)]
+pub struct MemoryRecorder {
+    state: RefCell<MemoryState>,
+}
+
+impl MemoryRecorder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Spans currently open (for tests and debugging).
+    pub fn open_spans(&self) -> usize {
+        self.state.borrow().open.len()
+    }
+
+    /// Closes whose name did not match the innermost open span (or that had
+    /// no open span at all) — always 0 under the RAII [`crate::span`] guard,
+    /// nonzero only when a sink is driven by hand out of order.
+    pub fn unbalanced_closes(&self) -> u64 {
+        self.state.borrow().unbalanced_closes
+    }
+}
+
+impl Recorder for MemoryRecorder {
+    fn counter(&self, name: &str, delta: u64) {
+        let mut s = self.state.borrow_mut();
+        *s.counters.entry(name.to_string()).or_insert(0) += delta;
+    }
+
+    fn gauge(&self, name: &str, value: f64) {
+        self.state
+            .borrow_mut()
+            .gauges
+            .insert(name.to_string(), value);
+    }
+
+    fn sample(&self, name: &str, value: f64) {
+        self.state
+            .borrow_mut()
+            .histograms
+            .entry(name.to_string())
+            .or_default()
+            .record(value);
+    }
+
+    fn span_enter(&self, name: &str, _depth: usize, _start_ns: u64) {
+        self.state.borrow_mut().open.push(name.to_string());
+    }
+
+    fn span_exit(&self, name: &str, _depth: usize, start_ns: u64, end_ns: u64) {
+        let mut s = self.state.borrow_mut();
+        match s.open.pop() {
+            Some(top) if top == name => {}
+            Some(_) | None => s.unbalanced_closes += 1,
+        }
+        let agg = s.spans.entry(name.to_string()).or_default();
+        agg.count += 1;
+        agg.total_ns += end_ns.saturating_sub(start_ns);
+    }
+
+    fn snapshot(&self) -> Option<MetricsSnapshot> {
+        Some(self.state.borrow().snapshot())
+    }
+}
+
+/// A [`MemoryRecorder`] that also streams every event as one JSON line.
+pub struct JsonlRecorder {
+    mem: MemoryRecorder,
+    out: RefCell<BufWriter<File>>,
+}
+
+impl JsonlRecorder {
+    pub fn create(path: impl AsRef<Path>) -> std::io::Result<Self> {
+        Ok(Self {
+            mem: MemoryRecorder::new(),
+            out: RefCell::new(BufWriter::new(File::create(path)?)),
+        })
+    }
+
+    /// Flush buffered lines (also attempted on drop, ignoring errors).
+    pub fn finish(&self) -> std::io::Result<()> {
+        self.out.borrow_mut().flush()
+    }
+
+    fn line(&self, body: std::fmt::Arguments<'_>) {
+        // A full event line is cheap to format; escaping is only needed for
+        // names, which instrumentation sites keep to dot-separated idents.
+        let _ = writeln!(self.out.borrow_mut(), "{body}");
+    }
+}
+
+impl Drop for JsonlRecorder {
+    fn drop(&mut self) {
+        let _ = self.finish();
+    }
+}
+
+impl Recorder for JsonlRecorder {
+    fn counter(&self, name: &str, delta: u64) {
+        self.mem.counter(name, delta);
+        self.line(format_args!(
+            "{{\"ev\":\"counter\",\"name\":\"{name}\",\"delta\":{delta}}}"
+        ));
+    }
+
+    fn gauge(&self, name: &str, value: f64) {
+        self.mem.gauge(name, value);
+        self.line(format_args!(
+            "{{\"ev\":\"gauge\",\"name\":\"{name}\",\"value\":{value}}}"
+        ));
+    }
+
+    fn sample(&self, name: &str, value: f64) {
+        self.mem.sample(name, value);
+        self.line(format_args!(
+            "{{\"ev\":\"sample\",\"name\":\"{name}\",\"value\":{value}}}"
+        ));
+    }
+
+    fn span_enter(&self, name: &str, depth: usize, start_ns: u64) {
+        self.mem.span_enter(name, depth, start_ns);
+        self.line(format_args!(
+            "{{\"ev\":\"span_enter\",\"name\":\"{name}\",\"depth\":{depth},\"t\":{start_ns}}}"
+        ));
+    }
+
+    fn span_exit(&self, name: &str, depth: usize, start_ns: u64, end_ns: u64) {
+        self.mem.span_exit(name, depth, start_ns, end_ns);
+        self.line(format_args!(
+            "{{\"ev\":\"span\",\"name\":\"{name}\",\"depth\":{depth},\
+             \"start\":{start_ns},\"end\":{end_ns}}}"
+        ));
+    }
+
+    fn snapshot(&self) -> Option<MetricsSnapshot> {
+        self.mem.snapshot()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memory_recorder_aggregates_all_kinds() {
+        let r = MemoryRecorder::new();
+        r.counter("c", 2);
+        r.counter("c", 3);
+        r.gauge("g", 1.0);
+        r.gauge("g", 2.5);
+        r.sample("h", 10.0);
+        r.sample("h", 1000.0);
+        r.span_enter("outer", 1, 100);
+        r.span_enter("inner", 2, 150);
+        r.span_exit("inner", 2, 150, 250);
+        r.span_exit("outer", 1, 100, 400);
+        let snap = r.snapshot().unwrap();
+        assert_eq!(snap.counters["c"], 5);
+        assert_eq!(snap.gauges["g"], 2.5);
+        assert_eq!(snap.histograms["h"].count, 2);
+        assert_eq!(snap.spans["outer"].total_ns, 300);
+        assert_eq!(snap.spans["inner"].count, 1);
+        assert_eq!(r.unbalanced_closes(), 0);
+        assert_eq!(r.open_spans(), 0);
+    }
+
+    #[test]
+    fn unbalanced_closes_are_counted_not_panicked() {
+        let r = MemoryRecorder::new();
+        // Close with nothing open.
+        r.span_exit("ghost", 1, 0, 10);
+        // Enter a/b, close them in the wrong order: closing "a" pops the
+        // innermost "b" (mismatch), then closing "b" pops the leftover "a"
+        // (mismatch again) — plus the ghost above, three in total.
+        r.span_enter("a", 1, 0);
+        r.span_enter("b", 2, 1);
+        r.span_exit("a", 1, 0, 5);
+        r.span_exit("b", 2, 1, 5);
+        assert_eq!(r.unbalanced_closes(), 3);
+        // Durations are still aggregated for post-mortem use.
+        let snap = r.snapshot().unwrap();
+        assert_eq!(snap.spans.len(), 3);
+        assert_eq!(snap.counters["trace.unbalanced_closes"], 3);
+    }
+
+    #[test]
+    fn null_recorder_is_inactive_and_snapshotless() {
+        let r = NullRecorder;
+        assert!(!r.is_active());
+        r.counter("c", 1);
+        assert!(r.snapshot().is_none());
+    }
+
+    #[test]
+    fn jsonl_recorder_writes_one_line_per_event() {
+        let path = std::env::temp_dir().join("darkside_trace_jsonl_test.jsonl");
+        {
+            let r = JsonlRecorder::create(&path).unwrap();
+            r.counter("c", 1);
+            r.sample("h", 2.0);
+            r.span_enter("s", 1, 0);
+            r.span_exit("s", 1, 0, 10);
+            r.finish().unwrap();
+            assert_eq!(r.snapshot().unwrap().counters["c"], 1);
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("\"ev\":\"counter\""));
+        assert!(lines[3].contains("\"end\":10"));
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -1,0 +1,189 @@
+//! Structured run reports: the aggregated view of one traced run
+//! ([`MetricsSnapshot`]) plus run identity (name, seed, config), rendered
+//! to the `RunReport` JSON schema the experiment binaries persist and CI
+//! uploads.
+//!
+//! Schema (`RunReport::to_json`):
+//!
+//! ```json
+//! {
+//!   "schema_version": 1,
+//!   "name": "...", "seed": 123,
+//!   "config": { ... producer-defined ... },
+//!   "spans":      { "<name>": {"count": n, "total_ns": t, "mean_ns": t/n} },
+//!   "counters":   { "<name>": n },
+//!   "gauges":     { "<name>": x },
+//!   "histograms": { "<name>": {"count","min","max","mean","p50","p95","p99"} }
+//! }
+//! ```
+
+use crate::hist::HistogramSummary;
+use crate::json::Json;
+use std::collections::BTreeMap;
+use std::io::Write;
+use std::path::Path;
+
+/// Aggregate of all closes of one span name.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SpanAgg {
+    pub count: u64,
+    pub total_ns: u64,
+}
+
+impl SpanAgg {
+    pub fn total_ms(&self) -> f64 {
+        self.total_ns as f64 / 1e6
+    }
+}
+
+/// Everything a recorder aggregated: the metrics registry's exported view.
+#[derive(Clone, Debug, Default)]
+pub struct MetricsSnapshot {
+    pub counters: BTreeMap<String, u64>,
+    pub gauges: BTreeMap<String, f64>,
+    pub histograms: BTreeMap<String, HistogramSummary>,
+    pub spans: BTreeMap<String, SpanAgg>,
+}
+
+impl MetricsSnapshot {
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            (
+                "spans",
+                Json::Obj(
+                    self.spans
+                        .iter()
+                        .map(|(k, a)| {
+                            (
+                                k.clone(),
+                                Json::obj(vec![
+                                    ("count", a.count.into()),
+                                    ("total_ns", a.total_ns.into()),
+                                    (
+                                        "mean_ns",
+                                        (a.total_ns as f64 / a.count.max(1) as f64).into(),
+                                    ),
+                                ]),
+                            )
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "counters",
+                Json::Obj(
+                    self.counters
+                        .iter()
+                        .map(|(k, &v)| (k.clone(), v.into()))
+                        .collect(),
+                ),
+            ),
+            (
+                "gauges",
+                Json::Obj(
+                    self.gauges
+                        .iter()
+                        .map(|(k, &v)| (k.clone(), v.into()))
+                        .collect(),
+                ),
+            ),
+            (
+                "histograms",
+                Json::Obj(
+                    self.histograms
+                        .iter()
+                        .map(|(k, h)| (k.clone(), h.to_json()))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+/// One traced run, ready to serialize: identity + config + metrics.
+#[derive(Clone, Debug)]
+pub struct RunReport {
+    pub name: String,
+    pub seed: u64,
+    pub config: Json,
+    pub metrics: MetricsSnapshot,
+}
+
+impl RunReport {
+    pub fn new(name: impl Into<String>, seed: u64, config: Json, metrics: MetricsSnapshot) -> Self {
+        Self {
+            name: name.into(),
+            seed,
+            config,
+            metrics,
+        }
+    }
+
+    /// Total wall-time of a span name in milliseconds, if it was recorded.
+    pub fn stage_ms(&self, span: &str) -> Option<f64> {
+        self.metrics.spans.get(span).map(SpanAgg::total_ms)
+    }
+
+    /// A histogram summary by name, if it was recorded.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSummary> {
+        self.metrics.histograms.get(name)
+    }
+
+    pub fn to_json(&self) -> Json {
+        let mut fields = vec![
+            ("schema_version".to_string(), Json::U64(1)),
+            ("name".to_string(), Json::str(&self.name)),
+            ("seed".to_string(), Json::U64(self.seed)),
+            ("config".to_string(), self.config.clone()),
+        ];
+        if let Json::Obj(sections) = self.metrics.to_json() {
+            fields.extend(sections);
+        }
+        Json::Obj(fields)
+    }
+
+    /// Write the rendered JSON to `path`.
+    pub fn write_json(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
+        let mut f = std::fs::File::create(path)?;
+        writeln!(f, "{}", self.to_json().render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_renders_every_section() {
+        let mut snap = MetricsSnapshot::default();
+        snap.counters.insert("c".into(), 7);
+        snap.gauges.insert("g".into(), 0.5);
+        let mut h = crate::hist::LogHistogram::new();
+        h.record(4.0);
+        snap.histograms.insert("h".into(), h.summary());
+        snap.spans.insert(
+            "train".into(),
+            SpanAgg {
+                count: 2,
+                total_ns: 4_000_000,
+            },
+        );
+        let report = RunReport::new("unit", 42, Json::obj(vec![("k", Json::U64(1))]), snap);
+        assert_eq!(report.stage_ms("train"), Some(4.0));
+        assert_eq!(report.stage_ms("absent"), None);
+        assert_eq!(report.histogram("h").unwrap().count, 1);
+        let text = report.to_json().render();
+        for key in [
+            "\"schema_version\":1",
+            "\"name\":\"unit\"",
+            "\"seed\":42",
+            "\"config\":{\"k\":1}",
+            "\"train\":{\"count\":2,\"total_ns\":4000000,\"mean_ns\":2000000}",
+            "\"c\":7",
+            "\"g\":0.5",
+            "\"p50\":4",
+        ] {
+            assert!(text.contains(key), "missing {key} in {text}");
+        }
+    }
+}

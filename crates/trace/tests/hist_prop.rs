@@ -1,0 +1,116 @@
+//! Property tests for the log-bucketed histogram (ISSUE 4 satellite):
+//! bucket boundaries are monotone, and every reported quantile lies inside
+//! the bounds of the bucket holding its rank (hence within one bucket
+//! width — `2^(1/4)` — of the exact nearest-rank quantile) and inside the
+//! observed `[min, max]`.
+//!
+//! The random-case driver is a local SplitMix64 rather than
+//! `darkside_nn::check` — trace sits below nn in the dependency order, and
+//! a dev-dependency back-edge would be the only cycle in the workspace.
+
+use darkside_trace::hist::{bucket_lower, bucket_upper, BUCKETS_PER_OCTAVE};
+use darkside_trace::{exact_percentile, LogHistogram};
+
+/// SplitMix64 — the same generator darkside-nn vendors.
+struct Rng(u64);
+
+impl Rng {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn uniform(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + (hi - lo) * (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next_u64() % n as u64) as usize
+    }
+}
+
+#[test]
+fn bucket_boundaries_are_monotone_and_tile_the_axis() {
+    let mut prev_upper = 0.0f64;
+    for i in 0..260 {
+        let lo = bucket_lower(i);
+        let hi = bucket_upper(i);
+        assert!(lo < hi, "bucket {i}: [{lo}, {hi}) is empty");
+        if i > 0 {
+            // Adjacent buckets share a boundary: no gaps, no overlaps.
+            assert_eq!(lo, prev_upper, "bucket {i} does not abut bucket {}", i - 1);
+            // Geometric width: one sub-octave step.
+            let width = hi / lo;
+            let expect = 2f64.powf(1.0 / BUCKETS_PER_OCTAVE as f64);
+            assert!((width - expect).abs() < 1e-12, "bucket {i} width {width}");
+        }
+        prev_upper = hi;
+    }
+}
+
+#[test]
+fn quantiles_stay_within_bucket_bounds_and_sample_range() {
+    let mut rng = Rng(0xDA27_0001);
+    for case in 0..200 {
+        let n = 1 + rng.below(500);
+        let mut h = LogHistogram::new();
+        let mut samples = Vec::with_capacity(n);
+        for _ in 0..n {
+            // Mix scales: sub-1 values (all land in bucket 0), mid-range,
+            // and heavy-tail outliers — the shape of ns/frame data.
+            let v = match rng.below(4) {
+                0 => rng.uniform(0.0, 1.0),
+                1 => rng.uniform(1.0, 100.0),
+                2 => rng.uniform(100.0, 1e6),
+                _ => rng.uniform(1e6, 1e12),
+            };
+            samples.push(v);
+            h.record(v);
+        }
+        assert_eq!(h.count(), n as u64);
+        for &q in &[0.0, 0.25, 0.5, 0.9, 0.95, 0.99, 1.0] {
+            let est = h.quantile(q);
+            let exact = exact_percentile(&samples, q);
+            // Within the observed sample range…
+            assert!(
+                est >= h.min() && est <= h.max(),
+                "case {case} q={q}: {est} outside [{}, {}]",
+                h.min(),
+                h.max()
+            );
+            // …and within one bucket width of the exact nearest-rank value
+            // (est is clamped into the exact value's bucket or its range).
+            let width = 2f64.powf(1.0 / BUCKETS_PER_OCTAVE as f64);
+            let (lo, hi) = if exact <= 1.0 {
+                (0.0, 1.0)
+            } else {
+                (exact / width, exact * width)
+            };
+            assert!(
+                est >= lo.min(h.min()) && est <= hi.max(h.min()),
+                "case {case} q={q}: estimate {est} vs exact {exact}"
+            );
+        }
+        // The fixed summary set is internally ordered.
+        let s = h.summary();
+        assert!(s.min <= s.p50 && s.p50 <= s.p95 && s.p95 <= s.p99 && s.p99 <= s.max);
+        assert!(s.mean >= s.min && s.mean <= s.max);
+    }
+}
+
+#[test]
+fn identical_samples_collapse_every_statistic() {
+    let mut h = LogHistogram::new();
+    for _ in 0..1000 {
+        h.record(12345.0);
+    }
+    let s = h.summary();
+    assert_eq!(s.min, 12345.0);
+    assert_eq!(s.max, 12345.0);
+    assert_eq!(s.p50, 12345.0);
+    assert_eq!(s.p99, 12345.0);
+    assert!((s.mean - 12345.0).abs() < 1e-9);
+}

@@ -24,6 +24,7 @@
 use crate::NBestTableConfig;
 use darkside_decoder::{Admit, Error, FramePruneStats, PruningPolicy};
 use darkside_hwmodel::{EnergyAccount, EnergyCoefficients};
+use darkside_trace as trace;
 
 /// CACTI-like per-access coefficients for the ~1 K-entry N-best table
 /// (stand-in constants — DESIGN.md §2: paper-testbed energies enter only
@@ -49,6 +50,10 @@ pub struct LooseNBestPolicy {
     /// Per-set max-heaps (`sets[s].len() <= ways`, worst cost at the root).
     sets: Vec<Vec<Entry>>,
     frame: FramePruneStats,
+    /// Cumulative eviction/overflow totals across the utterance, exported
+    /// as named metrics by [`PruningPolicy::end_utterance`] (ISSUE 4).
+    total_evictions: u64,
+    total_overflows: u64,
     /// Cumulative table traffic across the utterance, for the energy model
     /// (multiply by [`NBEST_TABLE_ENERGY`]).
     pub energy: EnergyAccount,
@@ -79,6 +84,8 @@ impl LooseNBestPolicy {
             best: f32::INFINITY,
             sets: vec![Vec::with_capacity(cfg.ways); cfg.sets()],
             frame: FramePruneStats::default(),
+            total_evictions: 0,
+            total_overflows: 0,
             energy: EnergyAccount::default(),
         })
     }
@@ -142,7 +149,22 @@ impl PruningPolicy for LooseNBestPolicy {
         }
         self.best = f32::INFINITY;
         self.frame = FramePruneStats::default();
+        self.total_evictions += out.evictions;
+        self.total_overflows += out.overflows;
+        trace::sample("policy.nbest.occupancy", out.occupancy as f64);
         out
+    }
+
+    /// Export the utterance's cumulative table traffic and energy as named
+    /// metrics (ISSUE 4). Call once per utterance — the totals are not
+    /// reset (a fresh policy value per utterance is the documented contract).
+    fn end_utterance(&mut self) {
+        if !trace::active() {
+            return;
+        }
+        trace::counter("policy.nbest.evictions", self.total_evictions);
+        trace::counter("policy.nbest.overflows", self.total_overflows);
+        self.energy.trace_as("nbest_table", &NBEST_TABLE_ENERGY);
     }
 }
 

@@ -19,6 +19,7 @@
 
 use darkside_decoder::{Admit, Error, FramePruneStats, PruningPolicy};
 use darkside_hwmodel::{EnergyAccount, EnergyCoefficients};
+use darkside_trace as trace;
 
 /// CACTI-like per-access coefficients for the 32 K-entry UNFOLD hash
 /// (stand-in constants — DESIGN.md §2).
@@ -94,6 +95,9 @@ pub struct UnfoldHashPolicy {
     gen: u32,
     slots_used: usize,
     frame: FramePruneStats,
+    /// Cumulative overflow-to-DRAM spills across the utterance, exported as
+    /// named metrics by [`PruningPolicy::end_utterance`] (ISSUE 4).
+    total_overflows: u64,
     /// Cumulative hash + backup traffic (multiply by
     /// [`UNFOLD_HASH_ENERGY`]); overflows are charged separately at
     /// [`DRAM_SPILL_PJ`] each.
@@ -124,6 +128,7 @@ impl UnfoldHashPolicy {
             gen: 0,
             slots_used: 0,
             frame: FramePruneStats::default(),
+            total_overflows: 0,
             energy: EnergyAccount::default(),
         })
     }
@@ -199,7 +204,25 @@ impl PruningPolicy for UnfoldHashPolicy {
         self.backup.clear();
         self.best = f32::INFINITY;
         self.frame = FramePruneStats::default();
+        self.total_overflows += out.overflows;
+        trace::sample("policy.unfold.occupancy", out.occupancy as f64);
         out
+    }
+
+    /// Export the utterance's cumulative hash traffic, DRAM-spill count,
+    /// and energy as named metrics (ISSUE 4). Call once per utterance — the
+    /// totals are not reset (a fresh policy value per utterance is the
+    /// documented contract).
+    fn end_utterance(&mut self) {
+        if !trace::active() {
+            return;
+        }
+        trace::counter("policy.unfold.overflows", self.total_overflows);
+        self.energy.trace_as("unfold_hash", &UNFOLD_HASH_ENERGY);
+        trace::sample(
+            "energy.dram_spill.pj",
+            self.total_overflows as f64 * DRAM_SPILL_PJ,
+        );
     }
 }
 
