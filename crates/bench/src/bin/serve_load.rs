@@ -1,0 +1,487 @@
+//! `serve_load` — closed-loop load generator for the `darkside-serve`
+//! engine (ISSUE 5).
+//!
+//! Drives one trained pipeline's dense and 90 %-pruned bundles through the
+//! streaming scheduler under all three pruning policies, holding a fixed
+//! number of in-flight sessions (closed loop: a finished session is
+//! immediately replaced until the utterance budget is spent). Per
+//! (level, policy) cell it records served throughput (frames/s),
+//! submit→final latency percentiles, and the same utterances decoded
+//! **sequentially** (per-utterance scoring + single-threaded decode) as
+//! the baseline the micro-batched scheduler must beat.
+//!
+//! This is the paper's tail-latency story measured at the serving
+//! boundary: pruning inflates per-frame search work, the inflation lands
+//! in the served p99, and the bounded loose N-best policy caps it while
+//! the plain beam lets it through.
+//!
+//! Checked gates (CI runs `--smoke`):
+//!
+//! * with ≥ 8 concurrent sessions at 90 % sparsity, micro-batched
+//!   scheduling beats sequential per-session decoding on throughput;
+//! * LooseNBest served p99 ≤ Beam served p99 at 90 % sparsity;
+//! * an engine offered more load than its admission budget rejects the
+//!   excess explicitly and still drains to empty (no deadlock, no
+//!   unbounded queue).
+//!
+//! Flags: `--smoke` (CI scale), `--json <path>` (write BENCH_serve.json),
+//! `--sessions N` (closed-loop concurrency, default 8), `--utts N`
+//! (utterance budget per cell).
+
+use darkside_bench::report::{check, json_arg, write_json_file};
+use darkside_core::acoustic::Utterance;
+use darkside_core::decoder::{acoustic_costs, decode_with_policy};
+use darkside_core::nn::Rng;
+use darkside_core::trace::{exact_percentile, Json};
+use darkside_core::viterbi_accel::{NBestTableConfig, UnfoldHashConfig};
+use darkside_core::{ModelBundle, Pipeline, PipelineConfig, PolicyKind};
+use darkside_serve::{Scheduler, ServeConfig, SubmitResponse};
+use std::time::Instant;
+
+/// One measured (level, policy) cell.
+struct LoadCell {
+    level: String,
+    sparsity: f64,
+    policy: &'static str,
+    served_fps: f64,
+    sequential_fps: f64,
+    speedup: f64,
+    p50_ms: f64,
+    p95_ms: f64,
+    p99_ms: f64,
+    /// Per-rep p99s, in rep order (the paired CI gate compares these
+    /// rep-by-rep across cells).
+    p99_reps: Vec<f64>,
+    /// Per-rep served/sequential throughput ratios (served and sequential
+    /// are measured back-to-back inside one rep, so each ratio is
+    /// noise-paired).
+    speedup_reps: Vec<f64>,
+    served: usize,
+    degraded: u64,
+    rejected: u64,
+}
+
+/// Closed-loop run: keep `concurrency` sessions in flight until every
+/// utterance has been served, stepping the engine between refills.
+fn run_closed_loop(
+    bundle: &ModelBundle,
+    cfg: ServeConfig,
+    utts: &[Utterance],
+    concurrency: usize,
+) -> (f64, Vec<f64>, u64, u64) {
+    let mut engine = Scheduler::new(bundle.clone(), cfg).expect("scheduler");
+    let total_frames: usize = utts.iter().map(|u| u.frames.len()).sum();
+    let start = Instant::now();
+    let mut next = 0;
+    let mut latencies_ms = Vec::with_capacity(utts.len());
+    let mut served = 0;
+    while served < utts.len() {
+        while next < utts.len() && engine.active_sessions() < concurrency {
+            match engine.offer(utts[next].frames.clone()).expect("offer") {
+                SubmitResponse::Rejected(reason) => {
+                    // The closed loop never exceeds the budget; a rejection
+                    // here is a bug, not load shedding.
+                    panic!("closed-loop offer rejected: {reason:?}")
+                }
+                _ => next += 1,
+            }
+        }
+        engine.step().expect("step");
+        for r in engine.take_completed() {
+            r.decode.expect("served decode");
+            latencies_ms.push(r.latency_ns as f64 / 1e6);
+            served += 1;
+        }
+    }
+    let wall = start.elapsed().as_secs_f64();
+    let admission = engine.admission();
+    (
+        total_frames as f64 / wall,
+        latencies_ms,
+        admission.degraded,
+        admission.rejected,
+    )
+}
+
+/// The baseline the scheduler competes with: one utterance at a time,
+/// scored in its own batch, decoded on the calling thread.
+fn run_sequential(bundle: &ModelBundle, utts: &[Utterance]) -> f64 {
+    let total_frames: usize = utts.iter().map(|u| u.frames.len()).sum();
+    let start = Instant::now();
+    for u in utts {
+        // Both paths consume an owned copy of the request's frames — a
+        // server is handed its input, it doesn't borrow the load
+        // generator's buffers.
+        let frames = u.frames.clone();
+        let costs = acoustic_costs(&bundle.scorer.score_frames(&frames), &bundle.beam);
+        let mut policy = bundle.build_policy().expect("policy");
+        decode_with_policy(&bundle.graph, &costs, policy.as_mut()).expect("sequential decode");
+    }
+    total_frames as f64 / start.elapsed().as_secs_f64()
+}
+
+/// Middle value of a small sorted sample (noise discipline for the CI
+/// gate: one descheduled run must not decide a percentile).
+fn median(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(f64::total_cmp);
+    xs[xs.len() / 2]
+}
+
+/// Per-rep raw measurements for one (level, policy) cell. Reps are
+/// **interleaved across cells** (rep 0 of every cell, then rep 1, …) so
+/// time-correlated noise — a VM steal spike, a frequency shift — perturbs
+/// every cell of a rep sweep alike instead of biasing whichever cell was
+/// measured during it; the gate compares cells, so that bias is what
+/// would flake CI.
+struct RawCell {
+    bundle: ModelBundle,
+    policy: &'static str,
+    served_fps: Vec<f64>,
+    sequential_fps: Vec<f64>,
+    p50s: Vec<f64>,
+    p95s: Vec<f64>,
+    p99s: Vec<f64>,
+    served: usize,
+    degraded: u64,
+    rejected: u64,
+}
+
+impl RawCell {
+    fn run_rep(&mut self, cfg: ServeConfig, utts: &[Utterance], concurrency: usize) {
+        let (fps, latencies, deg, rej) = run_closed_loop(&self.bundle, cfg, utts, concurrency);
+        self.served_fps.push(fps);
+        self.p50s.push(exact_percentile(&latencies, 0.50));
+        self.p95s.push(exact_percentile(&latencies, 0.95));
+        self.p99s.push(exact_percentile(&latencies, 0.99));
+        (self.served, self.degraded, self.rejected) = (latencies.len(), deg, rej);
+        self.sequential_fps.push(run_sequential(&self.bundle, utts));
+    }
+
+    /// Throughput: best rep (the least-perturbed run, as the harness
+    /// benches take minimum time); latency percentiles: median across reps.
+    fn fold(self) -> LoadCell {
+        let best = |xs: &[f64]| xs.iter().copied().fold(0.0f64, f64::max);
+        let served_fps = best(&self.served_fps);
+        let sequential_fps = best(&self.sequential_fps);
+        LoadCell {
+            level: self.bundle.label.clone(),
+            sparsity: self.bundle.sparsity,
+            policy: self.policy,
+            served_fps,
+            sequential_fps,
+            speedup: served_fps / sequential_fps,
+            p50_ms: median(self.p50s),
+            p95_ms: median(self.p95s),
+            p99_ms: median(self.p99s.clone()),
+            p99_reps: self.p99s,
+            speedup_reps: self
+                .served_fps
+                .iter()
+                .zip(&self.sequential_fps)
+                .map(|(s, q)| s / q)
+                .collect(),
+            served: self.served,
+            degraded: self.degraded,
+            rejected: self.rejected,
+        }
+    }
+}
+
+/// Overload scenario: offer far more than the budget up front; the engine
+/// must shed the excess explicitly and drain what it admitted.
+struct OverloadResult {
+    offered: usize,
+    admitted: u64,
+    degraded: u64,
+    rejected: u64,
+    drained: usize,
+}
+
+fn run_overload(bundle: &ModelBundle, utts: &[Utterance]) -> OverloadResult {
+    let queue_budget: usize = utts.iter().take(4).map(|u| u.frames.len()).sum();
+    let cfg = ServeConfig {
+        workers: 4,
+        max_sessions: 4,
+        max_queue_frames: queue_budget.max(1),
+        max_batch_frames: 128,
+        degrade_fraction: 0.5,
+    };
+    let mut engine = Scheduler::new(bundle.clone(), cfg).expect("scheduler");
+    for u in utts {
+        engine.offer(u.frames.clone()).expect("offer");
+    }
+    let drained = engine.drain().expect("drain").len();
+    let admission = engine.admission();
+    OverloadResult {
+        offered: utts.len(),
+        admitted: admission.admitted,
+        degraded: admission.degraded,
+        rejected: admission.rejected,
+        drained,
+    }
+}
+
+fn cell_json(c: &LoadCell) -> Json {
+    Json::obj(vec![
+        ("level", Json::str(&c.level)),
+        ("sparsity", c.sparsity.into()),
+        ("policy", c.policy.into()),
+        ("served_fps", c.served_fps.into()),
+        ("sequential_fps", c.sequential_fps.into()),
+        ("speedup", c.speedup.into()),
+        ("latency_p50_ms", c.p50_ms.into()),
+        ("latency_p95_ms", c.p95_ms.into()),
+        ("latency_p99_ms", c.p99_ms.into()),
+        ("served", c.served.into()),
+        ("degraded", c.degraded.into()),
+        ("rejected", c.rejected.into()),
+    ])
+}
+
+fn usize_flag(name: &str, default: usize) -> usize {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.iter().position(|a| a == name) {
+        None => default,
+        Some(i) => args
+            .get(i + 1)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| {
+                eprintln!("error: {name} requires a count");
+                std::process::exit(1);
+            }),
+    }
+}
+
+fn reject_unknown_args() {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--smoke" => {}
+            "--json" | "--sessions" | "--utts" => {
+                // Value validity is checked by json_arg / usize_flag.
+                args.next();
+            }
+            other => {
+                eprintln!(
+                    "error: unknown argument {other:?}; usage: serve_load \
+                     [--smoke] [--json <path>] [--sessions <n>] [--utts <n>]"
+                );
+                std::process::exit(1);
+            }
+        }
+    }
+}
+
+fn main() {
+    reject_unknown_args();
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let json_path = json_arg().unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    });
+    let concurrency = usize_flag("--sessions", 8);
+    let num_utts = usize_flag("--utts", if smoke { 32 } else { 64 });
+    // Smoke percentiles come from few sessions, so the CI gate leans on
+    // more repetitions (median-of-5) instead of more utterances.
+    let reps = if smoke { 5 } else { 2 };
+    let start = Instant::now();
+
+    // The serving table is deliberately tighter than exp_fig7's offline
+    // sweep (32 × 8 at both scales): a serving deployment picks N for tail
+    // control first — the table must bind hard enough that the clamped
+    // decode is visibly cheaper than the inflated beam even on a small
+    // smoke graph.
+    let nbest = NBestTableConfig {
+        entries: 32,
+        ways: 8,
+    };
+    let config = if smoke {
+        PipelineConfig::smoke()
+    } else {
+        PipelineConfig::default_scaled()
+    };
+    let policies = [
+        PolicyKind::Beam,
+        PolicyKind::UnfoldHash(UnfoldHashConfig::scaled()),
+        PolicyKind::LooseNBest(nbest),
+    ];
+
+    let pipeline = Pipeline::build(config).expect("pipeline build");
+    let dense = pipeline.servable_dense();
+    let pruned = pipeline.servable_pruned(0.9).expect("prune to 90%");
+    // Fresh load-generator utterances, drawn from the same task the model
+    // was trained on (seed disjoint from train/test sampling).
+    let utts = pipeline
+        .corpus
+        .sample_set(num_utts, &mut Rng::new(0x005E_12FE));
+    let total_frames: usize = utts.iter().map(|u| u.frames.len()).sum();
+
+    // Workers follow the host: on a single-core runner the scheduler's
+    // one-worker fast path skips thread spawning entirely (the win is then
+    // pure GEMM batch amortization); multi-core runners add the decode
+    // fan-out on top. The batch cap is sized so one step usually carries
+    // every in-flight utterance whole: scoring stays one large GEMM per
+    // step and the per-step fan-out amortizes over maximal decode work.
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get().min(4))
+        .unwrap_or(1);
+    let cfg = ServeConfig {
+        workers,
+        max_sessions: concurrency.max(1),
+        max_queue_frames: total_frames.max(1),
+        max_batch_frames: 1024,
+        degrade_fraction: 1.0, // measurement runs: full quality for all
+    };
+
+    println!(
+        "serve_load{}: {} utterances / {} frames, {} in flight, {} workers, batch cap {}",
+        if smoke { " (smoke)" } else { "" },
+        utts.len(),
+        total_frames,
+        cfg.max_sessions,
+        cfg.workers,
+        cfg.max_batch_frames,
+    );
+
+    let mut raw: Vec<RawCell> = Vec::new();
+    for bundle in [&dense, &pruned] {
+        for policy in policies {
+            raw.push(RawCell {
+                bundle: bundle.with_policy(policy, bundle.beam),
+                policy: policy.label(),
+                served_fps: Vec::new(),
+                sequential_fps: Vec::new(),
+                p50s: Vec::new(),
+                p95s: Vec::new(),
+                p99s: Vec::new(),
+                served: 0,
+                degraded: 0,
+                rejected: 0,
+            });
+        }
+    }
+    for _ in 0..reps {
+        for cell in &mut raw {
+            cell.run_rep(cfg, &utts, cfg.max_sessions);
+        }
+    }
+    let cells: Vec<LoadCell> = raw.into_iter().map(RawCell::fold).collect();
+
+    println!(
+        "| {:<7} | {:<7} | {:>10} | {:>10} | {:>7} | {:>8} | {:>8} | {:>8} |",
+        "level", "policy", "served/s", "seq/s", "speedup", "p50-ms", "p95-ms", "p99-ms"
+    );
+    println!(
+        "|---------|---------|------------|------------|---------|----------|----------|----------|"
+    );
+    for c in &cells {
+        println!(
+            "| {:<7} | {:<7} | {:>10.0} | {:>10.0} | {:>6.2}x | {:>8.2} | {:>8.2} | {:>8.2} |",
+            c.level,
+            c.policy,
+            c.served_fps,
+            c.sequential_fps,
+            c.speedup,
+            c.p50_ms,
+            c.p95_ms,
+            c.p99_ms
+        );
+    }
+
+    let overload = run_overload(&pruned.with_policy(PolicyKind::Beam, pruned.beam), &utts);
+    println!(
+        "overload: offered {} → admitted {}, degraded {}, rejected {}, drained {}",
+        overload.offered, overload.admitted, overload.degraded, overload.rejected, overload.drained
+    );
+    println!("elapsed: {:.1}s", start.elapsed().as_secs_f64());
+
+    let find = |level: &str, policy: &str| {
+        cells
+            .iter()
+            .find(|c| c.level == level && c.policy == policy)
+            .unwrap_or_else(|| panic!("no ({level}, {policy}) cell"))
+    };
+    let beam90 = find(&pruned.label, "beam");
+    let nbest90 = find(&pruned.label, "nbest");
+
+    // "Micro-batching beats sequential" is a property of the engine, not
+    // of one policy: pool the paired (served, sequential) reps of every
+    // 90%-sparsity cell and require a majority of wins. On a single-core
+    // host the beam cell alone is near parity (its decode dominates and
+    // parallel fan-out has no cores to use), while the bounded policies
+    // show the scoring-amortization win clearly; multi-core hosts win
+    // across the board.
+    let pooled: Vec<f64> = cells
+        .iter()
+        .filter(|c| c.level == pruned.label)
+        .flat_map(|c| c.speedup_reps.iter().copied())
+        .collect();
+    let speedup_wins = pooled.iter().filter(|s| **s > 1.0).count();
+    let mut ok = check(
+        "micro-batching beats sequential at 90%",
+        2 * speedup_wins > pooled.len(),
+        format!(
+            "served wins {speedup_wins}/{} paired reps across policies (beam best {:.0} vs {:.0} seq, {:.2}x)",
+            pooled.len(),
+            beam90.served_fps,
+            beam90.sequential_fps,
+            beam90.speedup
+        ),
+    );
+    // Paired sign test: each rep's nbest p99 against the same rep's beam
+    // p99 (reps are interleaved, so a pair shares its noise environment).
+    // A majority of paired wins is far more flake-resistant than comparing
+    // two medians of what are, at smoke scale, extreme-value statistics.
+    let paired_wins = nbest90
+        .p99_reps
+        .iter()
+        .zip(&beam90.p99_reps)
+        .filter(|(n, b)| n <= b)
+        .count();
+    ok &= check(
+        "nbest served p99 <= beam served p99 at 90%",
+        2 * paired_wins > reps,
+        format!(
+            "nbest wins {paired_wins}/{reps} paired reps (medians: nbest {:.2}ms vs beam {:.2}ms)",
+            nbest90.p99_ms, beam90.p99_ms
+        ),
+    );
+    ok &= check(
+        "overload sheds explicitly and drains",
+        overload.rejected > 0 && overload.drained as u64 == overload.admitted + overload.degraded,
+        format!(
+            "rejected {}, drained {}/{}",
+            overload.rejected,
+            overload.drained,
+            overload.admitted + overload.degraded
+        ),
+    );
+
+    if let Some(path) = &json_path {
+        let json = Json::obj(vec![
+            ("schema_version", 1u64.into()),
+            ("name", Json::str("serve_load")),
+            ("smoke", smoke.into()),
+            ("utterances", utts.len().into()),
+            ("total_frames", total_frames.into()),
+            ("concurrency", cfg.max_sessions.into()),
+            ("workers", cfg.workers.into()),
+            ("max_batch_frames", cfg.max_batch_frames.into()),
+            ("cells", Json::Arr(cells.iter().map(cell_json).collect())),
+            (
+                "overload",
+                Json::obj(vec![
+                    ("offered", overload.offered.into()),
+                    ("admitted", overload.admitted.into()),
+                    ("degraded", overload.degraded.into()),
+                    ("rejected", overload.rejected.into()),
+                    ("drained", overload.drained.into()),
+                ]),
+            ),
+            ("gates_passed", ok.into()),
+        ]);
+        write_json_file(path, &json).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+        println!("recorded {path}");
+    }
+    std::process::exit(if ok { 0 } else { 1 });
+}

@@ -1,0 +1,123 @@
+//! [`ModelBundle`] — the servable artifact a finished [`Pipeline`] exports
+//! (ISSUE 5).
+//!
+//! Offline, the pipeline owns its model and graph and evaluates them over
+//! a held-out set. A serving engine needs the same pieces in shareable
+//! form: N concurrent sessions walk one decoding graph, and one scorer
+//! batches frames across all of them, from whatever worker thread the
+//! scheduler runs on. The bundle is exactly that packaging — `Arc`s around
+//! the graph and the [`FrameScorer`] (`Send + Sync`, shared without
+//! copies), plus the decode configuration ([`BeamConfig`] + [`PolicyKind`])
+//! every session's fresh per-utterance policy is built from.
+
+use crate::pipeline::Pipeline;
+use crate::PolicyKind;
+use darkside_decoder::{BeamConfig, PruningPolicy};
+use darkside_error::Error;
+use darkside_nn::FrameScorer;
+use darkside_wfst::Fst;
+use std::sync::Arc;
+
+/// Everything a serving engine needs from a trained (and optionally
+/// pruned) pipeline, shareable across scheduler worker threads.
+#[derive(Clone)]
+pub struct ModelBundle {
+    /// The composed decoding graph every session's search walks.
+    pub graph: Arc<Fst>,
+    /// The acoustic model; one `score_frames` call serves a whole
+    /// cross-session micro-batch.
+    pub scorer: Arc<dyn FrameScorer + Send + Sync>,
+    /// Beam window + acoustic scale for cost conversion and thresholds.
+    pub beam: BeamConfig,
+    /// Which pruning policy each session decodes under.
+    pub policy: PolicyKind,
+    /// `"dense"` or the sparsity percentage, e.g. `"90%"` (report label).
+    pub label: String,
+    /// Achieved global sparsity of the scorer (0 for dense).
+    pub sparsity: f64,
+}
+
+impl ModelBundle {
+    /// Build a fresh per-utterance policy for one session.
+    pub fn build_policy(&self) -> Result<Box<dyn PruningPolicy + Send>, Error> {
+        self.policy.build(&self.beam)
+    }
+
+    /// A copy of this bundle decoding under a different policy/beam (the
+    /// serving bench sweeps policies over one trained model; admission
+    /// control degrades sessions the same way).
+    pub fn with_policy(&self, policy: PolicyKind, beam: BeamConfig) -> Self {
+        Self {
+            policy,
+            beam,
+            ..self.clone()
+        }
+    }
+}
+
+impl Pipeline {
+    /// Export the dense model as a servable bundle (shares the decoding
+    /// graph, clones the model once into the `Arc`).
+    pub fn servable_dense(&self) -> ModelBundle {
+        ModelBundle {
+            graph: Arc::new(self.graph.clone()),
+            scorer: Arc::new(self.model.clone()),
+            beam: self.config.beam,
+            policy: self.config.policy,
+            label: "dense".to_string(),
+            sparsity: 0.0,
+        }
+    }
+
+    /// Prune to `target` global sparsity (with the pipeline's configured
+    /// masked retraining) and export the CSR-backed scorer as a servable
+    /// bundle — the "compressed model in production" the paper's tail
+    /// latency story is about.
+    pub fn servable_pruned(&self, target: f64) -> Result<ModelBundle, Error> {
+        let (pruned, sparsity) = self.prune_to(target)?;
+        Ok(ModelBundle {
+            graph: Arc::new(self.graph.clone()),
+            scorer: Arc::new(pruned),
+            beam: self.config.beam,
+            policy: self.config.policy,
+            label: format!("{:.0}%", target * 100.0),
+            sparsity,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::PipelineConfig;
+    use darkside_nn::Frame;
+
+    #[test]
+    fn bundles_are_shareable_and_score_like_the_pipeline() {
+        // Model quality is irrelevant here: skip training epochs entirely
+        // and check the packaging (Arc sharing, Send + Sync, policy build).
+        let config = PipelineConfig::smoke().with_training(0, 0);
+        let pipeline = Pipeline::build(config).unwrap();
+        let dense = pipeline.servable_dense();
+        let pruned = pipeline.servable_pruned(0.9).unwrap();
+        assert_eq!(dense.label, "dense");
+        assert_eq!(pruned.label, "90%");
+        assert!((pruned.sparsity - 0.9).abs() < 0.01);
+        assert_eq!(dense.scorer.input_dim(), pruned.scorer.input_dim());
+
+        fn is_send_sync<T: Send + Sync>(_: &T) {}
+        is_send_sync(&dense.graph);
+        is_send_sync(&dense.scorer);
+
+        // Scoring through the bundle matches the pipeline's own model.
+        let frame = Frame(vec![0.1; dense.scorer.input_dim()]);
+        let via_bundle = dense.scorer.score_frames(std::slice::from_ref(&frame));
+        let via_model =
+            darkside_nn::FrameScorer::score_frames(&pipeline.model, std::slice::from_ref(&frame));
+        assert_eq!(via_bundle.probs.row(0), via_model.probs.row(0));
+
+        let mut policy = dense.build_policy().unwrap();
+        assert_eq!(policy.name(), "beam");
+        let _ = policy.end_frame();
+    }
+}

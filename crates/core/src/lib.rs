@@ -11,9 +11,11 @@
 //! and call [`pipeline::Pipeline::run`] for the full corpus → train →
 //! prune → decode study.
 
+pub mod bundle;
 pub mod pipeline;
 pub mod policy;
 
+pub use bundle::ModelBundle;
 pub use darkside_error::Error;
 pub use pipeline::{
     LevelReport, Pipeline, PipelineConfig, PipelineReport, PolicyGridLevel, PolicyGridReport,

@@ -33,8 +33,10 @@ impl PolicyKind {
     }
 
     /// Instantiate a fresh policy value (one per utterance; policies carry
-    /// per-utterance traffic accounting).
-    pub fn build(&self, beam: &BeamConfig) -> Result<Box<dyn PruningPolicy>, Error> {
+    /// per-utterance traffic accounting). The box is `Send` so a serving
+    /// session can carry its policy across scheduler worker threads
+    /// (ISSUE 5).
+    pub fn build(&self, beam: &BeamConfig) -> Result<Box<dyn PruningPolicy + Send>, Error> {
         Ok(match self {
             PolicyKind::Beam => Box::new(BeamPolicy::new(beam.beam)),
             PolicyKind::UnfoldHash(cfg) => Box::new(UnfoldHashPolicy::new(*cfg, beam.beam)?),

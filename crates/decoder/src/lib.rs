@@ -22,7 +22,9 @@ pub mod wer;
 
 pub use darkside_error::Error;
 pub use policy::{Admit, BeamPolicy, FramePruneStats, PruningPolicy};
-pub use search::{decode, decode_with_policy, DecodeResult, DecodeStats, SearchCore};
+pub use search::{
+    decode, decode_with_policy, DecodeResult, DecodeStats, PartialHypothesis, SearchCore,
+};
 pub use wer::{word_errors, WerStats};
 
 use darkside_nn::{Matrix, Scores};

@@ -25,6 +25,7 @@ use darkside_error::Error;
 use darkside_nn::Matrix;
 use darkside_trace as trace;
 use darkside_wfst::{label_class, Fst, EPSILON};
+use std::borrow::Borrow;
 use std::collections::HashMap;
 
 /// Per-frame search effort and quality traces (the paper's Fig. 4 inputs),
@@ -116,12 +117,19 @@ struct Candidate {
 /// [`SearchCore::advance`], so beam, UNFOLD-style hash, and the paper's
 /// loose N-best are drop-in swaps over the identical recursion.
 ///
+/// The core is generic over how it holds the graph (`G: Borrow<Fst>`,
+/// ISSUE 5): the one-shot entry points instantiate `SearchCore<&Fst>`,
+/// while a long-lived streaming session owns its graph as
+/// `SearchCore<Arc<Fst>>` — same recursion, bit for bit, so incremental
+/// [`SearchCore::advance`] calls across serving micro-batch boundaries
+/// decode exactly like a one-shot [`decode_with_policy`].
+///
 /// Invariant kept with content-tracking policies: after every frame, the
 /// core's token set equals the set of states the policy's storage holds
 /// (minus any tokens the end-of-frame cutoff removed) — `Accept` upserts,
 /// `Replace` forgets the evicted state, `Reject` leaves the map untouched.
-pub struct SearchCore<'a> {
-    graph: &'a Fst,
+pub struct SearchCore<G: Borrow<Fst>> {
+    graph: G,
     arena: Vec<WordLink>,
     /// Active tokens, sorted by state id (deterministic expansion order).
     tokens: Vec<(u32, Token)>,
@@ -131,15 +139,30 @@ pub struct SearchCore<'a> {
     frame: usize,
 }
 
-impl<'a> SearchCore<'a> {
+/// A mid-utterance best hypothesis (ISSUE 5 streaming): what a serving
+/// session reports before the utterance's final frame arrives.
+#[derive(Clone, Debug)]
+pub struct PartialHypothesis {
+    /// Best-path word ids so far (decoding-graph olabels − 1).
+    pub words: Vec<u32>,
+    /// Cost of the reported hypothesis (⊗ final weight when it finishes).
+    pub cost: f32,
+    /// Whether the reported hypothesis currently sits in a final state.
+    pub in_final: bool,
+    /// Frames consumed so far.
+    pub frames: usize,
+}
+
+impl<G: Borrow<Fst>> SearchCore<G> {
     /// Seed the search at the graph's start state. Fails on a missing start
     /// state or a graph with input epsilons (the frame-synchronous recursion
     /// needs exactly one consumed frame per arc).
-    pub fn new(graph: &'a Fst) -> Result<Self, Error> {
+    pub fn new(graph: G) -> Result<Self, Error> {
         let start = graph
+            .borrow()
             .start()
             .ok_or_else(|| Error::graph("decode", "graph has no start state".to_string()))?;
-        if !graph.is_input_eps_free() {
+        if !graph.borrow().is_input_eps_free() {
             return Err(Error::graph(
                 "decode",
                 "graph has input epsilons; decode needs one frame per arc".to_string(),
@@ -171,28 +194,18 @@ impl<'a> SearchCore<'a> {
         let t0 = if traced { trace::now_ns() } else { 0 };
         let mut expanded = 0usize;
         self.next.clear();
+        let graph = self.graph.borrow();
+        let next = &mut self.next;
         for &(state, token) in &self.tokens {
-            for arc in self.graph.arcs(state) {
+            for arc in graph.arcs(state) {
                 expanded += 1;
                 let cost = token.cost + arc.weight.0 + frame[label_class(arc.ilabel)];
                 match policy.admit(arc.next, cost) {
                     Admit::Reject => {}
-                    Admit::Accept => upsert(
-                        &mut self.next,
-                        arc.next,
-                        cost,
-                        token.backpointer,
-                        arc.olabel,
-                    ),
+                    Admit::Accept => upsert(next, arc.next, cost, token.backpointer, arc.olabel),
                     Admit::Replace(evicted) => {
-                        self.next.remove(&evicted);
-                        upsert(
-                            &mut self.next,
-                            arc.next,
-                            cost,
-                            token.backpointer,
-                            arc.olabel,
-                        );
+                        next.remove(&evicted);
+                        upsert(next, arc.next, cost, token.backpointer, arc.olabel);
                     }
                 }
             }
@@ -257,17 +270,50 @@ impl<'a> SearchCore<'a> {
         Ok(())
     }
 
+    /// Frames consumed so far.
+    pub fn frames(&self) -> usize {
+        self.frame
+    }
+
+    /// Best hypothesis *now* (⊗ final weight when one finishes; the best
+    /// mid-graph token otherwise) — the streaming partial a serving session
+    /// reports between micro-batches (ISSUE 5). Non-destructive: the search
+    /// continues with the next [`SearchCore::advance`] unaffected.
+    pub fn partial(&self) -> PartialHypothesis {
+        let (cost, backpointer, in_final) = self.best_token();
+        PartialHypothesis {
+            words: self.trace_words(backpointer),
+            cost,
+            in_final,
+            frames: self.frame,
+        }
+    }
+
     /// Pick the best finishing hypothesis (⊗ final weight; falling back to
     /// the best mid-graph token when every finisher was pruned) and trace
     /// its word sequence back through the arena.
     pub fn finish(self) -> DecodeResult {
+        let (cost, backpointer, reached_final) = self.best_token();
+        DecodeResult {
+            words: self.trace_words(backpointer),
+            cost,
+            reached_final,
+            stats: self.stats,
+        }
+    }
+
+    /// `(cost, backpointer, reached_final)` of the current best hypothesis,
+    /// preferring finishers (shared by [`SearchCore::partial`] and
+    /// [`SearchCore::finish`]).
+    fn best_token(&self) -> (f32, u32, bool) {
+        let graph = self.graph.borrow();
         let finisher = self
             .tokens
             .iter()
-            .filter(|&&(s, _)| self.graph.is_final(s))
-            .map(|&(s, tok)| (tok.cost + self.graph.final_weight(s).0, tok.backpointer))
+            .filter(|&&(s, _)| graph.is_final(s))
+            .map(|&(s, tok)| (tok.cost + graph.final_weight(s).0, tok.backpointer))
             .min_by(|a, b| a.0.total_cmp(&b.0));
-        let (cost, backpointer, reached_final) = match finisher {
+        match finisher {
             Some((cost, bp)) => (cost, bp, true),
             None => {
                 let &(_, tok) = self
@@ -277,7 +323,11 @@ impl<'a> SearchCore<'a> {
                     .expect("token set is non-empty after every frame");
                 (tok.cost, tok.backpointer, false)
             }
-        };
+        }
+    }
+
+    /// Walk the arena from `backpointer` back to the utterance start.
+    fn trace_words(&self, backpointer: u32) -> Vec<u32> {
         let mut words = Vec::new();
         let mut bp = backpointer;
         while bp != NO_BACKPOINTER {
@@ -286,12 +336,7 @@ impl<'a> SearchCore<'a> {
             bp = link.prev;
         }
         words.reverse();
-        DecodeResult {
-            words,
-            cost,
-            reached_final,
-            stats: self.stats,
-        }
+        words
     }
 }
 
@@ -463,6 +508,40 @@ mod tests {
             decode(&g, &narrow, &BeamConfig::default()).unwrap_err(),
             Error::Shape { .. }
         ));
+    }
+
+    #[test]
+    fn streaming_partials_track_the_best_hypothesis() {
+        let g = toy_graph();
+        let costs = Matrix::new(
+            3,
+            2,
+            vec![
+                0.1, 2.0, //
+                0.1, 2.0, //
+                2.0, 0.1,
+            ],
+        )
+        .unwrap();
+        // An owning core (the serving-session shape) over the same graph.
+        let mut core = SearchCore::new(std::sync::Arc::new(g.clone())).unwrap();
+        let mut policy = BeamPolicy::new(BeamConfig::default().beam);
+        assert_eq!(core.partial().frames, 0);
+        assert!(core.partial().words.is_empty());
+        for t in 0..costs.rows() {
+            core.advance(costs.row(t), &mut policy).unwrap();
+        }
+        let partial = core.partial();
+        assert_eq!(partial.frames, 3);
+        assert!(partial.in_final);
+        assert_eq!(partial.words, vec![5]);
+        // partial() is non-destructive: finish() agrees with the one-shot
+        // decode bit for bit.
+        let streamed = core.finish();
+        let oneshot = decode(&g, &costs, &BeamConfig::default()).unwrap();
+        assert_eq!(streamed.words, oneshot.words);
+        assert_eq!(streamed.cost, oneshot.cost);
+        assert_eq!(partial.cost, oneshot.cost);
     }
 
     #[test]

@@ -1,0 +1,222 @@
+//! Admission control (ISSUE 5): bounded budgets with explicit shed
+//! decisions.
+//!
+//! The serving engine never queues unboundedly. Every utterance offer is
+//! judged against two budgets — concurrent sessions and total buffered
+//! (un-scored) frames — and gets one of three explicit answers:
+//!
+//! * **Admitted** — full-quality service under the bundle's policy;
+//! * **Degraded** — served, but under a narrowed beam and the bounded
+//!   loose N-best policy (the paper's own mitigation: cap per-frame work
+//!   so a pruning-inflated search cannot take the tail down with it).
+//!   Chosen when either budget is past
+//!   [`crate::ServeConfig::degrade_fraction`] occupancy;
+//! * **Rejected** — budget exhausted (or the engine is draining); the
+//!   caller sheds the request instead of the engine deadlocking or
+//!   growing without bound.
+//!
+//! The controller is pure bookkeeping — the [`crate::Scheduler`] asks it
+//! for decisions and reports session/queue transitions back — so its
+//! decision table is unit-testable without threads or models.
+
+use crate::ServeConfig;
+
+/// Why an offer was refused.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RejectReason {
+    /// The engine is draining toward shutdown; no new sessions.
+    Draining,
+    /// The concurrent-session budget is exhausted.
+    SessionBudget,
+    /// Buffering the utterance would exceed the frame-queue budget.
+    QueueBudget,
+}
+
+/// The controller's answer to one utterance offer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Admission {
+    Admitted,
+    Degraded,
+    Rejected(RejectReason),
+}
+
+/// Budget bookkeeping for the serving engine.
+#[derive(Debug)]
+pub struct AdmissionController {
+    max_sessions: usize,
+    max_queue_frames: usize,
+    degrade_fraction: f64,
+    active: usize,
+    queued_frames: usize,
+    draining: bool,
+    /// Cumulative decision counts, for reports and the load generator.
+    pub admitted: u64,
+    pub degraded: u64,
+    pub rejected: u64,
+}
+
+impl AdmissionController {
+    pub fn new(cfg: &ServeConfig) -> Self {
+        Self {
+            max_sessions: cfg.max_sessions,
+            max_queue_frames: cfg.max_queue_frames,
+            degrade_fraction: cfg.degrade_fraction,
+            active: 0,
+            queued_frames: 0,
+            draining: false,
+            admitted: 0,
+            degraded: 0,
+            rejected: 0,
+        }
+    }
+
+    /// Judge an offer of one utterance expected to buffer `frames_hint`
+    /// frames, and record the decision. On `Admitted`/`Degraded` the
+    /// caller opens the session ([`AdmissionController::on_open`]) and
+    /// enqueues its frames; a rejected offer changes no budget state.
+    pub fn offer(&mut self, frames_hint: usize) -> Admission {
+        let decision = self.decide(frames_hint);
+        match decision {
+            Admission::Admitted => self.admitted += 1,
+            Admission::Degraded => self.degraded += 1,
+            Admission::Rejected(_) => self.rejected += 1,
+        }
+        decision
+    }
+
+    fn decide(&self, frames_hint: usize) -> Admission {
+        if self.draining {
+            return Admission::Rejected(RejectReason::Draining);
+        }
+        if self.active >= self.max_sessions {
+            return Admission::Rejected(RejectReason::SessionBudget);
+        }
+        if self.queued_frames + frames_hint > self.max_queue_frames {
+            return Admission::Rejected(RejectReason::QueueBudget);
+        }
+        let session_load = (self.active + 1) as f64 / self.max_sessions as f64;
+        let queue_load = (self.queued_frames + frames_hint) as f64 / self.max_queue_frames as f64;
+        if session_load.max(queue_load) > self.degrade_fraction {
+            Admission::Degraded
+        } else {
+            Admission::Admitted
+        }
+    }
+
+    /// A session opened (post-`offer` accept).
+    pub fn on_open(&mut self) {
+        self.active += 1;
+    }
+
+    /// A session finalized or failed.
+    pub fn on_close(&mut self) {
+        self.active = self.active.saturating_sub(1);
+    }
+
+    /// `n` frames buffered into a session's pending queue.
+    pub fn on_enqueue(&mut self, n: usize) {
+        self.queued_frames += n;
+    }
+
+    /// `n` pending frames consumed by a scored micro-batch.
+    pub fn on_scored(&mut self, n: usize) {
+        self.queued_frames = self.queued_frames.saturating_sub(n);
+    }
+
+    /// Whether `n` more frames fit the queue budget (streaming pushes into
+    /// an already-open session).
+    pub fn queue_has_room(&self, n: usize) -> bool {
+        self.queued_frames + n <= self.max_queue_frames
+    }
+
+    /// Stop admitting; existing sessions run to completion.
+    pub fn begin_drain(&mut self) {
+        self.draining = true;
+    }
+
+    pub fn is_draining(&self) -> bool {
+        self.draining
+    }
+
+    pub fn active_sessions(&self) -> usize {
+        self.active
+    }
+
+    pub fn queued_frames(&self) -> usize {
+        self.queued_frames
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn controller(max_sessions: usize, max_queue: usize, degrade: f64) -> AdmissionController {
+        AdmissionController::new(&ServeConfig {
+            max_sessions,
+            max_queue_frames: max_queue,
+            degrade_fraction: degrade,
+            ..ServeConfig::default()
+        })
+    }
+
+    #[test]
+    fn admits_then_degrades_then_rejects_on_session_budget() {
+        let mut ac = controller(4, 1000, 0.5);
+        // 1/4 and 2/4 occupancy ≤ 0.5 → full quality; 3/4 and 4/4 → degraded.
+        for expect in [
+            Admission::Admitted,
+            Admission::Admitted,
+            Admission::Degraded,
+            Admission::Degraded,
+        ] {
+            assert_eq!(ac.offer(10), expect);
+            ac.on_open();
+            ac.on_enqueue(10);
+        }
+        assert_eq!(
+            ac.offer(10),
+            Admission::Rejected(RejectReason::SessionBudget)
+        );
+        assert_eq!(ac.admitted, 2);
+        assert_eq!(ac.degraded, 2);
+        assert_eq!(ac.rejected, 1);
+        // A finished session frees budget again.
+        ac.on_close();
+        ac.on_scored(40);
+        assert_eq!(ac.offer(10), Admission::Degraded);
+    }
+
+    #[test]
+    fn queue_budget_bounds_buffered_frames() {
+        let mut ac = controller(100, 50, 1.0);
+        assert_eq!(ac.offer(30), Admission::Admitted);
+        ac.on_open();
+        ac.on_enqueue(30);
+        // 30 + 30 > 50: rejected outright, never buffered.
+        assert_eq!(ac.offer(30), Admission::Rejected(RejectReason::QueueBudget));
+        assert_eq!(ac.offer(20), Admission::Admitted);
+        assert!(ac.queue_has_room(20));
+        assert!(!ac.queue_has_room(21));
+        // Scoring frees queue room.
+        ac.on_scored(30);
+        assert_eq!(ac.queued_frames(), 0);
+        assert_eq!(ac.offer(50), Admission::Admitted);
+    }
+
+    #[test]
+    fn draining_rejects_everything_new() {
+        let mut ac = controller(4, 1000, 1.0);
+        ac.begin_drain();
+        assert_eq!(ac.offer(1), Admission::Rejected(RejectReason::Draining));
+        assert!(ac.is_draining());
+    }
+
+    #[test]
+    fn degrade_fraction_one_never_degrades() {
+        let mut ac = controller(2, 100, 1.0);
+        assert_eq!(ac.offer(100), Admission::Admitted);
+        ac.on_open();
+        assert_eq!(ac.offer(0), Admission::Admitted);
+    }
+}

@@ -1,0 +1,152 @@
+//! # darkside-serve — streaming ASR serving engine (ISSUE 5)
+//!
+//! The paper's observation — pruning inflates per-frame Viterbi work and
+//! blows up tail latency — only matters *operationally* when the pruned
+//! model is serving live traffic. This crate turns the offline
+//! reproduction into that serving context, with the workspace's
+//! no-external-deps rule intact (std threads + mutexes only):
+//!
+//! * a [`Session`] holds one live utterance: an owning
+//!   [`darkside_decoder::SearchCore`] (`Arc<Fst>`) plus its per-utterance
+//!   [`darkside_decoder::PruningPolicy`], accepts feature frames
+//!   incrementally, and yields partial
+//!   ([`darkside_decoder::PartialHypothesis`]) and final
+//!   ([`ServedResult`]) hypotheses;
+//! * a [`Scheduler`] multiplexes N concurrent sessions: each
+//!   [`Scheduler::step`] gathers ready frames across sessions into **one**
+//!   [`darkside_nn::FrameScorer::score_frames`] micro-batch (amortizing
+//!   the GEMM exactly like ISSUE 1's batched kernel, but across sessions
+//!   instead of within one utterance), then fans the acoustic costs back
+//!   to each session's decoder on a pool of worker threads;
+//! * an [`AdmissionController`] enforces a session/queue-depth budget with
+//!   explicit [`SubmitResponse::Rejected`] / degraded responses
+//!   (beam-narrowing + policy downgrade to the paper's bounded loose
+//!   N-best) instead of unbounded queueing, plus drain-based graceful
+//!   shutdown ([`Scheduler::drain`]).
+//!
+//! The model enters as a [`darkside_core::ModelBundle`] — the servable
+//! export of a finished `Pipeline` — so the engine serves dense and pruned
+//! scorers through the identical path, which is what makes the paper's
+//! served-p99-vs-sparsity story measurable (`darkside-bench --bin
+//! serve_load`).
+//!
+//! ## Quickstart
+//!
+//! ```no_run
+//! use darkside_core::{Pipeline, PipelineConfig};
+//! use darkside_serve::{Scheduler, ServeConfig, SubmitResponse};
+//!
+//! let pipeline = Pipeline::build(PipelineConfig::smoke()).unwrap();
+//! let bundle = pipeline.servable_pruned(0.9).unwrap();
+//! let mut engine = Scheduler::new(bundle, ServeConfig::default()).unwrap();
+//! # let utterance_frames = Vec::new();
+//! match engine.offer(utterance_frames).unwrap() {
+//!     SubmitResponse::Admitted(id) | SubmitResponse::Degraded(id) => {
+//!         while engine.active_sessions() > 0 {
+//!             engine.step().unwrap();
+//!         }
+//!         let served = engine.take_completed();
+//!         println!("{id}: {:?}", served[0].decode.as_ref().unwrap().words);
+//!     }
+//!     SubmitResponse::Rejected(reason) => eprintln!("shed: {reason:?}"),
+//! }
+//! ```
+
+pub mod admission;
+pub mod scheduler;
+pub mod session;
+
+pub use admission::{Admission, AdmissionController, RejectReason};
+pub use scheduler::{Scheduler, SchedulerStats, StepStats, SubmitResponse};
+pub use session::{ServedResult, Session, SessionId};
+
+use darkside_error::Error;
+
+/// Serving-engine knobs: worker pool size, micro-batch cap, and the
+/// admission budget.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ServeConfig {
+    /// Decode worker threads the scheduler fans sessions across.
+    pub workers: usize,
+    /// Admission budget: maximum concurrent sessions.
+    pub max_sessions: usize,
+    /// Admission budget: maximum un-scored feature frames buffered across
+    /// all sessions (bounds memory under overload — offers beyond it are
+    /// rejected, never queued).
+    pub max_queue_frames: usize,
+    /// Micro-batch cap: at most this many frames are scored per
+    /// [`Scheduler::step`], shared fairly across ready sessions.
+    pub max_batch_frames: usize,
+    /// Occupancy fraction of either budget beyond which newly admitted
+    /// sessions are degraded (narrowed beam + bounded N-best policy)
+    /// rather than served at full quality.
+    pub degrade_fraction: f64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            workers: 4,
+            max_sessions: 64,
+            max_queue_frames: 16_384,
+            max_batch_frames: 512,
+            degrade_fraction: 0.75,
+        }
+    }
+}
+
+impl ServeConfig {
+    pub(crate) fn validate(&self) -> Result<(), Error> {
+        let fail = |detail: String| Err(Error::config("ServeConfig", detail));
+        if self.workers == 0 {
+            return fail("zero workers".into());
+        }
+        if self.max_sessions == 0 {
+            return fail("zero max_sessions".into());
+        }
+        if self.max_batch_frames == 0 {
+            return fail("zero max_batch_frames".into());
+        }
+        if self.max_queue_frames == 0 {
+            return fail("zero max_queue_frames".into());
+        }
+        if !(0.0..=1.0).contains(&self.degrade_fraction) {
+            return fail(format!("degrade_fraction {}", self.degrade_fraction));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_validation_rejects_zero_budgets() {
+        assert!(ServeConfig::default().validate().is_ok());
+        for bad in [
+            ServeConfig {
+                workers: 0,
+                ..ServeConfig::default()
+            },
+            ServeConfig {
+                max_sessions: 0,
+                ..ServeConfig::default()
+            },
+            ServeConfig {
+                max_batch_frames: 0,
+                ..ServeConfig::default()
+            },
+            ServeConfig {
+                max_queue_frames: 0,
+                ..ServeConfig::default()
+            },
+            ServeConfig {
+                degrade_fraction: 1.5,
+                ..ServeConfig::default()
+            },
+        ] {
+            assert!(bad.validate().is_err(), "{bad:?}");
+        }
+    }
+}

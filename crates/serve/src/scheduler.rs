@@ -1,0 +1,620 @@
+//! The serving scheduler (ISSUE 5 tentpole): N concurrent sessions, one
+//! scoring call per micro-batch, a worker pool for the decoders.
+//!
+//! Each [`Scheduler::step`] is one closed micro-batch cycle:
+//!
+//! ```text
+//!  sessions (id order)          gather ≤ max_batch_frames, fair share
+//!  s0: [f f f] ──┐
+//!  s3: [f f]   ──┼──► one FrameScorer::score_frames(batch)   (the GEMM
+//!  s7: [f f f] ──┘        │                                   amortization)
+//!                         ▼
+//!                 acoustic_costs → per-session row ranges
+//!                         │
+//!          ┌──────────────┼──────────────┐     worker pool
+//!          ▼              ▼              ▼
+//!     s0.advance×3   s3.advance×2   s7.advance×3   (SearchCore + policy,
+//!          │              │              │          frame-synchronous)
+//!          └──────────────┴──────────────┘
+//!                 reap finished → ServedResult
+//! ```
+//!
+//! Scoring batches **across sessions** is the serving-side version of
+//! ISSUE 1's within-utterance batching: at smoke scale a single session
+//! hands the scorer a few dozen rows, but eight concurrent sessions fill a
+//! multi-hundred-row GEMM per call — and the decode fan-out runs the
+//! pruning-inflated Viterbi work (the paper's tail) on parallel workers
+//! instead of serializing it behind one thread.
+//!
+//! Worker threads re-install the scheduler's [`SharedRecorder`] (when one
+//! is attached) so their `decode.frame.*` samples aggregate into the same
+//! run report as the main thread's queue/batch gauges — the ISSUE 5 trace
+//! satellite.
+
+use crate::admission::{Admission, AdmissionController, RejectReason};
+use crate::session::{ServedResult, Session, SessionId};
+use crate::ServeConfig;
+use darkside_core::{ModelBundle, PolicyKind};
+use darkside_decoder::{acoustic_costs, BeamConfig, PartialHypothesis};
+use darkside_error::Error;
+use darkside_nn::{Frame, Matrix};
+use darkside_trace::{self as trace, Recorder as _, SharedRecorder};
+use darkside_viterbi_accel::NBestTableConfig;
+
+/// The degraded-service table: small enough to bind (cap per-frame work)
+/// even on smoke-scale graphs, 8-way like the paper's Table III.
+const DEGRADED_TABLE: NBestTableConfig = NBestTableConfig {
+    entries: 64,
+    ways: 8,
+};
+
+/// How much the beam narrows for degraded sessions.
+const DEGRADED_BEAM_SCALE: f32 = 0.5;
+
+/// The engine's answer to an utterance offer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SubmitResponse {
+    /// Full-quality service under the bundle's policy.
+    Admitted(SessionId),
+    /// Served, but under the narrowed beam + bounded N-best policy.
+    Degraded(SessionId),
+    /// Shed: budget exhausted or draining. No state was buffered.
+    Rejected(RejectReason),
+}
+
+impl SubmitResponse {
+    /// The session id, when one was opened.
+    pub fn id(&self) -> Option<SessionId> {
+        match *self {
+            SubmitResponse::Admitted(id) | SubmitResponse::Degraded(id) => Some(id),
+            SubmitResponse::Rejected(_) => None,
+        }
+    }
+}
+
+/// What one [`Scheduler::step`] did.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StepStats {
+    /// Frames scored in this step's micro-batch (0 = idle step).
+    pub scored_frames: usize,
+    /// Sessions that contributed frames to the batch.
+    pub batch_sessions: usize,
+    /// Sessions finalized this step.
+    pub completed: usize,
+}
+
+/// Cumulative engine counters (monotonic over the scheduler's life).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SchedulerStats {
+    pub steps: u64,
+    pub batches: u64,
+    pub scored_frames: u64,
+    pub completed: u64,
+    /// Sessions that ended in a search error.
+    pub failed: u64,
+    pub peak_active_sessions: usize,
+    pub peak_batch_frames: usize,
+}
+
+/// The streaming inference engine: admission control in front of a session
+/// table, stepped in micro-batch cycles.
+pub struct Scheduler {
+    bundle: ModelBundle,
+    degraded_bundle: ModelBundle,
+    cfg: ServeConfig,
+    admission: AdmissionController,
+    /// Live sessions in ascending id order (ids are monotonic, sessions
+    /// are appended — so iteration order is deterministic and fair).
+    sessions: Vec<Session>,
+    next_id: u64,
+    completed: Vec<ServedResult>,
+    recorder: Option<SharedRecorder>,
+    stats: SchedulerStats,
+}
+
+impl Scheduler {
+    pub fn new(bundle: ModelBundle, cfg: ServeConfig) -> Result<Self, Error> {
+        cfg.validate()?;
+        // Fail on unbuildable policies now, not per-admission.
+        bundle.build_policy()?;
+        let degraded_bundle = degraded(&bundle);
+        degraded_bundle.build_policy()?;
+        Ok(Self {
+            admission: AdmissionController::new(&cfg),
+            bundle,
+            degraded_bundle,
+            cfg,
+            sessions: Vec::new(),
+            next_id: 0,
+            completed: Vec::new(),
+            recorder: None,
+            stats: SchedulerStats::default(),
+        })
+    }
+
+    /// Attach a shared recorder: worker threads install clones of it so
+    /// their per-frame decode metrics aggregate with the main thread's.
+    /// Drive the scheduler inside `recorder.scoped(..)` (or any ambient
+    /// install of the same handle) to also capture the main-thread gauges.
+    pub fn with_recorder(mut self, recorder: SharedRecorder) -> Self {
+        self.recorder = Some(recorder);
+        self
+    }
+
+    /// Offer one whole utterance: admission decision, then (when served) a
+    /// session carrying every frame with input already closed. The common
+    /// path for request/response serving and the load generator.
+    pub fn offer(&mut self, frames: Vec<Frame>) -> Result<SubmitResponse, Error> {
+        let response = self.open(frames.len())?;
+        if let Some(id) = response.id() {
+            self.push(id, frames)?;
+            self.close_input(id);
+        }
+        Ok(response)
+    }
+
+    /// Open a streaming session expected to push about `frames_hint`
+    /// frames (the admission queue check uses the hint; actual pushes are
+    /// re-checked against the live budget).
+    pub fn open(&mut self, frames_hint: usize) -> Result<SubmitResponse, Error> {
+        match self.admission.offer(frames_hint) {
+            Admission::Rejected(reason) => {
+                trace::counter("serve.rejected", 1);
+                Ok(SubmitResponse::Rejected(reason))
+            }
+            decision => {
+                let degraded = decision == Admission::Degraded;
+                let bundle = if degraded {
+                    &self.degraded_bundle
+                } else {
+                    &self.bundle
+                };
+                let id = SessionId(self.next_id);
+                let session =
+                    Session::new(id, bundle.graph.clone(), bundle.build_policy()?, degraded)?;
+                self.next_id += 1;
+                self.sessions.push(session);
+                self.admission.on_open();
+                self.stats.peak_active_sessions =
+                    self.stats.peak_active_sessions.max(self.sessions.len());
+                if degraded {
+                    trace::counter("serve.degraded", 1);
+                }
+                Ok(if degraded {
+                    SubmitResponse::Degraded(id)
+                } else {
+                    SubmitResponse::Admitted(id)
+                })
+            }
+        }
+    }
+
+    /// Push frames into an open session. Fails (without buffering
+    /// anything) when the session is unknown, a frame's dimensionality
+    /// does not match the scorer, or the frames would exceed the queue
+    /// budget — explicit backpressure, never unbounded buffering.
+    pub fn push(&mut self, id: SessionId, frames: Vec<Frame>) -> Result<(), Error> {
+        let dim = self.bundle.scorer.input_dim();
+        if let Some(bad) = frames.iter().find(|f| f.dim() != dim) {
+            return Err(Error::shape(
+                "serve.push",
+                format!("frame dim {} but scorer expects {dim}", bad.dim()),
+            ));
+        }
+        if !self.admission.queue_has_room(frames.len()) {
+            return Err(Error::config(
+                "serve.push",
+                format!("{} frames would exceed the queue budget", frames.len()),
+            ));
+        }
+        let session = self.session_mut(id)?;
+        let n = frames.len();
+        session.push(frames);
+        self.admission.on_enqueue(n);
+        Ok(())
+    }
+
+    /// Mark a session's input complete; it finalizes once scored through.
+    /// Unknown ids are a no-op (the session may already have finished).
+    pub fn close_input(&mut self, id: SessionId) {
+        if let Ok(s) = self.session_mut(id) {
+            s.close_input();
+        }
+    }
+
+    /// The best hypothesis a live session holds right now (`None` once the
+    /// session has finalized — its result is in [`Scheduler::take_completed`]).
+    pub fn partial(&self, id: SessionId) -> Option<PartialHypothesis> {
+        self.session(id).map(Session::partial)
+    }
+
+    /// One micro-batch cycle: reap → gather → score once → fan out to the
+    /// worker pool → reap. Idle (no ready frames) steps only update gauges.
+    pub fn step(&mut self) -> Result<StepStats, Error> {
+        let _span = trace::span!("serve.step");
+        self.stats.steps += 1;
+        let mut completed = self.reap();
+        let (scored_frames, batch_sessions) = self.run_batch();
+        completed += self.reap();
+        trace::gauge("serve.queue.depth", self.admission.queued_frames() as f64);
+        trace::gauge("serve.sessions.active", self.sessions.len() as f64);
+        Ok(StepStats {
+            scored_frames,
+            batch_sessions,
+            completed,
+        })
+    }
+
+    /// Graceful shutdown: stop admitting, close every session's input,
+    /// step until the table is empty, and hand back everything served.
+    /// Terminates unconditionally — every remaining session either
+    /// contributes to the next batch or reaps as done, so each step makes
+    /// progress.
+    pub fn drain(&mut self) -> Result<Vec<ServedResult>, Error> {
+        self.admission.begin_drain();
+        for s in &mut self.sessions {
+            s.close_input();
+        }
+        while !self.sessions.is_empty() {
+            self.step()?;
+        }
+        Ok(self.take_completed())
+    }
+
+    /// Results finalized since the last call (submit order not guaranteed;
+    /// each carries its [`SessionId`]).
+    pub fn take_completed(&mut self) -> Vec<ServedResult> {
+        std::mem::take(&mut self.completed)
+    }
+
+    pub fn active_sessions(&self) -> usize {
+        self.sessions.len()
+    }
+
+    pub fn queued_frames(&self) -> usize {
+        self.admission.queued_frames()
+    }
+
+    pub fn stats(&self) -> SchedulerStats {
+        self.stats
+    }
+
+    pub fn admission(&self) -> &AdmissionController {
+        &self.admission
+    }
+
+    pub fn bundle(&self) -> &ModelBundle {
+        &self.bundle
+    }
+
+    /// Gather a fair micro-batch, score it in one call, and advance every
+    /// contributing session over its rows on the worker pool. Returns
+    /// `(scored_frames, batch_sessions)`.
+    fn run_batch(&mut self) -> (usize, usize) {
+        let ready = self.sessions.iter().filter(|s| s.ready() > 0).count();
+        if ready == 0 {
+            return (0, 0);
+        }
+        // Fair share: the batch cap divides across ready sessions (≥ 1
+        // frame each), so one long utterance cannot starve the rest.
+        let fair = (self.cfg.max_batch_frames / ready).max(1);
+        let mut batch: Vec<Frame> = Vec::new();
+        let mut parts: Vec<(usize, usize, usize)> = Vec::new(); // (session idx, row0, rows)
+        for (i, s) in self.sessions.iter_mut().enumerate() {
+            if batch.len() >= self.cfg.max_batch_frames {
+                break;
+            }
+            let room = self.cfg.max_batch_frames - batch.len();
+            let frames = s.take_ready(fair.min(room));
+            if frames.is_empty() {
+                continue;
+            }
+            parts.push((i, batch.len(), frames.len()));
+            batch.extend(frames);
+        }
+        let scored = batch.len();
+        self.admission.on_scored(scored);
+        let costs = {
+            let _s = trace::span!("serve.score");
+            let scores = self.bundle.scorer.score_frames(&batch);
+            acoustic_costs(&scores, &self.bundle.beam)
+        };
+        self.fan_out(&parts, &costs);
+        self.stats.batches += 1;
+        self.stats.scored_frames += scored as u64;
+        self.stats.peak_batch_frames = self.stats.peak_batch_frames.max(scored);
+        trace::sample("serve.batch.frames", scored as f64);
+        trace::sample("serve.batch.sessions", parts.len() as f64);
+        (scored, parts.len())
+    }
+
+    /// Advance each contributing session over its slice of the scored
+    /// batch, split across the worker pool. Sessions are independent
+    /// decoders, so the split is embarrassingly parallel; each worker
+    /// re-installs the shared recorder so per-frame metrics aggregate.
+    fn fan_out(&mut self, parts: &[(usize, usize, usize)], costs: &Matrix) {
+        // Disjoint &mut Session in parts order, from one sweep.
+        let mut work: Vec<(&mut Session, usize, usize)> = Vec::with_capacity(parts.len());
+        let mut want = parts.iter().peekable();
+        for (i, s) in self.sessions.iter_mut().enumerate() {
+            match want.peek() {
+                Some(&&(pi, row0, rows)) if pi == i => {
+                    want.next();
+                    work.push((s, row0, rows));
+                }
+                _ => {}
+            }
+        }
+        let workers = self.cfg.workers.min(work.len()).max(1);
+        if workers == 1 {
+            for (s, row0, rows) in &mut work {
+                s.advance_rows(costs, *row0..*row0 + *rows);
+            }
+            return;
+        }
+        let chunk = work.len().div_ceil(workers);
+        std::thread::scope(|scope| {
+            for piece in work.chunks_mut(chunk) {
+                let recorder = self.recorder.clone();
+                scope.spawn(move || {
+                    let mut run = || {
+                        for (s, row0, rows) in piece.iter_mut() {
+                            s.advance_rows(costs, *row0..*row0 + *rows);
+                        }
+                    };
+                    match recorder {
+                        Some(r) => r.scoped(run),
+                        None => run(),
+                    }
+                });
+            }
+        });
+    }
+
+    /// Finalize every done session: release its budget, export its trace
+    /// metrics, move its result to the completed queue.
+    fn reap(&mut self) -> usize {
+        let mut n = 0;
+        let mut i = 0;
+        while i < self.sessions.len() {
+            if !self.sessions[i].is_done() {
+                i += 1;
+                continue;
+            }
+            let s = self.sessions.remove(i);
+            // An errored session may die with un-scored frames buffered;
+            // give their queue budget back.
+            let leftover = s.pending_unscored();
+            if leftover > 0 {
+                self.admission.on_scored(leftover);
+            }
+            self.admission.on_close();
+            let t0 = s.submitted_ns();
+            let served = s.finalize();
+            self.stats.completed += 1;
+            if served.decode.is_err() {
+                self.stats.failed += 1;
+                trace::counter("serve.session.failed", 1);
+            } else {
+                trace::counter("serve.session.completed", 1);
+            }
+            trace::counter("serve.session.frames", served.frames as u64);
+            trace::sample("serve.session.latency_ns", served.latency_ns as f64);
+            // The per-session span: recorded with the session's own
+            // submit→final timestamps on the shared sink (the ambient RAII
+            // span API cannot backdate an enter).
+            if let Some(r) = &self.recorder {
+                let t1 = t0 + served.latency_ns;
+                r.span_enter("serve.session", 1, t0);
+                r.span_exit("serve.session", 1, t0, t1);
+            }
+            self.completed.push(served);
+            n += 1;
+        }
+        n
+    }
+
+    fn session(&self, id: SessionId) -> Option<&Session> {
+        self.sessions
+            .binary_search_by_key(&id, Session::id)
+            .ok()
+            .map(|i| &self.sessions[i])
+    }
+
+    fn session_mut(&mut self, id: SessionId) -> Result<&mut Session, Error> {
+        self.sessions
+            .binary_search_by_key(&id, Session::id)
+            .map(|i| &mut self.sessions[i])
+            .map_err(|_| Error::config("serve", format!("no live session {id}")))
+    }
+}
+
+/// The degraded operating point: beam narrowed, policy downgraded to the
+/// paper's bounded loose N-best (which caps per-frame survivors no matter
+/// how much pruning inflated the search — exactly the property overload
+/// shedding wants). A bundle already on N-best keeps its table geometry.
+fn degraded(bundle: &ModelBundle) -> ModelBundle {
+    let beam = BeamConfig {
+        beam: bundle.beam.beam * DEGRADED_BEAM_SCALE,
+        ..bundle.beam
+    };
+    let policy = match bundle.policy {
+        PolicyKind::LooseNBest(cfg) => PolicyKind::LooseNBest(cfg),
+        PolicyKind::Beam | PolicyKind::UnfoldHash(_) => PolicyKind::LooseNBest(DEGRADED_TABLE),
+    };
+    bundle.with_policy(policy, beam)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use darkside_core::{Pipeline, PipelineConfig};
+    use darkside_nn::Rng;
+
+    /// An untrained smoke pipeline: model quality is irrelevant to the
+    /// scheduler mechanics, and skipping training keeps these tests fast.
+    fn test_bundle() -> ModelBundle {
+        let config = PipelineConfig::smoke().with_training(0, 0);
+        Pipeline::build(config).unwrap().servable_dense()
+    }
+
+    fn utterances(bundle: &ModelBundle, n: usize, len: usize, seed: u64) -> Vec<Vec<Frame>> {
+        let dim = bundle.scorer.input_dim();
+        let mut rng = Rng::new(seed);
+        (0..n)
+            .map(|_| {
+                (0..len)
+                    .map(|_| Frame((0..dim).map(|_| rng.normal()).collect()))
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn serves_concurrent_sessions_to_completion() {
+        let bundle = test_bundle();
+        let mut engine = Scheduler::new(
+            bundle.clone(),
+            ServeConfig {
+                workers: 2,
+                max_batch_frames: 16,
+                ..ServeConfig::default()
+            },
+        )
+        .unwrap();
+        let utts = utterances(&bundle, 6, 11, 0xA);
+        let mut ids = Vec::new();
+        for u in utts {
+            match engine.offer(u).unwrap() {
+                SubmitResponse::Admitted(id) => ids.push(id),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        assert_eq!(engine.active_sessions(), 6);
+        let served = engine.drain().unwrap();
+        assert_eq!(served.len(), 6);
+        assert_eq!(engine.active_sessions(), 0);
+        assert_eq!(engine.queued_frames(), 0);
+        for r in &served {
+            let d = r.decode.as_ref().unwrap();
+            assert_eq!(d.stats.active_tokens.len(), 11);
+            assert!(r.latency_ns > 0);
+        }
+        let mut served_ids: Vec<_> = served.iter().map(|r| r.id).collect();
+        served_ids.sort();
+        assert_eq!(served_ids, ids);
+        let stats = engine.stats();
+        assert_eq!(stats.scored_frames, 66);
+        assert!(stats.peak_batch_frames <= 16);
+        assert_eq!(stats.completed, 6);
+        assert_eq!(stats.failed, 0);
+    }
+
+    #[test]
+    fn over_budget_offers_are_rejected_not_queued() {
+        let bundle = test_bundle();
+        let mut engine = Scheduler::new(
+            bundle.clone(),
+            ServeConfig {
+                max_sessions: 3,
+                degrade_fraction: 1.0,
+                ..ServeConfig::default()
+            },
+        )
+        .unwrap();
+        let utts = utterances(&bundle, 5, 4, 0xB);
+        let mut rejected = 0;
+        for u in utts {
+            if let SubmitResponse::Rejected(reason) = engine.offer(u).unwrap() {
+                assert_eq!(reason, RejectReason::SessionBudget);
+                rejected += 1;
+            }
+        }
+        assert_eq!(rejected, 2);
+        assert_eq!(engine.active_sessions(), 3);
+        // The budget frees as sessions finish; the engine drains clean.
+        let served = engine.drain().unwrap();
+        assert_eq!(served.len(), 3);
+        assert_eq!(engine.admission().rejected, 2);
+    }
+
+    #[test]
+    fn overload_degrades_sessions_to_the_bounded_policy() {
+        let bundle = test_bundle();
+        let mut engine = Scheduler::new(
+            bundle.clone(),
+            ServeConfig {
+                max_sessions: 4,
+                degrade_fraction: 0.5,
+                ..ServeConfig::default()
+            },
+        )
+        .unwrap();
+        let utts = utterances(&bundle, 4, 4, 0xC);
+        let mut responses = Vec::new();
+        for u in utts {
+            responses.push(engine.offer(u).unwrap());
+        }
+        assert!(matches!(responses[0], SubmitResponse::Admitted(_)));
+        assert!(matches!(responses[1], SubmitResponse::Admitted(_)));
+        assert!(matches!(responses[2], SubmitResponse::Degraded(_)));
+        assert!(matches!(responses[3], SubmitResponse::Degraded(_)));
+        let served = engine.drain().unwrap();
+        assert_eq!(served.iter().filter(|r| r.degraded).count(), 2);
+        // Degraded sessions still produce decodes.
+        for r in &served {
+            assert!(r.decode.is_ok());
+        }
+    }
+
+    #[test]
+    fn streaming_push_partials_and_backpressure() {
+        let bundle = test_bundle();
+        let mut engine = Scheduler::new(
+            bundle.clone(),
+            ServeConfig {
+                max_queue_frames: 8,
+                max_batch_frames: 8,
+                degrade_fraction: 1.0,
+                ..ServeConfig::default()
+            },
+        )
+        .unwrap();
+        let id = engine.open(4).unwrap().id().unwrap();
+        let utt = utterances(&bundle, 1, 6, 0xD).pop().unwrap();
+        engine.push(id, utt[..4].to_vec()).unwrap();
+        // Over the queue budget: explicit error, nothing buffered.
+        assert!(engine
+            .push(id, utterances(&bundle, 1, 6, 0xE).pop().unwrap())
+            .is_err());
+        engine.step().unwrap();
+        let partial = engine.partial(id).unwrap();
+        assert_eq!(partial.frames, 4);
+        engine.push(id, utt[4..].to_vec()).unwrap();
+        engine.close_input(id);
+        let served = engine.drain().unwrap();
+        assert_eq!(served.len(), 1);
+        assert_eq!(served[0].frames, 6);
+        assert!(engine.partial(id).is_none());
+    }
+
+    #[test]
+    fn wrong_frame_dim_is_a_shape_error() {
+        let bundle = test_bundle();
+        let mut engine = Scheduler::new(bundle, ServeConfig::default()).unwrap();
+        let id = engine.open(1).unwrap().id().unwrap();
+        let err = engine.push(id, vec![Frame(vec![0.0; 3])]).unwrap_err();
+        assert!(matches!(err, Error::Shape { .. }));
+        engine.close_input(id);
+        assert_eq!(engine.drain().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn degraded_bundle_downgrades_beam_to_nbest() {
+        let bundle = test_bundle();
+        let d = degraded(&bundle);
+        assert!(matches!(d.policy, PolicyKind::LooseNBest(_)));
+        assert!((d.beam.beam - bundle.beam.beam * DEGRADED_BEAM_SCALE).abs() < 1e-6);
+        assert_eq!(d.beam.acoustic_scale, bundle.beam.acoustic_scale);
+    }
+}

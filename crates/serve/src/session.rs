@@ -1,0 +1,317 @@
+//! One live streaming utterance (ISSUE 5): an owning decoder plus its
+//! per-utterance pruning policy, fed frames incrementally.
+//!
+//! A session's decode is the *same recursion* as the offline
+//! [`darkside_decoder::decode_with_policy`] — the
+//! [`darkside_decoder::SearchCore`] advances one frame per scored cost
+//! row, in arrival order, no matter how the [`crate::Scheduler`] slices
+//! those rows into cross-session micro-batches. That is what makes
+//! streaming results bit-for-bit identical to one-shot decodes
+//! (`tests/streaming_equivalence.rs`), and it is the property that lets a
+//! serving engine micro-batch aggressively without changing what it
+//! answers.
+
+use darkside_decoder::{DecodeResult, Error, PartialHypothesis, PruningPolicy, SearchCore};
+use darkside_nn::{Frame, Matrix};
+use darkside_trace as trace;
+use darkside_wfst::Fst;
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// Engine-assigned session identity (monotonic per scheduler).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SessionId(pub u64);
+
+impl std::fmt::Display for SessionId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// A finished session, as delivered by [`crate::Scheduler::take_completed`].
+#[derive(Debug)]
+pub struct ServedResult {
+    pub id: SessionId,
+    /// The decode, or the search error that killed the session (e.g. every
+    /// hypothesis pruned away mid-utterance). Either way the session is
+    /// closed and its budget released — one bad utterance never wedges the
+    /// engine.
+    pub decode: Result<DecodeResult, Error>,
+    /// Whether this session was served under the degraded (narrow-beam,
+    /// bounded N-best) configuration.
+    pub degraded: bool,
+    /// Feature frames the caller pushed.
+    pub frames: usize,
+    /// Submit-to-final wall time, nanoseconds (the served latency the
+    /// closed-loop bench reports percentiles of).
+    pub latency_ns: u64,
+}
+
+/// One live utterance: pending (un-scored) frames in front of an owning
+/// frame-synchronous decoder.
+pub struct Session {
+    id: SessionId,
+    core: SearchCore<Arc<Fst>>,
+    policy: Box<dyn PruningPolicy + Send>,
+    pending: VecDeque<Frame>,
+    input_closed: bool,
+    degraded: bool,
+    frames_in: usize,
+    submitted_ns: u64,
+    /// First search error; the session stops advancing once set.
+    error: Option<Error>,
+}
+
+impl Session {
+    pub fn new(
+        id: SessionId,
+        graph: Arc<Fst>,
+        policy: Box<dyn PruningPolicy + Send>,
+        degraded: bool,
+    ) -> Result<Self, Error> {
+        Ok(Self {
+            id,
+            core: SearchCore::new(graph)?,
+            policy,
+            pending: VecDeque::new(),
+            input_closed: false,
+            degraded,
+            frames_in: 0,
+            submitted_ns: trace::now_ns(),
+            error: None,
+        })
+    }
+
+    pub fn id(&self) -> SessionId {
+        self.id
+    }
+
+    pub fn is_degraded(&self) -> bool {
+        self.degraded
+    }
+
+    /// Buffer more feature frames (ignored after [`Session::close_input`]).
+    pub fn push(&mut self, frames: impl IntoIterator<Item = Frame>) {
+        if self.input_closed {
+            return;
+        }
+        for f in frames {
+            self.pending.push_back(f);
+            self.frames_in += 1;
+        }
+    }
+
+    /// No more frames will arrive; once pending drains, the session is done.
+    pub fn close_input(&mut self) {
+        self.input_closed = true;
+    }
+
+    /// Un-scored frames waiting for a micro-batch slot.
+    pub fn ready(&self) -> usize {
+        if self.error.is_some() {
+            0
+        } else {
+            self.pending.len()
+        }
+    }
+
+    /// Hand up to `max` pending frames to the scheduler's micro-batch.
+    pub fn take_ready(&mut self, max: usize) -> Vec<Frame> {
+        let n = max.min(self.ready());
+        self.pending.drain(..n).collect()
+    }
+
+    /// Advance the decoder over this session's slice of the scored batch
+    /// (`rows` indexes `costs`), one frame per row in arrival order. A
+    /// search error (all hypotheses died) is latched: the session reports
+    /// done and surfaces the error in its [`ServedResult`].
+    pub fn advance_rows(&mut self, costs: &Matrix, rows: std::ops::Range<usize>) {
+        for r in rows {
+            if self.error.is_some() {
+                return;
+            }
+            if let Err(e) = self.core.advance(costs.row(r), self.policy.as_mut()) {
+                self.error = Some(e);
+            }
+        }
+    }
+
+    /// The best hypothesis so far (streaming partial result).
+    pub fn partial(&self) -> PartialHypothesis {
+        self.core.partial()
+    }
+
+    /// Total frames pushed so far.
+    pub fn frames_in(&self) -> usize {
+        self.frames_in
+    }
+
+    /// Input closed and every buffered frame scored (or the search died):
+    /// ready to finalize.
+    pub fn is_done(&self) -> bool {
+        self.error.is_some() || (self.input_closed && self.pending.is_empty())
+    }
+
+    /// Buffered frames that will never be scored (non-zero only when a
+    /// search error killed the session early); the scheduler hands their
+    /// queue budget back on reap.
+    pub fn pending_unscored(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Submit-time monotonic timestamp, for latency accounting.
+    pub fn submitted_ns(&self) -> u64 {
+        self.submitted_ns
+    }
+
+    /// Close the utterance: let the policy export its cumulative metrics,
+    /// trace back the best path, and package the result.
+    pub fn finalize(mut self) -> ServedResult {
+        self.policy.end_utterance();
+        let latency_ns = trace::now_ns().saturating_sub(self.submitted_ns);
+        let decode = match self.error {
+            Some(e) => Err(e),
+            None => Ok(self.core.finish()),
+        };
+        ServedResult {
+            id: self.id,
+            decode,
+            degraded: self.degraded,
+            frames: self.frames_in,
+            latency_ns,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use darkside_decoder::{decode, BeamConfig, BeamPolicy};
+    use darkside_wfst::{Arc as FstArc, TropicalWeight, EPSILON};
+
+    /// The decoder's toy shape: two states, class 0 loops, class 1 emits
+    /// word 5 into the final state.
+    fn toy_graph() -> Fst {
+        let mut g = Fst::new();
+        let s0 = g.add_state();
+        let s1 = g.add_state();
+        g.set_start(s0);
+        g.set_final(s1, TropicalWeight::ONE);
+        for (from, to) in [(s0, s0), (s1, s1)] {
+            g.add_arc(
+                from,
+                FstArc {
+                    ilabel: 1,
+                    olabel: EPSILON,
+                    weight: TropicalWeight(0.1),
+                    next: to,
+                },
+            );
+        }
+        for from in [s0, s1] {
+            g.add_arc(
+                from,
+                FstArc {
+                    ilabel: 2,
+                    olabel: 6,
+                    weight: TropicalWeight(0.1),
+                    next: s1,
+                },
+            );
+        }
+        g
+    }
+
+    fn beam_session(graph: &Arc<Fst>) -> Session {
+        Session::new(
+            SessionId(7),
+            graph.clone(),
+            Box::new(BeamPolicy::new(BeamConfig::default().beam)),
+            false,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn incremental_session_matches_oneshot_decode() {
+        let graph = Arc::new(toy_graph());
+        let costs = Matrix::new(
+            3,
+            2,
+            vec![
+                0.1, 2.0, //
+                0.1, 2.0, //
+                2.0, 0.1,
+            ],
+        )
+        .unwrap();
+        let mut s = beam_session(&graph);
+        // Frames arrive in two pushes; rows are scored in two "batches".
+        s.push((0..2).map(|t| Frame(costs.row(t).to_vec())));
+        assert_eq!(s.ready(), 2);
+        let taken = s.take_ready(2);
+        assert_eq!(taken.len(), 2);
+        s.advance_rows(&costs, 0..2);
+        assert_eq!(s.partial().frames, 2);
+        assert!(!s.is_done());
+        s.push(std::iter::once(Frame(costs.row(2).to_vec())));
+        s.close_input();
+        let _ = s.take_ready(8);
+        s.advance_rows(&costs, 2..3);
+        assert!(s.is_done());
+        let served = s.finalize();
+        let oneshot = decode(&graph, &costs, &BeamConfig::default()).unwrap();
+        let streamed = served.decode.unwrap();
+        assert_eq!(streamed.words, oneshot.words);
+        assert_eq!(streamed.cost, oneshot.cost);
+        assert_eq!(served.frames, 3);
+    }
+
+    #[test]
+    fn zero_frame_session_finalizes_to_the_empty_path() {
+        let graph = Arc::new(toy_graph());
+        let mut s = beam_session(&graph);
+        s.close_input();
+        assert!(s.is_done());
+        let served = s.finalize();
+        let decode = served.decode.unwrap();
+        assert!(decode.words.is_empty());
+        assert!(!decode.reached_final);
+    }
+
+    #[test]
+    fn search_death_is_latched_not_panicked() {
+        struct RejectAll;
+        impl PruningPolicy for RejectAll {
+            fn name(&self) -> &'static str {
+                "reject-all"
+            }
+            fn admit(&mut self, _s: u32, _c: f32) -> darkside_decoder::Admit {
+                darkside_decoder::Admit::Reject
+            }
+            fn end_frame(&mut self) -> darkside_decoder::FramePruneStats {
+                darkside_decoder::FramePruneStats::default()
+            }
+        }
+        let graph = Arc::new(toy_graph());
+        let mut s = Session::new(SessionId(1), graph, Box::new(RejectAll), false).unwrap();
+        let costs = Matrix::new(2, 2, vec![0.1, 0.1, 0.1, 0.1]).unwrap();
+        s.push((0..2).map(|t| Frame(costs.row(t).to_vec())));
+        s.close_input();
+        let _ = s.take_ready(2);
+        s.advance_rows(&costs, 0..2);
+        assert!(s.is_done());
+        assert_eq!(s.ready(), 0);
+        assert!(s.finalize().decode.is_err());
+    }
+
+    #[test]
+    fn pushes_after_close_are_ignored() {
+        let graph = Arc::new(toy_graph());
+        let mut s = beam_session(&graph);
+        s.close_input();
+        s.push(std::iter::once(Frame(vec![0.0, 0.0])));
+        assert_eq!(s.frames_in(), 0);
+        assert!(s.is_done());
+    }
+}

@@ -41,17 +41,23 @@
 //! The recorder is thread-local by design: the pipeline is single-threaded
 //! at stage granularity, and the thread-parallel kernels (`nn::gemm`) are
 //! timed as whole calls from the caller's thread, so worker threads never
-//! race on a sink and no locks sit on the hot path.
+//! race on a sink and no locks sit on the hot path. When work genuinely
+//! fans out across threads — the `darkside-serve` scheduler's decode
+//! workers — install a clone of one [`SharedRecorder`] per worker
+//! ([`SharedRecorder::scoped`]): every thread's events aggregate into one
+//! mutex-guarded snapshot instead of being silently dropped (ISSUE 5).
 
 pub mod hist;
 pub mod json;
 pub mod recorder;
 pub mod report;
+pub mod shared;
 
 pub use hist::{exact_percentile, HistogramSummary, LogHistogram};
 pub use json::Json;
 pub use recorder::{JsonlRecorder, MemoryRecorder, NullRecorder, Recorder};
 pub use report::{MetricsSnapshot, RunReport, SpanAgg};
+pub use shared::SharedRecorder;
 
 use std::cell::{Cell, RefCell};
 use std::rc::Rc;

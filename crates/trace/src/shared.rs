@@ -1,0 +1,203 @@
+//! [`SharedRecorder`] — a cloneable, thread-safe sink for worker pools
+//! (ISSUE 5).
+//!
+//! The ambient recorder ([`crate::set_recorder`] / [`crate::with_recorder`])
+//! is deliberately per-thread: the pipeline is single-threaded at stage
+//! granularity, so an `Rc` sink with `RefCell` state keeps the hot path
+//! lock-free. That breaks down the moment work fans out — `darkside-serve`
+//! advances sessions on a pool of decode workers, and any
+//! `decode.frame.ns` samples those workers emit through the ambient API
+//! used to land in their threads' default [`crate::NullRecorder`] and
+//! vanish.
+//!
+//! `SharedRecorder` closes the gap without touching the single-threaded
+//! fast path: one `Mutex`-guarded aggregate shared by every clone of the
+//! handle. Each worker installs a clone as its thread's ambient sink
+//! (cheap: an `Arc` bump) via [`SharedRecorder::scoped`], and every event
+//! from every thread aggregates into the same [`MetricsSnapshot`] — so a
+//! 4-worker run assembles one complete `RunReport`, losing no counters
+//! (pinned by `tests/shared_recorder.rs`).
+//!
+//! Span accounting across threads: name-stack matching (what
+//! [`crate::MemoryRecorder`] does) is meaningless when enters/exits from
+//! different threads interleave, so the shared sink checks balance with a
+//! global open-span count only — an exit with nothing open anywhere counts
+//! as unbalanced, interleaved-but-balanced nesting does not.
+
+use crate::hist::LogHistogram;
+use crate::recorder::Recorder;
+use crate::report::{MetricsSnapshot, SpanAgg};
+use std::collections::BTreeMap;
+use std::rc::Rc;
+use std::sync::{Arc, Mutex};
+
+#[derive(Default)]
+struct SharedState {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, LogHistogram>,
+    spans: BTreeMap<String, SpanAgg>,
+    open_spans: u64,
+    unbalanced_closes: u64,
+}
+
+/// A thread-safe aggregating recorder handle. Cloning shares the underlying
+/// aggregate; install a clone per worker thread with
+/// [`SharedRecorder::scoped`] and snapshot the union from any handle.
+#[derive(Clone, Default)]
+pub struct SharedRecorder {
+    state: Arc<Mutex<SharedState>>,
+}
+
+impl SharedRecorder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Run `f` on the **current** thread with a clone of this handle
+    /// installed as the ambient sink (restored after, panic-safe). Worker
+    /// threads call this at the top of their run loop:
+    ///
+    /// ```
+    /// use darkside_trace::SharedRecorder;
+    ///
+    /// let shared = SharedRecorder::new();
+    /// std::thread::scope(|s| {
+    ///     for w in 0..4 {
+    ///         let shared = shared.clone();
+    ///         s.spawn(move || {
+    ///             shared.scoped(|| darkside_trace::counter("work", w));
+    ///         });
+    ///     }
+    /// });
+    /// assert_eq!(shared.snapshot().counters["work"], 0 + 1 + 2 + 3);
+    /// ```
+    pub fn scoped<T>(&self, f: impl FnOnce() -> T) -> T {
+        crate::with_recorder(Rc::new(self.clone()), f)
+    }
+
+    /// The aggregated union of everything every clone has recorded so far.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        self.lock().snapshot()
+    }
+
+    /// Spans currently open across all threads.
+    pub fn open_spans(&self) -> u64 {
+        self.lock().open_spans
+    }
+
+    /// Exits observed with no span open anywhere (see module docs).
+    pub fn unbalanced_closes(&self) -> u64 {
+        self.lock().unbalanced_closes
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, SharedState> {
+        // A worker that panicked mid-record leaves at worst a half-updated
+        // aggregate; keep serving the remaining threads rather than
+        // cascading the poison.
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl SharedState {
+    fn snapshot(&self) -> MetricsSnapshot {
+        let mut counters = self.counters.clone();
+        if self.unbalanced_closes > 0 {
+            counters.insert("trace.unbalanced_closes".into(), self.unbalanced_closes);
+        }
+        MetricsSnapshot {
+            counters,
+            gauges: self.gauges.clone(),
+            histograms: self
+                .histograms
+                .iter()
+                .map(|(k, h)| (k.clone(), h.summary()))
+                .collect(),
+            spans: self.spans.clone(),
+        }
+    }
+}
+
+impl Recorder for SharedRecorder {
+    fn counter(&self, name: &str, delta: u64) {
+        let mut s = self.lock();
+        *s.counters.entry(name.to_string()).or_insert(0) += delta;
+    }
+
+    fn gauge(&self, name: &str, value: f64) {
+        self.lock().gauges.insert(name.to_string(), value);
+    }
+
+    fn sample(&self, name: &str, value: f64) {
+        self.lock()
+            .histograms
+            .entry(name.to_string())
+            .or_default()
+            .record(value);
+    }
+
+    fn span_enter(&self, _name: &str, _depth: usize, _start_ns: u64) {
+        self.lock().open_spans += 1;
+    }
+
+    fn span_exit(&self, name: &str, _depth: usize, start_ns: u64, end_ns: u64) {
+        let mut s = self.lock();
+        match s.open_spans.checked_sub(1) {
+            Some(left) => s.open_spans = left,
+            None => s.unbalanced_closes += 1,
+        }
+        let agg = s.spans.entry(name.to_string()).or_default();
+        agg.count += 1;
+        agg.total_ns += end_ns.saturating_sub(start_ns);
+    }
+
+    fn snapshot(&self) -> Option<MetricsSnapshot> {
+        Some(SharedRecorder::snapshot(self))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clones_share_one_aggregate() {
+        let a = SharedRecorder::new();
+        let b = a.clone();
+        a.counter("c", 2);
+        b.counter("c", 3);
+        b.gauge("g", 1.5);
+        a.sample("h", 10.0);
+        let snap = b.snapshot();
+        assert_eq!(snap.counters["c"], 5);
+        assert_eq!(snap.gauges["g"], 1.5);
+        assert_eq!(snap.histograms["h"].count, 1);
+    }
+
+    #[test]
+    fn scoped_installs_on_the_current_thread_and_restores() {
+        let shared = SharedRecorder::new();
+        assert!(!crate::active());
+        shared.scoped(|| {
+            assert!(crate::active());
+            crate::counter("c", 7);
+            let _s = crate::span!("s");
+        });
+        assert!(!crate::active());
+        let snap = shared.snapshot();
+        assert_eq!(snap.counters["c"], 7);
+        assert_eq!(snap.spans["s"].count, 1);
+        assert_eq!(shared.open_spans(), 0);
+        assert_eq!(shared.unbalanced_closes(), 0);
+    }
+
+    #[test]
+    fn exit_without_enter_counts_as_unbalanced() {
+        let shared = SharedRecorder::new();
+        shared.span_exit("ghost", 1, 0, 10);
+        assert_eq!(shared.unbalanced_closes(), 1);
+        assert_eq!(shared.snapshot().counters["trace.unbalanced_closes"], 1);
+        // The duration still aggregates for post-mortem use.
+        assert_eq!(shared.snapshot().spans["ghost"].count, 1);
+    }
+}

@@ -1,0 +1,94 @@
+//! Worker-pool metric aggregation (ISSUE 5 satellite): the per-thread
+//! ambient recorder silently dropped everything spawned threads emitted;
+//! a [`SharedRecorder`] clone installed per worker must lose nothing.
+
+use darkside_trace::{self as trace, MemoryRecorder, Recorder as _, RunReport, SharedRecorder};
+use std::rc::Rc;
+
+const WORKERS: usize = 4;
+const ITEMS_PER_WORKER: u64 = 250;
+
+/// The workload every thread runs: a span per item plus counters/samples,
+/// emitted through the plain ambient free functions — exactly what
+/// instrumented library code (decoder frames, kernels) does.
+fn emit_work(worker: usize) {
+    for i in 0..ITEMS_PER_WORKER {
+        let _s = trace::span!("serve.advance");
+        trace::counter("decode.frames", 1);
+        trace::sample("decode.frame.ns", (worker * 1000 + i as usize) as f64);
+    }
+    trace::gauge("serve.worker.last_item", ITEMS_PER_WORKER as f64);
+}
+
+#[test]
+fn four_workers_lose_no_counters() {
+    let shared = SharedRecorder::new();
+    std::thread::scope(|s| {
+        for w in 0..WORKERS {
+            let shared = shared.clone();
+            s.spawn(move || shared.scoped(|| emit_work(w)));
+        }
+    });
+    let snap = shared.snapshot();
+    let expect = WORKERS as u64 * ITEMS_PER_WORKER;
+    assert_eq!(snap.counters["decode.frames"], expect);
+    assert_eq!(snap.histograms["decode.frame.ns"].count, expect);
+    assert_eq!(snap.spans["serve.advance"].count, expect);
+    assert_eq!(
+        snap.gauges["serve.worker.last_item"],
+        ITEMS_PER_WORKER as f64
+    );
+    assert_eq!(shared.open_spans(), 0);
+    assert_eq!(shared.unbalanced_closes(), 0);
+    assert!(!snap.counters.contains_key("trace.unbalanced_closes"));
+
+    // The aggregate assembles into one complete RunReport.
+    let report = RunReport::new("shared", 0, trace::Json::obj(vec![]), snap);
+    assert_eq!(report.histogram("decode.frame.ns").unwrap().count, expect);
+    assert!(report.stage_ms("serve.advance").unwrap() >= 0.0);
+}
+
+/// The regression this satellite fixes, demonstrated: the same fan-out
+/// through a per-thread `MemoryRecorder` installed on the *main* thread
+/// records nothing from the workers.
+#[test]
+fn per_thread_recorder_drops_worker_metrics() {
+    let mem = Rc::new(MemoryRecorder::new());
+    trace::with_recorder(mem.clone(), || {
+        std::thread::scope(|s| {
+            for w in 0..WORKERS {
+                s.spawn(move || emit_work(w));
+            }
+        });
+    });
+    let snap = mem.snapshot().unwrap();
+    assert!(
+        !snap.counters.contains_key("decode.frames"),
+        "ambient thread-local recorder unexpectedly saw worker events"
+    );
+}
+
+#[test]
+fn shared_recorder_mixes_with_main_thread_emission() {
+    // The serve scheduler's shape: the main thread emits queue gauges and
+    // batch samples, workers emit per-frame metrics, one report holds both.
+    let shared = SharedRecorder::new();
+    shared.scoped(|| {
+        trace::gauge("serve.queue.depth", 3.0);
+        trace::sample("serve.batch.frames", 64.0);
+        std::thread::scope(|s| {
+            for w in 0..WORKERS {
+                let shared = shared.clone();
+                s.spawn(move || shared.scoped(|| emit_work(w)));
+            }
+        });
+        trace::counter("serve.steps", 1);
+    });
+    let snap = shared.snapshot();
+    assert_eq!(snap.counters["serve.steps"], 1);
+    assert_eq!(snap.gauges["serve.queue.depth"], 3.0);
+    assert_eq!(
+        snap.counters["decode.frames"],
+        WORKERS as u64 * ITEMS_PER_WORKER
+    );
+}
