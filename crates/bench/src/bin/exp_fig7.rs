@@ -17,28 +17,46 @@
 //!
 //! `--smoke` runs the CI-sized pipeline and checks the ordering only
 //! (N-best growth < Beam growth), in seconds.
+//!
+//! `--structured` (ISSUE 6) re-runs every pruned level with register-tile
+//! 8×8 structured pruning alongside the unstructured row, so the grid
+//! reads off the structured-vs-unstructured WER gap at equal sparsity per
+//! policy, and gates that the structured 90 % WER stays within +0.5 %
+//! absolute of unstructured 90 % — the accuracy price of tiling must not
+//! eat the serving win `serve_load` measures.
 
 use darkside_bench::report::{
     check, json_arg, policy_grid_json, print_policy_grid, print_policy_latency, write_json_file,
 };
 use darkside_core::trace::{self, MemoryRecorder};
 use darkside_core::viterbi_accel::{NBestTableConfig, UnfoldHashConfig};
-use darkside_core::{Pipeline, PipelineConfig, PolicyGridReport, PolicyKind};
+use darkside_core::{Pipeline, PipelineConfig, PolicyGridReport, PolicyKind, PruneStructure};
 use std::rc::Rc;
 
-/// Hypotheses/frame for one (level, policy) cell.
-fn hyps(report: &PolicyGridReport, level: &str, policy: &str) -> f64 {
+/// The (level, structure, policy) cell, panicking on absent cells so a
+/// renamed label fails loudly instead of gating on the wrong row.
+fn cell<'r>(
+    report: &'r PolicyGridReport,
+    level: &str,
+    structure: &str,
+    policy: &str,
+) -> &'r darkside_core::LevelReport {
     report
         .levels
         .iter()
-        .find(|l| l.label == level)
+        .find(|l| l.label == level && l.structure == structure)
         .and_then(|l| l.per_policy.iter().find(|c| c.policy == policy))
-        .map(|c| c.mean_hypotheses)
-        .unwrap_or_else(|| panic!("no ({level}, {policy}) cell in the grid"))
+        .unwrap_or_else(|| panic!("no ({level}, {structure}, {policy}) cell in the grid"))
+}
+
+/// Hypotheses/frame for one unstructured (level, policy) cell.
+fn hyps(report: &PolicyGridReport, level: &str, policy: &str) -> f64 {
+    cell(report, level, "unstructured", policy).mean_hypotheses
 }
 
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
+    let structured = std::env::args().any(|a| a == "--structured");
     let json_path = json_arg().unwrap_or_else(|e| {
         eprintln!("error: {e}");
         std::process::exit(1);
@@ -69,6 +87,30 @@ fn main() {
                 ways: 8,
             },
         )
+    };
+    // The structured study runs the serving deployment's recipe: block
+    // pruning removes whole 8×8 tiles, so the masked-retraining budget
+    // that recovers element pruning in 3 epochs leaves a tile-pruned 90 %
+    // model confidence-collapsed (8×+ WER). Longer retraining applies to
+    // *both* structures — the WER gap is read at equal sparsity and equal
+    // training, the only difference being the pruning granularity. The
+    // N-best table is re-sized to 64×8 by the paper's own Fig. 7
+    // procedure (pick N so table WER stays at the unbounded policies'
+    // baseline): tile pruning leaves flatter posteriors even after
+    // retraining, and a 32-entry table clamps the true path away (6.4 %
+    // WER) where 64 entries keep it.
+    let (config, nbest) = if structured {
+        (
+            config
+                .with_structure(PruneStructure::tile())
+                .with_training(14, 24),
+            NBestTableConfig {
+                entries: 64,
+                ways: 8,
+            },
+        )
+    } else {
+        (config, nbest)
     };
     let policies = [
         PolicyKind::Beam,
@@ -116,7 +158,12 @@ fn main() {
         (unfold_growth - beam_growth).abs() < 1e-9,
         format!("unfold {unfold_growth:.2}× vs beam {beam_growth:.2}×"),
     );
-    if !smoke {
+    // The absolute explosion magnitudes are shape targets of the *default*
+    // training recipe (3 retrain epochs — the paper's confidence collapse
+    // at its starkest). The structured study retrains much longer, which
+    // partially restores confidence and softens the explosion; its
+    // ordering checks above and the WER-gap gate below still apply.
+    if !smoke && !structured {
         ok &= check(
             "beam explodes at 90%",
             beam_growth > 3.0,
@@ -127,6 +174,20 @@ fn main() {
             nbest_growth < 1.5,
             format!("{nbest_growth:.2}× (target < 1.5×)"),
         );
+    }
+    // Smoke's retrain-free toy model decodes at ~100% WER by design (the
+    // smoke checks are ordering-only), so the accuracy gate is full-only.
+    if structured && !smoke {
+        let tag = PruneStructure::tile().label();
+        for policy in report.policies.clone() {
+            let u = cell(&report, "90%", "unstructured", &policy).wer_percent;
+            let s = cell(&report, "90%", &tag, &policy).wer_percent;
+            ok &= check(
+                &format!("structured 90% WER within +0.5% of unstructured ({policy})"),
+                s <= u + 0.5,
+                format!("{tag} {s:.2}% vs unstructured {u:.2}%"),
+            );
+        }
     }
     std::process::exit(if ok { 0 } else { 1 });
 }

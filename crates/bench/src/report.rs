@@ -23,18 +23,31 @@ pub fn print_run_header(name: &str, report: &PipelineReport) {
     );
 }
 
+/// Row tag for tables whose levels can repeat at the same pruning target
+/// with different sparsity structures: "90%" for unstructured rows,
+/// "90%+b8x8" for the structured re-run at the same target.
+pub fn level_tag(label: &str, structure: &str) -> String {
+    if structure == "unstructured" {
+        label.to_string()
+    } else {
+        format!("{label}+{structure}")
+    }
+}
+
 /// Print the per-level metric table (markdown-ish, pasteable into
 /// EXPERIMENTS.md).
 pub fn print_level_table(report: &PipelineReport) {
     println!(
-        "| {:<7} | {:>8} | {:>10} | {:>9} | {:>7} | {:>10} | {:>9} |",
+        "| {:<9} | {:>8} | {:>10} | {:>9} | {:>7} | {:>10} | {:>9} |",
         "level", "sparsity", "confidence", "frame-acc", "WER%", "hyps/frame", "best-cost"
     );
-    println!("|---------|----------|------------|-----------|---------|------------|-----------|");
+    println!(
+        "|-----------|----------|------------|-----------|---------|------------|-----------|"
+    );
     for level in &report.levels {
         println!(
-            "| {:<7} | {:>7.1}% | {:>10.4} | {:>9.4} | {:>7.2} | {:>10.1} | {:>9.1} |",
-            level.label,
+            "| {:<9} | {:>7.1}% | {:>10.4} | {:>9.4} | {:>7.2} | {:>10.1} | {:>9.1} |",
+            level_tag(&level.label, &level.structure),
             level.sparsity * 100.0,
             level.mean_confidence,
             level.frame_accuracy,
@@ -51,7 +64,7 @@ pub fn print_level_table(report: &PipelineReport) {
 /// paper's Fig. 7 clamping argument is actually about.
 pub fn print_policy_grid(report: &PolicyGridReport) {
     println!(
-        "| {:<7} | {:<7} | {:>10} | {:>8} | {:>8} | {:>8} | {:>7} | {:>9} | {:>9} | {:>9} |",
+        "| {:<9} | {:<7} | {:>10} | {:>8} | {:>8} | {:>8} | {:>7} | {:>9} | {:>9} | {:>9} |",
         "level",
         "policy",
         "hyps/frame",
@@ -64,13 +77,13 @@ pub fn print_policy_grid(report: &PolicyGridReport) {
         "occupancy"
     );
     println!(
-        "|---------|---------|------------|----------|----------|----------|---------|-----------|-----------|-----------|"
+        "|-----------|---------|------------|----------|----------|----------|---------|-----------|-----------|-----------|"
     );
     for level in &report.levels {
         for cell in &level.per_policy {
             println!(
-                "| {:<7} | {:<7} | {:>10.1} | {:>8.0} | {:>8.0} | {:>8.0} | {:>7.2} | {:>9} | {:>9} | {:>9.1} |",
-                level.label,
+                "| {:<9} | {:<7} | {:>10.1} | {:>8.0} | {:>8.0} | {:>8.0} | {:>7.2} | {:>9} | {:>9} | {:>9.1} |",
+                level_tag(&level.label, &level.structure),
                 cell.policy,
                 cell.mean_hypotheses,
                 cell.hyps_p50,
@@ -91,15 +104,19 @@ pub fn print_policy_grid(report: &PolicyGridReport) {
 /// this table.
 pub fn print_policy_latency(report: &PolicyGridReport) {
     println!(
-        "| {:<7} | {:<7} | {:>11} | {:>11} | {:>11} |",
+        "| {:<9} | {:<7} | {:>11} | {:>11} | {:>11} |",
         "level", "policy", "frame-p50ns", "frame-p95ns", "frame-p99ns"
     );
-    println!("|---------|---------|-------------|-------------|-------------|");
+    println!("|-----------|---------|-------------|-------------|-------------|");
     for level in &report.levels {
         for cell in &level.per_policy {
             println!(
-                "| {:<7} | {:<7} | {:>11.0} | {:>11.0} | {:>11.0} |",
-                level.label, cell.policy, cell.frame_ns_p50, cell.frame_ns_p95, cell.frame_ns_p99
+                "| {:<9} | {:<7} | {:>11.0} | {:>11.0} | {:>11.0} |",
+                level_tag(&level.label, &level.structure),
+                cell.policy,
+                cell.frame_ns_p50,
+                cell.frame_ns_p95,
+                cell.frame_ns_p99
             );
         }
     }
@@ -117,6 +134,7 @@ pub fn level_json(level: &LevelReport) -> Json {
     Json::obj(vec![
         ("label", Json::str(&level.label)),
         ("policy", Json::str(&level.policy)),
+        ("structure", Json::str(&level.structure)),
         ("sparsity", level.sparsity.into()),
         ("mean_confidence", level.mean_confidence.into()),
         ("frame_accuracy", level.frame_accuracy.into()),
@@ -175,6 +193,7 @@ pub fn policy_grid_json(name: &str, report: &PolicyGridReport) -> Json {
                     .map(|level| {
                         Json::obj(vec![
                             ("label", Json::str(&level.label)),
+                            ("structure", Json::str(&level.structure)),
                             ("sparsity", level.sparsity.into()),
                             (
                                 "per_policy",

@@ -15,6 +15,7 @@ use crate::PolicyKind;
 use darkside_decoder::{BeamConfig, PruningPolicy};
 use darkside_error::Error;
 use darkside_nn::FrameScorer;
+use darkside_pruning::PruneStructure;
 use darkside_wfst::Fst;
 use std::sync::Arc;
 
@@ -33,6 +34,9 @@ pub struct ModelBundle {
     pub policy: PolicyKind,
     /// `"dense"` or the sparsity percentage, e.g. `"90%"` (report label).
     pub label: String,
+    /// Sparsity-structure label of the scorer ("unstructured", "b8x8", …;
+    /// dense bundles report "unstructured").
+    pub structure: String,
     /// Achieved global sparsity of the scorer (0 for dense).
     pub sparsity: f64,
 }
@@ -65,22 +69,36 @@ impl Pipeline {
             beam: self.config.beam,
             policy: self.config.policy,
             label: "dense".to_string(),
+            structure: PruneStructure::Unstructured.label(),
             sparsity: 0.0,
         }
     }
 
     /// Prune to `target` global sparsity (with the pipeline's configured
-    /// masked retraining) and export the CSR-backed scorer as a servable
+    /// masked retraining) and export the sparse-served scorer as a servable
     /// bundle — the "compressed model in production" the paper's tail
-    /// latency story is about.
+    /// latency story is about. Uses the pipeline's configured
+    /// [`PruneStructure`], so a structured config serves BSR end to end.
     pub fn servable_pruned(&self, target: f64) -> Result<ModelBundle, Error> {
-        let (pruned, sparsity) = self.prune_to(target)?;
+        self.servable_pruned_structured(target, self.config.structure)
+    }
+
+    /// [`Pipeline::servable_pruned`] under an explicit structure (the
+    /// serving bench exports unstructured and tiled bundles from one
+    /// pipeline).
+    pub fn servable_pruned_structured(
+        &self,
+        target: f64,
+        structure: PruneStructure,
+    ) -> Result<ModelBundle, Error> {
+        let (pruned, sparsity) = self.prune_to_structured(target, structure)?;
         Ok(ModelBundle {
             graph: Arc::new(self.graph.clone()),
             scorer: Arc::new(pruned),
             beam: self.config.beam,
             policy: self.config.policy,
             label: format!("{:.0}%", target * 100.0),
+            structure: structure.label(),
             sparsity,
         })
     }

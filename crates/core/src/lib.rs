@@ -17,6 +17,7 @@ pub mod policy;
 
 pub use bundle::ModelBundle;
 pub use darkside_error::Error;
+pub use darkside_pruning::PruneStructure;
 pub use pipeline::{
     LevelReport, Pipeline, PipelineConfig, PipelineReport, PolicyGridLevel, PolicyGridReport,
 };

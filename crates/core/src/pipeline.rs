@@ -15,7 +15,7 @@ use darkside_error::Error;
 use darkside_trace::{self as trace, Json};
 use decoder::{acoustic_costs, decode_with_policy, BeamConfig, WerStats};
 use nn::{evaluate, FrameScorer, Mlp, Rng, SgdConfig, Trainer};
-use pruning::{prune_mlp_to_sparsity, PrunedMlp};
+use pruning::{prune_mlp_to_sparsity_structured, PruneStructure, PrunedMlp};
 use std::rc::Rc;
 use wfst::{build_decoding_graph, Fst};
 
@@ -42,6 +42,13 @@ pub struct PipelineConfig {
     pub policy: PolicyKind,
     /// Global sparsity targets to sweep (the paper's 70/80/90 %).
     pub prune_levels: Vec<f64>,
+    /// Sparsity structure for the *structured* comparison rows (ISSUE 6).
+    /// [`PruneStructure::Unstructured`] (the default) reproduces the
+    /// original study; any block structure makes [`Pipeline::run`] /
+    /// [`Pipeline::run_policy_grid`] emit an extra BSR-served row per
+    /// pruning level so structured-vs-unstructured WER is read off at equal
+    /// sparsity.
+    pub structure: PruneStructure,
     /// Seed for model init, training shuffles, and train/test sampling.
     pub seed: u64,
 }
@@ -67,6 +74,7 @@ impl PipelineConfig {
             beam: BeamConfig::default(),
             policy: PolicyKind::Beam,
             prune_levels: vec![0.70, 0.80, 0.90],
+            structure: PruneStructure::Unstructured,
             seed: 0xDA_2C,
         }
     }
@@ -102,6 +110,7 @@ impl PipelineConfig {
             beam: BeamConfig::default(),
             policy: PolicyKind::Beam,
             prune_levels: vec![0.90],
+            structure: PruneStructure::Unstructured,
             seed: 0x5310,
         }
     }
@@ -150,6 +159,11 @@ impl PipelineConfig {
         self
     }
 
+    pub fn with_structure(mut self, structure: PruneStructure) -> Self {
+        self.structure = structure;
+        self
+    }
+
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
         self
@@ -173,6 +187,7 @@ impl PipelineConfig {
             ("beam", (self.beam.beam as f64).into()),
             ("acoustic_scale", (self.beam.acoustic_scale as f64).into()),
             ("policy", Json::str(self.policy.label())),
+            ("structure", Json::str(self.structure.label())),
             (
                 "prune_levels",
                 Json::Arr(self.prune_levels.iter().map(|&s| s.into()).collect()),
@@ -201,6 +216,7 @@ impl PipelineConfig {
         // Policy geometry problems (non-power-of-two sets, …) surface here
         // rather than mid-run.
         self.policy.build(&self.beam)?;
+        self.structure.validate("PipelineConfig.structure")?;
         Ok(())
     }
 }
@@ -214,6 +230,9 @@ pub struct LevelReport {
     /// Pruning-policy label this row was decoded under ("beam" / "unfold"
     /// / "nbest").
     pub policy: String,
+    /// Sparsity-structure label of the scorer ("unstructured", "b8x8", …;
+    /// dense rows report "unstructured" — no structure constraint applies).
+    pub structure: String,
     /// Achieved global sparsity of the scorer (0 for dense).
     pub sparsity: f64,
     /// Mean top-1 softmax probability over test frames (Fig. 3's y-axis).
@@ -281,6 +300,9 @@ impl PipelineReport {
 pub struct PolicyGridLevel {
     /// `"dense"` or the sparsity percentage, e.g. `"90%"`.
     pub label: String,
+    /// Sparsity-structure label of the row's scorer (see
+    /// [`LevelReport::structure`]).
+    pub structure: String,
     /// Achieved global sparsity of the scorer (0 for dense).
     pub sparsity: f64,
     /// One report per swept policy, in [`PolicyGridReport::policies`]
@@ -451,6 +473,7 @@ impl Pipeline {
         Ok(LevelReport {
             label: label.to_string(),
             policy: kind.label().to_string(),
+            structure: PruneStructure::Unstructured.label(),
             sparsity,
             mean_confidence: confidence / frames as f64,
             frame_accuracy: correct as f64 / frames as f64,
@@ -474,10 +497,22 @@ impl Pipeline {
     /// Prune the dense model to `target` global sparsity, masked-retrain,
     /// and return the CSR-backed scorer plus its achieved sparsity.
     pub fn prune_to(&self, target: f64) -> Result<(PrunedMlp, f64), Error> {
+        self.prune_to_structured(target, PruneStructure::Unstructured)
+    }
+
+    /// [`Pipeline::prune_to`] under an explicit [`PruneStructure`]: block
+    /// structures prune whole serving tiles and come back BSR-served; the
+    /// masked-retraining loop re-projects onto the structured support, so
+    /// retrained weights stay tile-aligned.
+    pub fn prune_to_structured(
+        &self,
+        target: f64,
+        structure: PruneStructure,
+    ) -> Result<(PrunedMlp, f64), Error> {
         let mut model = self.model.clone();
         let result = {
             let _s = trace::span!("prune");
-            let result = prune_mlp_to_sparsity(&model, target, 0.005);
+            let result = prune_mlp_to_sparsity_structured(&model, target, 0.005, structure);
             result.apply(&mut model);
             result
         };
@@ -509,18 +544,27 @@ impl Pipeline {
                 trainer.end_epoch();
             }
         }
-        let pruned = PrunedMlp::from_prune_result(&model, &result);
+        let pruned = PrunedMlp::from_prune_result_structured(&model, &result, structure);
         Ok((pruned, result.sparsity))
     }
 
     /// The one-call study: dense evaluation, then every configured pruning
-    /// level through the identical decode path.
+    /// level through the identical decode path. With a block
+    /// [`PipelineConfig::structure`] configured, each level additionally
+    /// gets a structured (BSR-served) row at the same target, so the
+    /// structured-vs-unstructured WER gap is read off the report directly.
     pub fn run(&self) -> Result<PipelineReport, Error> {
         let mut levels = vec![self.evaluate_scorer("dense", 0.0, &self.model)?];
         for &target in &self.config.prune_levels {
             let (pruned, sparsity) = self.prune_to(target)?;
             let label = format!("{:.0}%", target * 100.0);
             levels.push(self.evaluate_scorer(&label, sparsity, &pruned)?);
+            if self.config.structure != PruneStructure::Unstructured {
+                let (pruned, sparsity) = self.prune_to_structured(target, self.config.structure)?;
+                let mut row = self.evaluate_scorer(&label, sparsity, &pruned)?;
+                row.structure = self.config.structure.label();
+                levels.push(row);
+            }
         }
         Ok(PipelineReport {
             levels,
@@ -567,12 +611,27 @@ impl Pipeline {
     /// Per-level × per-policy sweep: prune once per level, then decode the
     /// same pruned scorer under every policy in `policies` (so the columns
     /// differ only in hypothesis admission, never in the acoustic model).
+    /// With a block [`PipelineConfig::structure`], each pruned level gains a
+    /// structured row — the equal-sparsity WER comparison across every
+    /// policy column at once.
     pub fn run_policy_grid(&self, policies: &[PolicyKind]) -> Result<PolicyGridReport, Error> {
-        let mut levels = vec![self.grid_level("dense", 0.0, &self.model, policies)?];
+        let unstructured = PruneStructure::Unstructured;
+        let mut levels =
+            vec![self.grid_level("dense", unstructured, 0.0, &self.model, policies)?];
         for &target in &self.config.prune_levels {
             let (pruned, sparsity) = self.prune_to(target)?;
             let label = format!("{:.0}%", target * 100.0);
-            levels.push(self.grid_level(&label, sparsity, &pruned, policies)?);
+            levels.push(self.grid_level(&label, unstructured, sparsity, &pruned, policies)?);
+            if self.config.structure != unstructured {
+                let (pruned, sparsity) = self.prune_to_structured(target, self.config.structure)?;
+                levels.push(self.grid_level(
+                    &label,
+                    self.config.structure,
+                    sparsity,
+                    &pruned,
+                    policies,
+                )?);
+            }
         }
         Ok(PolicyGridReport {
             policies: policies.iter().map(|p| p.label().to_string()).collect(),
@@ -583,16 +642,22 @@ impl Pipeline {
     fn grid_level(
         &self,
         label: &str,
+        structure: PruneStructure,
         sparsity: f64,
         scorer: &dyn FrameScorer,
         policies: &[PolicyKind],
     ) -> Result<PolicyGridLevel, Error> {
         let per_policy = policies
             .iter()
-            .map(|kind| self.evaluate_scorer_with_policy(label, sparsity, scorer, kind))
+            .map(|kind| {
+                let mut row = self.evaluate_scorer_with_policy(label, sparsity, scorer, kind)?;
+                row.structure = structure.label();
+                Ok::<_, Error>(row)
+            })
             .collect::<Result<Vec<_>, _>>()?;
         Ok(PolicyGridLevel {
             label: label.to_string(),
+            structure: structure.label(),
             sparsity,
             per_policy,
         })
@@ -615,6 +680,30 @@ mod tests {
             Pipeline::build(bad).unwrap_err(),
             Error::Config { .. }
         ));
+    }
+
+    #[test]
+    fn structured_rows_ride_along_when_configured() {
+        // Shape-only check (training quality is irrelevant): a block
+        // structure adds one BSR-served row per pruning level, at the same
+        // label, distinguished by the structure field.
+        let config = PipelineConfig::smoke()
+            .with_training(1, 0)
+            .with_structure(PruneStructure::tile());
+        let pipeline = Pipeline::build(config).unwrap();
+        let report = pipeline.run().unwrap();
+        assert_eq!(report.levels.len(), 3);
+        assert_eq!(report.levels[0].structure, "unstructured");
+        assert_eq!(report.levels[1].structure, "unstructured");
+        assert_eq!(report.levels[2].structure, "b8x8");
+        assert_eq!(report.levels[1].label, report.levels[2].label);
+        // Equal-sparsity comparison: the structured row lands near the same
+        // target (block granularity costs a little precision).
+        assert!((report.levels[2].sparsity - 0.9).abs() < 0.05);
+        let grid = pipeline.run_policy_grid(&[PolicyKind::Beam]).unwrap();
+        assert_eq!(grid.levels.len(), 3);
+        assert_eq!(grid.levels[2].structure, "b8x8");
+        assert_eq!(grid.levels[2].per_policy[0].structure, "b8x8");
     }
 
     #[test]

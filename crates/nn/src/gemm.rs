@@ -40,8 +40,9 @@ const KC: usize = 256;
 /// Cache-block size in `n`: a KC×NC packed B panel stays L2/L3-resident.
 const NC: usize = 1024;
 
-/// Work (in multiply-adds) below which spawning threads costs more than it buys.
-const PARALLEL_FLOP_THRESHOLD: usize = 64 * 64 * 64;
+/// Work (in multiply-adds) below which spawning threads costs more than it
+/// buys. Shared with the sparse kernels (`crate::sparse`).
+pub(crate) const PARALLEL_FLOP_THRESHOLD: usize = 64 * 64 * 64;
 
 /// Naive textbook triple loop, `C = A · B`. The correctness oracle and the
 /// single-thread perf baseline — do not "optimize" this.
@@ -290,20 +291,20 @@ fn pack_b(
 /// for `r < mr_eff`, `j < nr_eff`.
 type MicroKernel = unsafe fn(usize, &[f32], &[f32], &mut [f32], usize, usize, usize);
 
-/// The MR×NR register-tiled micro-kernel. `USE_FMA` must only be true when
-/// the surrounding instantiation enables the `fma` target feature — otherwise
+/// The register-tile accumulation loop shared by the dense micro-kernel and
+/// the BSR block kernel (`crate::sparse`): `kc` rank-1 updates into an
+/// MR×NR accumulator held entirely in registers. `ap` is `p`-major MR-wide,
+/// `bp` is `p`-major NR-wide — the layouts [`pack_a`]/[`pack_b`] produce and
+/// BSR blocks are stored in. `USE_FMA` must only be true when the
+/// surrounding instantiation enables the `fma` target feature — otherwise
 /// `mul_add` lowers to a libm call and is ~100× slower than mul+add.
 #[inline(always)]
-fn kernel_body<const USE_FMA: bool>(
+pub(crate) fn accumulate_tile<const USE_FMA: bool>(
     kc: usize,
     ap: &[f32],
     bp: &[f32],
-    c: &mut [f32],
-    ldc: usize,
-    mr_eff: usize,
-    nr_eff: usize,
+    acc: &mut [[f32; NR]; MR],
 ) {
-    let mut acc = [[0.0f32; NR]; MR];
     for (av, bv) in ap.chunks_exact(MR).zip(bp.chunks_exact(NR)).take(kc) {
         for (accr, &ar) in acc.iter_mut().zip(av) {
             for (accv, &bj) in accr.iter_mut().zip(bv) {
@@ -315,6 +316,21 @@ fn kernel_body<const USE_FMA: bool>(
             }
         }
     }
+}
+
+/// The MR×NR register-tiled micro-kernel: accumulate, then spill to C.
+#[inline(always)]
+fn kernel_body<const USE_FMA: bool>(
+    kc: usize,
+    ap: &[f32],
+    bp: &[f32],
+    c: &mut [f32],
+    ldc: usize,
+    mr_eff: usize,
+    nr_eff: usize,
+) {
+    let mut acc = [[0.0f32; NR]; MR];
+    accumulate_tile::<USE_FMA>(kc, ap, bp, &mut acc);
     for (r, accr) in acc.iter().enumerate().take(mr_eff) {
         let crow = &mut c[r * ldc..r * ldc + nr_eff];
         for (cv, &av) in crow.iter_mut().zip(accr) {

@@ -23,6 +23,7 @@ pub mod matrix;
 pub mod model;
 pub mod rng;
 pub mod scorer;
+pub mod sparse;
 pub mod train;
 
 pub use darkside_error::Error;
@@ -32,4 +33,5 @@ pub use matrix::Matrix;
 pub use model::{Frame, Mlp, Scores};
 pub use rng::Rng;
 pub use scorer::{stack_frames, traced_score_frames, FrameScorer};
+pub use sparse::{bsr_spmm, csr_spmm};
 pub use train::{evaluate, SgdConfig, TrainStats, Trainer};

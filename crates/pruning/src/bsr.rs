@@ -1,0 +1,368 @@
+//! Block-sparse-row matrices for structured pruning (ISSUE 6 tentpole).
+//!
+//! [`Csr`](crate::Csr) stores individual survivors; [`Bsr`] stores whole
+//! `r×c` *tiles* of survivors so the SpMM inner loop can be the dense GEMM's
+//! 8×8 register-tile body instead of a scalar gather — the software analogue
+//! of accelerator-aware pruning (Kang, PAPERS.md): the sparsity pattern is
+//! chosen to match what the compute units want to eat.
+//!
+//! Layout contract (shared with [`darkside_nn::bsr_spmm`]): blocks are
+//! **k-major** — `blocks[bi * r * c + p * r + row]` is block `bi`'s element
+//! at block-local `(row, p)`. With `r == MR` a stored block *is* a packed-A
+//! strip of the dense micro-kernel, so serving needs no repacking. Edge
+//! blocks (dims not multiples of `r`/`c`) are zero-padded to full size.
+
+use darkside_error::Error;
+use darkside_nn::Matrix;
+
+/// BSR sparse matrix over `f32`: all-or-nothing `r×c` blocks, `u32` block
+/// column indices, k-major block storage.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Bsr {
+    rows: usize,
+    cols: usize,
+    r: usize,
+    c: usize,
+    /// `block_rows + 1` offsets into `col_idx`/`blocks`.
+    row_ptr: Vec<u32>,
+    /// Block-column index of each stored block.
+    col_idx: Vec<u32>,
+    /// `r * c` values per stored block, k-major, zero-padded at edges.
+    blocks: Vec<f32>,
+}
+
+impl Bsr {
+    /// Import raw BSR buffers, validating the invariants the kernel relies
+    /// on: monotone `block_rows + 1` offsets, matching index/storage
+    /// lengths, and in-range block columns.
+    pub fn new(
+        rows: usize,
+        cols: usize,
+        r: usize,
+        c: usize,
+        row_ptr: Vec<u32>,
+        col_idx: Vec<u32>,
+        blocks: Vec<f32>,
+    ) -> Result<Self, Error> {
+        let fail = |detail: String| Err(Error::shape("Bsr::new", detail));
+        if r == 0 || c == 0 {
+            return fail(format!("{r}x{c} block"));
+        }
+        let block_rows = rows.div_ceil(r);
+        let block_cols = cols.div_ceil(c);
+        if row_ptr.len() != block_rows + 1 {
+            return fail(format!(
+                "{} offsets for {block_rows} block rows",
+                row_ptr.len()
+            ));
+        }
+        if row_ptr[0] != 0 {
+            return fail(format!("row_ptr starts at {}", row_ptr[0]));
+        }
+        if row_ptr.windows(2).any(|w| w[0] > w[1]) {
+            return fail("row_ptr is not monotone".into());
+        }
+        if *row_ptr.last().unwrap() as usize != col_idx.len() {
+            return fail(format!(
+                "{} block indices, final offset {}",
+                col_idx.len(),
+                row_ptr.last().unwrap()
+            ));
+        }
+        if blocks.len() != col_idx.len() * r * c {
+            return fail(format!(
+                "{} block values for {} {r}x{c} blocks",
+                blocks.len(),
+                col_idx.len()
+            ));
+        }
+        if let Some(&j) = col_idx.iter().find(|&&j| j as usize >= block_cols) {
+            return fail(format!(
+                "block column {j} in a {block_cols}-block-column matrix"
+            ));
+        }
+        Ok(Self {
+            rows,
+            cols,
+            r,
+            c,
+            row_ptr,
+            col_idx,
+            blocks,
+        })
+    }
+
+    /// Compress `dense`, keeping every `r×c` block that contains at least
+    /// one nonzero (the all-or-nothing contract: a structured mask zeroes
+    /// whole blocks, so any survivor means the block was kept).
+    pub fn from_dense(dense: &Matrix, r: usize, c: usize) -> Result<Self, Error> {
+        if r == 0 || c == 0 {
+            return Err(Error::shape("Bsr::from_dense", format!("{r}x{c} block")));
+        }
+        let (rows, cols) = (dense.rows(), dense.cols());
+        let block_rows = rows.div_ceil(r);
+        let block_cols = cols.div_ceil(c);
+        if block_cols > u32::MAX as usize || block_rows >= u32::MAX as usize {
+            return Err(Error::shape(
+                "Bsr::from_dense",
+                format!("{rows}x{cols}/{r}x{c} exceeds the u32 block index space"),
+            ));
+        }
+        let mut row_ptr = Vec::with_capacity(block_rows + 1);
+        let mut col_idx = Vec::new();
+        let mut blocks = Vec::new();
+        row_ptr.push(0u32);
+        for ib in 0..block_rows {
+            let rows_eff = r.min(rows - ib * r);
+            for jb in 0..block_cols {
+                let cols_eff = c.min(cols - jb * c);
+                let nonzero = (0..rows_eff).any(|row| {
+                    dense.row(ib * r + row)[jb * c..jb * c + cols_eff]
+                        .iter()
+                        .any(|&v| v != 0.0)
+                });
+                if !nonzero {
+                    continue;
+                }
+                col_idx.push(jb as u32);
+                // k-major with zero padding to the full r×c footprint.
+                for p in 0..c {
+                    for row in 0..r {
+                        let v = if row < rows_eff && p < cols_eff {
+                            dense.row(ib * r + row)[jb * c + p]
+                        } else {
+                            0.0
+                        };
+                        blocks.push(v);
+                    }
+                }
+            }
+            row_ptr.push(col_idx.len() as u32);
+        }
+        Ok(Self {
+            rows,
+            cols,
+            r,
+            c,
+            row_ptr,
+            col_idx,
+            blocks,
+        })
+    }
+
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(r, c)` block shape.
+    pub fn block_dims(&self) -> (usize, usize) {
+        (self.r, self.c)
+    }
+
+    pub fn block_rows(&self) -> usize {
+        self.rows.div_ceil(self.r)
+    }
+
+    pub fn block_cols(&self) -> usize {
+        self.cols.div_ceil(self.c)
+    }
+
+    /// Number of stored blocks.
+    pub fn num_blocks(&self) -> usize {
+        self.col_idx.len()
+    }
+
+    /// Stored blocks in block-row `ib` (balanced pruning fixes this).
+    pub fn blocks_in_row(&self, ib: usize) -> usize {
+        (self.row_ptr[ib + 1] - self.row_ptr[ib]) as usize
+    }
+
+    /// Number of *real* matrix entries covered by stored blocks (excludes
+    /// edge padding). Under the all-or-nothing contract these are the kept
+    /// weights, so `nnz`/`sparsity` line up with the element [`Mask`]
+    /// (in-block zeros count as kept, exactly as the mask counts them).
+    ///
+    /// [`Mask`]: crate::Mask
+    pub fn nnz(&self) -> usize {
+        let mut nnz = 0usize;
+        for ib in 0..self.block_rows() {
+            let rows_eff = self.r.min(self.rows - ib * self.r);
+            let lo = self.row_ptr[ib] as usize;
+            let hi = self.row_ptr[ib + 1] as usize;
+            for &jb in &self.col_idx[lo..hi] {
+                let cols_eff = self.c.min(self.cols - jb as usize * self.c);
+                nnz += rows_eff * cols_eff;
+            }
+        }
+        nnz
+    }
+
+    /// Fraction of entries outside any stored block.
+    pub fn sparsity(&self) -> f64 {
+        let total = self.rows * self.cols;
+        if total == 0 {
+            return 0.0;
+        }
+        1.0 - self.nnz() as f64 / total as f64
+    }
+
+    /// Fraction of *blocks* dropped (the structured analogue of
+    /// [`sparsity`](Self::sparsity); equal to it when blocks divide dims).
+    pub fn block_sparsity(&self) -> f64 {
+        let total = self.block_rows() * self.block_cols();
+        if total == 0 {
+            return 0.0;
+        }
+        1.0 - self.num_blocks() as f64 / total as f64
+    }
+
+    /// Decompress to dense (test/debug helper — the oracle direction).
+    pub fn to_dense(&self) -> Matrix {
+        let mut m = Matrix::zeros(self.rows, self.cols);
+        for ib in 0..self.block_rows() {
+            let rows_eff = self.r.min(self.rows - ib * self.r);
+            let lo = self.row_ptr[ib] as usize;
+            let hi = self.row_ptr[ib + 1] as usize;
+            for (bi, &jb) in self.col_idx[lo..hi].iter().enumerate() {
+                let base = jb as usize * self.c;
+                let cols_eff = self.c.min(self.cols - base);
+                let blk = &self.blocks[(lo + bi) * self.r * self.c..];
+                for p in 0..cols_eff {
+                    for row in 0..rows_eff {
+                        m.row_mut(ib * self.r + row)[base + p] = blk[p * self.r + row];
+                    }
+                }
+            }
+        }
+        m
+    }
+
+    /// Sparse mat-vec: `y = S · x`. Accumulates each output element over
+    /// blocks in ascending block-column order, `k` ascending within a block
+    /// — the same order as [`spmm`](Self::spmm), so per-frame and batched
+    /// scoring agree bit-for-bit (and both match CSR's ascending-column
+    /// gather-dot).
+    pub fn spmv(&self, x: &[f32], y: &mut [f32]) {
+        assert_eq!(x.len(), self.cols, "spmv: x length");
+        assert_eq!(y.len(), self.rows, "spmv: y length");
+        y.fill(0.0);
+        for ib in 0..self.block_rows() {
+            let rows_eff = self.r.min(self.rows - ib * self.r);
+            let lo = self.row_ptr[ib] as usize;
+            let hi = self.row_ptr[ib + 1] as usize;
+            let yband = &mut y[ib * self.r..ib * self.r + rows_eff];
+            for (bi, &jb) in self.col_idx[lo..hi].iter().enumerate() {
+                let base = jb as usize * self.c;
+                let cols_eff = self.c.min(self.cols - base);
+                let blk = &self.blocks[(lo + bi) * self.r * self.c..];
+                for p in 0..cols_eff {
+                    let xv = x[base + p];
+                    let col = &blk[p * self.r..p * self.r + rows_eff];
+                    for (yv, &wv) in yband.iter_mut().zip(col) {
+                        *yv += wv * xv;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Sparse mat-mat: `C = S · B` via the register-tiled
+    /// [`darkside_nn::bsr_spmm`] kernel.
+    pub fn spmm(&self, b: &Matrix, c: &mut Matrix) {
+        assert_eq!(b.rows(), self.cols, "spmm: inner dimension");
+        assert_eq!(c.rows(), self.rows, "spmm: output rows");
+        assert_eq!(c.cols(), b.cols(), "spmm: output cols");
+        darkside_nn::bsr_spmm(
+            self.rows,
+            self.cols,
+            b.cols(),
+            self.r,
+            self.c,
+            &self.row_ptr,
+            &self.col_idx,
+            &self.blocks,
+            b.as_slice(),
+            c.as_mut_slice(),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_dense_with_padding() {
+        // 5x7 with 4x4 blocks: edge blocks padded, zero blocks dropped.
+        let d = Matrix::from_fn(5, 7, |i, j| {
+            if (i < 4 && j < 4) || (i >= 4 && j >= 4) {
+                (i * 7 + j) as f32 + 1.0
+            } else {
+                0.0
+            }
+        });
+        let s = Bsr::from_dense(&d, 4, 4).unwrap();
+        assert_eq!(s.block_rows(), 2);
+        assert_eq!(s.block_cols(), 2);
+        assert_eq!(s.num_blocks(), 2);
+        assert_eq!(s.nnz(), 4 * 4 + 3);
+        assert_eq!(s.to_dense(), d);
+    }
+
+    #[test]
+    fn new_validates_raw_buffers() {
+        let ok = Bsr::new(2, 2, 1, 2, vec![0, 1, 1], vec![0], vec![1.0, 2.0]).unwrap();
+        assert_eq!(ok.num_blocks(), 1);
+        for (r, c, row_ptr, col_idx, blocks) in [
+            (0, 2, vec![0u32, 1, 1], vec![0u32], vec![1.0f32, 2.0]), // zero block dim
+            (1, 2, vec![0, 1], vec![0], vec![1.0, 2.0]),             // wrong offset count
+            (1, 2, vec![1, 1, 1], vec![0], vec![1.0, 2.0]),          // nonzero first offset
+            (1, 2, vec![0, 1, 0], vec![0], vec![1.0, 2.0]),          // non-monotone
+            (1, 2, vec![0, 1, 2], vec![0], vec![1.0, 2.0]),          // final offset long
+            (1, 2, vec![0, 1, 1], vec![0], vec![1.0]),               // short storage
+            (1, 2, vec![0, 1, 1], vec![7], vec![1.0, 2.0]),          // block col out of range
+        ] {
+            let err = Bsr::new(2, 2, r, c, row_ptr, col_idx, blocks).unwrap_err();
+            assert!(matches!(err, Error::Shape { .. }), "{err}");
+        }
+    }
+
+    #[test]
+    fn spmv_matches_dense() {
+        let d = Matrix::from_fn(9, 10, |i, j| {
+            if (i / 4 + j / 4) % 2 == 0 {
+                (i as f32 - j as f32) * 0.25
+            } else {
+                0.0
+            }
+        });
+        let s = Bsr::from_dense(&d, 4, 4).unwrap();
+        let x: Vec<f32> = (0..10).map(|v| v as f32 * 0.5 - 2.0).collect();
+        let mut y = vec![0.0f32; 9];
+        s.spmv(&x, &mut y);
+        let mut want = vec![0.0f32; 9];
+        for (i, wi) in want.iter_mut().enumerate() {
+            for (j, xj) in x.iter().enumerate() {
+                *wi += d.get(i, j) * xj;
+            }
+        }
+        for (a, b) in y.iter().zip(&want) {
+            assert!((a - b).abs() < 1e-5, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn empty_shapes() {
+        let s = Bsr::from_dense(&Matrix::zeros(0, 5), 8, 8).unwrap();
+        s.spmv(&[0.0; 5], &mut []);
+        let s = Bsr::from_dense(&Matrix::zeros(4, 0), 8, 8).unwrap();
+        let mut y = vec![1.0f32; 4];
+        s.spmv(&[], &mut y);
+        assert_eq!(y, vec![0.0; 4]);
+        assert_eq!(s.sparsity(), 0.0);
+    }
+}

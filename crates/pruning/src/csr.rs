@@ -163,12 +163,31 @@ impl Csr {
         }
     }
 
-    /// Sparse mat-mat: `C = S · B` (`B` is `cols × n` row-major dense).
-    ///
-    /// Row-by-row axpy over B's rows: each nonzero streams one contiguous
-    /// B row into one contiguous C row, so the batched (SpMM) form keeps the
-    /// sequential-access advantage that the per-frame SpMV form has.
+    /// Sparse mat-mat: `C = S · B` (`B` is `cols × n` row-major dense) via
+    /// the quad-unrolled, thread-banded [`darkside_nn::csr_spmm`] kernel.
+    /// Bit-identical to [`spmm_reference`](Self::spmm_reference): the kernel
+    /// preserves the ascending-column accumulation order per C element.
     pub fn spmm(&self, b: &Matrix, c: &mut Matrix) {
+        assert_eq!(b.rows(), self.cols, "spmm: inner dimension");
+        assert_eq!(c.rows(), self.rows, "spmm: output rows");
+        assert_eq!(c.cols(), b.cols(), "spmm: output cols");
+        darkside_nn::csr_spmm(
+            self.rows,
+            self.cols,
+            b.cols(),
+            &self.row_ptr,
+            &self.col_idx,
+            &self.vals,
+            b.as_slice(),
+            c.as_mut_slice(),
+        );
+    }
+
+    /// The pre-ISSUE-6 scalar single-threaded SpMM, kept in-tree permanently
+    /// as the correctness oracle and the "before" baseline that
+    /// `darkside-bench` measures the vectorized kernel's speedup against
+    /// (same role as [`darkside_nn::gemm_naive`] for GEMM).
+    pub fn spmm_reference(&self, b: &Matrix, c: &mut Matrix) {
         assert_eq!(b.rows(), self.cols, "spmm: inner dimension");
         assert_eq!(c.rows(), self.rows, "spmm: output rows");
         assert_eq!(c.cols(), b.cols(), "spmm: output cols");

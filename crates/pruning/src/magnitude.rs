@@ -16,6 +16,13 @@ pub struct Mask {
 }
 
 impl Mask {
+    /// Build a mask from an explicit row-major keep vector (the structured
+    /// pruners expand block decisions through this).
+    pub fn from_keep(rows: usize, cols: usize, keep: Vec<bool>) -> Self {
+        assert_eq!(keep.len(), rows * cols, "Mask::from_keep: length");
+        Self { rows, cols, keep }
+    }
+
     pub fn rows(&self) -> usize {
         self.rows
     }

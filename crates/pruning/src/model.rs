@@ -8,6 +8,7 @@
 //! exactly the per-layer column of Table I. The fixed LDA input layer is
 //! excluded (Table I: FC0 unprunable), as are biases.
 
+use crate::blocked::{prune_to_sparsity_balanced, prune_to_sparsity_blocked, PruneStructure};
 use crate::magnitude::{mask_for_quality, Mask};
 use darkside_nn::{Layer, Mlp};
 
@@ -94,6 +95,60 @@ pub fn prune_mlp_to_sparsity(mlp: &Mlp, target: f64, tol: f64) -> ModelPruneResu
     }
 }
 
+/// Structured whole-model pruning at one global target.
+///
+/// [`PruneStructure`] block dims are in the *serving* orientation (`r` over
+/// output units, `c` over inputs), but masks live on the dense layer weights
+/// `w` (`in_dim × out_dim`) — so an `r×c` serving tile is a `c×r` block on
+/// `w`, and that swap happens exactly here. `Block` runs the per-layer
+/// quality bisection of [`prune_to_sparsity_blocked`] layer by layer at the
+/// global target (block-norm distributions differ enough per layer that a
+/// per-layer search lands tighter than one global knob); `Balanced` fixes
+/// the kept-blocks-per-block-row count per layer. `Unstructured` falls back
+/// to [`prune_mlp_to_sparsity`].
+pub fn prune_mlp_to_sparsity_structured(
+    mlp: &Mlp,
+    target: f64,
+    tol: f64,
+    structure: PruneStructure,
+) -> ModelPruneResult {
+    let Some((r, c)) = structure.block_dims() else {
+        return prune_mlp_to_sparsity(mlp, target, tol);
+    };
+    // Serving tile r×c on Wᵀ (out×in) = block c×r on dense w (in×out).
+    let (br, bc) = (c, r);
+    let balanced = matches!(structure, PruneStructure::Balanced { .. });
+    let mut masks = Vec::with_capacity(mlp.layers.len());
+    let (mut kept, mut total) = (0usize, 0usize);
+    let mut quality = 0.0f32;
+    for layer in &mlp.layers {
+        match layer {
+            Layer::Affine(a) => {
+                let res = if balanced {
+                    prune_to_sparsity_balanced(&a.w, target, br, bc)
+                } else {
+                    prune_to_sparsity_blocked(&a.w, target, tol, br, bc)
+                };
+                kept += res.mask.num_kept();
+                total += a.w.rows() * a.w.cols();
+                quality = quality.max(res.quality);
+                masks.push(Some(res.mask));
+            }
+            _ => masks.push(None),
+        }
+    }
+    let sparsity = if total == 0 {
+        0.0
+    } else {
+        1.0 - kept as f64 / total as f64
+    };
+    ModelPruneResult {
+        masks,
+        quality,
+        sparsity,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -119,6 +174,41 @@ mod tests {
             assert_eq!(per_layer.len(), 3); // 2 hidden + output affine
             assert!(per_layer.iter().all(|s| (0.0..1.0).contains(s)));
         }
+    }
+
+    #[test]
+    fn structured_search_hits_targets_with_whole_serving_tiles() {
+        let mlp = model();
+        for structure in [PruneStructure::tile(), PruneStructure::row_vector()] {
+            let r = prune_mlp_to_sparsity_structured(&mlp, 0.9, 0.03, structure);
+            assert!(
+                (r.sparsity - 0.9).abs() <= 0.05,
+                "{}: got {}",
+                structure.label(),
+                r.sparsity
+            );
+            assert!(r.masks[0].is_none(), "LDA must stay unprunable");
+            // Serving-orientation r×c tile = c×r block on dense w: verify
+            // the mask is constant over each c×r region of each layer.
+            let (sr, sc) = structure.block_dims().unwrap();
+            let (br, bc) = (sc, sr);
+            for mask in r.masks.iter().flatten() {
+                for ib in 0..mask.rows().div_ceil(br) {
+                    for jb in 0..mask.cols().div_ceil(bc) {
+                        let first = mask.kept(ib * br, jb * bc);
+                        for i in ib * br..mask.rows().min((ib + 1) * br) {
+                            for j in jb * bc..mask.cols().min((jb + 1) * bc) {
+                                assert_eq!(mask.kept(i, j), first, "ragged block");
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        // Unstructured passthrough matches the plain search.
+        let a = prune_mlp_to_sparsity_structured(&mlp, 0.8, 0.01, PruneStructure::Unstructured);
+        let b = prune_mlp_to_sparsity(&mlp, 0.8, 0.01);
+        assert_eq!(a.masks, b.masks);
     }
 
     #[test]

@@ -5,12 +5,13 @@
 //! dense-vs-pruned: they hold a `&dyn FrameScorer` and this type is simply
 //! the implementation whose affine layers run SpMM over surviving weights.
 
+use crate::blocked::PruneStructure;
 use crate::magnitude::Mask;
 use crate::model::ModelPruneResult;
 use crate::pruned_layer::PrunedAffine;
 use darkside_nn::{stack_frames, traced_score_frames, Frame, FrameScorer, Layer, Mlp, Scores};
 
-/// One layer of a pruned model: either a CSR-compressed affine or a dense
+/// One layer of a pruned model: either a sparse-compressed affine or a dense
 /// pass-through (LDA, p-norm, renormalize, softmax are never pruned).
 #[derive(Clone, Debug)]
 enum ScoringLayer {
@@ -18,7 +19,8 @@ enum ScoringLayer {
     Sparse(PrunedAffine),
 }
 
-/// An [`Mlp`] whose masked affine layers are compressed to CSR.
+/// An [`Mlp`] whose masked affine layers are compressed to CSR (unstructured
+/// masks) or BSR (block-structured masks).
 #[derive(Clone, Debug)]
 pub struct PrunedMlp {
     layers: Vec<ScoringLayer>,
@@ -28,10 +30,23 @@ pub struct PrunedMlp {
 
 impl PrunedMlp {
     /// Compress `mlp` under `masks` (one entry per layer, `None` = keep
-    /// dense). The masked weights of `mlp` should already be zero — i.e.
-    /// call [`ModelPruneResult::apply`] (and retrain) first; this
+    /// dense) into CSR. The masked weights of `mlp` should already be zero —
+    /// i.e. call [`ModelPruneResult::apply`] (and retrain) first; this
     /// constructor only changes the storage format, never the math.
     pub fn from_masked(mlp: &Mlp, masks: &[Option<Mask>]) -> Self {
+        Self::from_masked_structured(mlp, masks, PruneStructure::Unstructured)
+    }
+
+    /// Compress under `masks`, picking the storage backend from `structure`:
+    /// CSR for [`PruneStructure::Unstructured`], BSR tiles otherwise. The
+    /// masks must respect the structure (whole serving tiles), which the
+    /// structured pruners guarantee. Either way the scoring math — and every
+    /// output bit — is identical; only the kernels change.
+    pub fn from_masked_structured(
+        mlp: &Mlp,
+        masks: &[Option<Mask>],
+        structure: PruneStructure,
+    ) -> Self {
         assert_eq!(masks.len(), mlp.layers.len(), "mask/layer count");
         let layers = mlp
             .layers
@@ -39,7 +54,7 @@ impl PrunedMlp {
             .zip(masks)
             .map(|(layer, mask)| match (layer, mask) {
                 (Layer::Affine(a), Some(mask)) => {
-                    ScoringLayer::Sparse(PrunedAffine::from_dense(a, mask))
+                    ScoringLayer::Sparse(PrunedAffine::from_dense_structured(a, mask, structure))
                 }
                 (layer, None) => ScoringLayer::Dense(layer.clone()),
                 (layer, Some(_)) => {
@@ -54,12 +69,22 @@ impl PrunedMlp {
         }
     }
 
-    /// Shorthand: compress under a whole-model prune result.
+    /// Shorthand: compress under a whole-model prune result (CSR).
     pub fn from_prune_result(mlp: &Mlp, result: &ModelPruneResult) -> Self {
         Self::from_masked(mlp, &result.masks)
     }
 
-    /// Global sparsity over the CSR layers (0 if nothing is compressed).
+    /// Shorthand: compress under a whole-model prune result with the backend
+    /// chosen by `structure`.
+    pub fn from_prune_result_structured(
+        mlp: &Mlp,
+        result: &ModelPruneResult,
+        structure: PruneStructure,
+    ) -> Self {
+        Self::from_masked_structured(mlp, &result.masks, structure)
+    }
+
+    /// Global sparsity over the sparse layers (0 if nothing is compressed).
     pub fn sparsity(&self) -> f64 {
         let (mut nnz, mut total) = (0usize, 0usize);
         for layer in &self.layers {
@@ -75,7 +100,7 @@ impl PrunedMlp {
         }
     }
 
-    /// Surviving weights across the CSR layers.
+    /// Surviving weights across the sparse layers.
     pub fn nnz(&self) -> usize {
         self.layers
             .iter()

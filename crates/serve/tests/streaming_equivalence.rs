@@ -228,6 +228,7 @@ fn scheduler_streaming_case(seed: u64) {
                 policy: kind,
                 label: kind.label().to_string(),
                 sparsity: 0.0,
+                structure: "unstructured".to_string(),
             };
             // A tiny batch cap + 2 workers forces each utterance's rows to
             // split across several cross-session micro-batches.
