@@ -59,46 +59,129 @@ impl ModelBundle {
     }
 }
 
-impl Pipeline {
-    /// Export the dense model as a servable bundle (shares the decoding
-    /// graph, clones the model once into the `Arc`).
-    pub fn servable_dense(&self) -> ModelBundle {
-        ModelBundle {
-            graph: Arc::new(self.graph.clone()),
-            scorer: Arc::new(self.model.clone()),
-            beam: self.config.beam,
-            policy: self.config.policy,
-            label: "dense".to_string(),
-            structure: PruneStructure::Unstructured.label(),
+/// What to export from a [`Pipeline`] as a [`ModelBundle`] — the single
+/// servable-export surface (ISSUE 7 API redesign, replacing the old
+/// `servable_dense` / `servable_pruned` / `servable_pruned_structured`
+/// trio). Start from [`ServableSpec::dense`] or [`ServableSpec::pruned`]
+/// and override only what differs from the pipeline's own configuration:
+///
+/// ```ignore
+/// let bundle = pipeline.servable(
+///     ServableSpec::pruned(0.9)
+///         .with_structure(PruneStructure::Block { r: 8, c: 8 })
+///         .with_policy(PolicyKind::Beam),
+/// )?;
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct ServableSpec {
+    /// Target global sparsity; 0 exports the dense model unchanged.
+    sparsity: f64,
+    /// Pruning structure; `None` defers to the pipeline's configured one.
+    structure: Option<PruneStructure>,
+    /// Serving-time pruning policy; `None` defers to the pipeline's.
+    policy: Option<PolicyKind>,
+    /// Serving-time beam; `None` defers to the pipeline's.
+    beam: Option<BeamConfig>,
+}
+
+impl ServableSpec {
+    /// Serve the dense model as trained.
+    pub fn dense() -> Self {
+        Self {
             sparsity: 0.0,
+            structure: None,
+            policy: None,
+            beam: None,
         }
     }
 
     /// Prune to `target` global sparsity (with the pipeline's configured
-    /// masked retraining) and export the sparse-served scorer as a servable
-    /// bundle — the "compressed model in production" the paper's tail
-    /// latency story is about. Uses the pipeline's configured
-    /// [`PruneStructure`], so a structured config serves BSR end to end.
-    pub fn servable_pruned(&self, target: f64) -> Result<ModelBundle, Error> {
-        self.servable_pruned_structured(target, self.config.structure)
+    /// masked retraining) before export — the "compressed model in
+    /// production" the paper's tail-latency story is about. Validated in
+    /// [`Pipeline::servable`]: must lie in `(0, 1)`.
+    pub fn pruned(target: f64) -> Self {
+        Self {
+            sparsity: target,
+            ..Self::dense()
+        }
     }
 
-    /// [`Pipeline::servable_pruned`] under an explicit structure (the
-    /// serving bench exports unstructured and tiled bundles from one
-    /// pipeline).
-    pub fn servable_pruned_structured(
-        &self,
-        target: f64,
-        structure: PruneStructure,
-    ) -> Result<ModelBundle, Error> {
-        let (pruned, sparsity) = self.prune_to_structured(target, structure)?;
+    /// Prune under an explicit structure instead of the pipeline's
+    /// configured one (the serving bench exports unstructured and tiled
+    /// bundles from one pipeline). Dense specs reject structure overrides.
+    pub fn with_structure(mut self, structure: PruneStructure) -> Self {
+        self.structure = Some(structure);
+        self
+    }
+
+    /// Decode sessions under `policy` instead of the pipeline's configured
+    /// one.
+    pub fn with_policy(mut self, policy: PolicyKind) -> Self {
+        self.policy = Some(policy);
+        self
+    }
+
+    /// Decode sessions under `beam` instead of the pipeline's configured
+    /// one.
+    pub fn with_beam(mut self, beam: BeamConfig) -> Self {
+        self.beam = Some(beam);
+        self
+    }
+}
+
+impl Pipeline {
+    /// Export a servable [`ModelBundle`] per `spec` (shares the decoding
+    /// graph; dense export clones the model once into the `Arc`, pruned
+    /// export runs prune + masked retraining). Fails fast — bad sparsity
+    /// targets, dense+structure contradictions, and unbuildable policy
+    /// geometry all error here, not on a serving thread mid-session.
+    pub fn servable(&self, spec: ServableSpec) -> Result<ModelBundle, Error> {
+        let policy = spec.policy.unwrap_or(self.config.policy);
+        let beam = spec.beam.unwrap_or(self.config.beam);
+        // Surface bad policy geometry now (the bundle builds one policy per
+        // session later, on scheduler threads).
+        policy.build(&beam)?;
+
+        let (scorer, label, structure, sparsity): (Arc<dyn FrameScorer + Send + Sync>, _, _, _) =
+            if spec.sparsity == 0.0 {
+                if let Some(structure) = spec.structure {
+                    return Err(Error::config(
+                        "ServableSpec",
+                        format!(
+                            "dense export cannot carry a pruning structure ({})",
+                            structure.label()
+                        ),
+                    ));
+                }
+                (
+                    Arc::new(self.model.clone()),
+                    "dense".to_string(),
+                    PruneStructure::Unstructured.label(),
+                    0.0,
+                )
+            } else {
+                if !(spec.sparsity > 0.0 && spec.sparsity < 1.0) {
+                    return Err(Error::config(
+                        "ServableSpec",
+                        format!("sparsity target {} outside (0, 1)", spec.sparsity),
+                    ));
+                }
+                let structure = spec.structure.unwrap_or(self.config.structure);
+                let (pruned, achieved) = self.prune_to_structured(spec.sparsity, structure)?;
+                (
+                    Arc::new(pruned),
+                    format!("{:.0}%", spec.sparsity * 100.0),
+                    structure.label(),
+                    achieved,
+                )
+            };
         Ok(ModelBundle {
             graph: Arc::new(self.graph.clone()),
-            scorer: Arc::new(pruned),
-            beam: self.config.beam,
-            policy: self.config.policy,
-            label: format!("{:.0}%", target * 100.0),
-            structure: structure.label(),
+            scorer,
+            beam,
+            policy,
+            label,
+            structure,
             sparsity,
         })
     }
@@ -116,8 +199,8 @@ mod tests {
         // and check the packaging (Arc sharing, Send + Sync, policy build).
         let config = PipelineConfig::smoke().with_training(0, 0);
         let pipeline = Pipeline::build(config).unwrap();
-        let dense = pipeline.servable_dense();
-        let pruned = pipeline.servable_pruned(0.9).unwrap();
+        let dense = pipeline.servable(ServableSpec::dense()).unwrap();
+        let pruned = pipeline.servable(ServableSpec::pruned(0.9)).unwrap();
         assert_eq!(dense.label, "dense");
         assert_eq!(pruned.label, "90%");
         assert!((pruned.sparsity - 0.9).abs() < 0.01);
@@ -137,5 +220,38 @@ mod tests {
         let mut policy = dense.build_policy().unwrap();
         assert_eq!(policy.name(), "beam");
         let _ = policy.end_frame();
+    }
+
+    #[test]
+    fn servable_specs_fail_fast_on_contradictions() {
+        let pipeline = Pipeline::build(PipelineConfig::smoke().with_training(0, 0)).unwrap();
+        // Dense + structure is a contradiction, not a silent ignore.
+        assert!(pipeline
+            .servable(ServableSpec::dense().with_structure(PruneStructure::Block { r: 8, c: 8 }))
+            .is_err());
+        // Sparsity targets outside (0, 1) are rejected.
+        for bad in [-0.5, 1.0, 1.5, f64::NAN] {
+            assert!(
+                pipeline.servable(ServableSpec::pruned(bad)).is_err(),
+                "target {bad} should be rejected"
+            );
+        }
+        // Unbuildable policy geometry errors at export, not per session.
+        assert!(pipeline
+            .servable(ServableSpec::dense().with_policy(PolicyKind::LooseNBest(
+                darkside_viterbi_accel::NBestTableConfig {
+                    entries: 10,
+                    ways: 4
+                }
+            )))
+            .is_err());
+        // Structure overrides flow through to the exported bundle.
+        let tiled = pipeline
+            .servable(
+                ServableSpec::pruned(0.5).with_structure(PruneStructure::Block { r: 8, c: 8 }),
+            )
+            .unwrap();
+        assert_eq!(tiled.structure, "b8x8");
+        assert_eq!(tiled.label, "50%");
     }
 }

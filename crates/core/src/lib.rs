@@ -15,7 +15,7 @@ pub mod bundle;
 pub mod pipeline;
 pub mod policy;
 
-pub use bundle::ModelBundle;
+pub use bundle::{ModelBundle, ServableSpec};
 pub use darkside_error::Error;
 pub use darkside_pruning::PruneStructure;
 pub use pipeline::{

@@ -19,6 +19,7 @@
 pub mod policy;
 pub mod search;
 pub mod wer;
+pub mod wire;
 
 pub use darkside_error::Error;
 pub use policy::{Admit, BeamPolicy, FramePruneStats, PruningPolicy};

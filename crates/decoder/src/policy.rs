@@ -76,6 +76,27 @@ pub trait PruningPolicy {
     /// ("policy.{name}.evictions", "energy.{component}.pj", ...); the
     /// default — and the storage-free [`BeamPolicy`] — does nothing.
     fn end_utterance(&mut self) {}
+
+    /// Serialize the policy's cross-frame state at a frame boundary
+    /// (ISSUE 7 session checkpoint). Every policy clears its per-frame
+    /// hypothesis storage in [`PruningPolicy::end_frame`], so between
+    /// frames only *cumulative accounting* (eviction/overflow totals,
+    /// energy traffic) persists — that is what travels. The default writes
+    /// nothing: a policy whose admission decisions depend only on the
+    /// current frame (like [`BeamPolicy`]) restores as a fresh value.
+    fn save_state(&self, out: &mut Vec<u8>) {
+        let _ = out;
+    }
+
+    /// Restore state written by [`PruningPolicy::save_state`] into a
+    /// freshly built policy of the same kind and geometry. After this, the
+    /// policy must decode the remaining frames bit-for-bit as the original
+    /// would have, and report the same cumulative totals at
+    /// [`PruningPolicy::end_utterance`].
+    fn restore_state(&mut self, r: &mut crate::wire::Reader<'_>) -> Result<(), crate::Error> {
+        let _ = r;
+        Ok(())
+    }
 }
 
 /// The classic software beam: admit every candidate, then cut survivors to

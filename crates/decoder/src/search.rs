@@ -30,7 +30,7 @@ use std::collections::HashMap;
 
 /// Per-frame search effort and quality traces (the paper's Fig. 4 inputs),
 /// plus the pruning-policy storage counters (Fig. 7 inputs).
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct DecodeStats {
     /// Tokens alive after pruning, per frame.
     pub active_tokens: Vec<usize>,
@@ -326,6 +326,112 @@ impl<G: Borrow<Fst>> SearchCore<G> {
         }
     }
 
+    /// Serialize the full mid-utterance search state — frame counter, word
+    /// arena, active token set, and every [`DecodeStats`] field — at a
+    /// frame boundary (between [`SearchCore::advance`] calls; the scratch
+    /// merge map is empty there by construction). A core rebuilt by
+    /// [`SearchCore::restore`] over the same graph continues the recursion
+    /// **bit-for-bit**: same words, same cost bits, same per-frame stats
+    /// (ISSUE 7 session checkpoint/migration).
+    pub fn save_state(&self, out: &mut Vec<u8>) {
+        crate::wire::put_usize(out, self.frame);
+        crate::wire::put_usize(out, self.arena.len());
+        for link in &self.arena {
+            crate::wire::put_u32(out, link.prev);
+            crate::wire::put_u32(out, link.olabel);
+        }
+        crate::wire::put_usize(out, self.tokens.len());
+        for &(state, tok) in &self.tokens {
+            crate::wire::put_u32(out, state);
+            crate::wire::put_f32(out, tok.cost);
+            crate::wire::put_u32(out, tok.backpointer);
+        }
+        let s = &self.stats;
+        let put_usizes = |out: &mut Vec<u8>, xs: &[usize]| {
+            crate::wire::put_usize(out, xs.len());
+            for &x in xs {
+                crate::wire::put_usize(out, x);
+            }
+        };
+        put_usizes(out, &s.active_tokens);
+        put_usizes(out, &s.arcs_expanded);
+        crate::wire::put_usize(out, s.best_cost.len());
+        for &c in &s.best_cost {
+            crate::wire::put_f32(out, c);
+        }
+        put_usizes(out, &s.table_occupancy);
+        crate::wire::put_u64(out, s.evictions);
+        crate::wire::put_u64(out, s.overflows);
+        crate::wire::put_u64(out, s.table_reads);
+        crate::wire::put_u64(out, s.table_writes);
+        crate::wire::put_usize(out, s.frame_ns.len());
+        for &ns in &s.frame_ns {
+            crate::wire::put_u64(out, ns);
+        }
+    }
+
+    /// Rebuild a search core from [`SearchCore::save_state`] bytes over
+    /// `graph` — which must be the same graph the state was saved against
+    /// (cheap structural checks reject the obvious mismatches; the graph
+    /// itself is shared, not serialized).
+    pub fn restore(graph: G, r: &mut crate::wire::Reader<'_>) -> Result<Self, Error> {
+        let mut core = Self::new(graph)?;
+        let bad = |what: String| Error::shape("SearchCore::restore", what);
+        core.frame = r.usize()?;
+        let arena_len = r.len(8)?;
+        core.arena = Vec::with_capacity(arena_len);
+        for _ in 0..arena_len {
+            let prev = r.u32()?;
+            let olabel = r.u32()?;
+            if prev != NO_BACKPOINTER && prev as usize >= core.arena.len() {
+                return Err(bad(format!("arena link points forward ({prev})")));
+            }
+            if olabel == EPSILON {
+                return Err(bad("arena link with epsilon olabel".into()));
+            }
+            core.arena.push(WordLink { prev, olabel });
+        }
+        let num_tokens = r.len(12)?;
+        if num_tokens == 0 && core.frame > 0 {
+            return Err(bad("empty token set mid-utterance".into()));
+        }
+        let num_states = core.graph.borrow().num_states() as u32;
+        core.tokens = Vec::with_capacity(num_tokens);
+        let mut prev_state = None;
+        for _ in 0..num_tokens {
+            let state = r.u32()?;
+            let cost = r.f32()?;
+            let backpointer = r.u32()?;
+            if state >= num_states {
+                return Err(bad(format!("token state {state} not in graph")));
+            }
+            if prev_state.is_some_and(|p| p >= state) {
+                return Err(bad("token set not strictly sorted by state".into()));
+            }
+            prev_state = Some(state);
+            if backpointer != NO_BACKPOINTER && backpointer as usize >= arena_len {
+                return Err(bad(format!("token backpointer {backpointer} out of arena")));
+            }
+            core.tokens.push((state, Token { cost, backpointer }));
+        }
+        let usizes = |r: &mut crate::wire::Reader<'_>| -> Result<Vec<usize>, Error> {
+            let n = r.len(8)?;
+            (0..n).map(|_| r.usize()).collect()
+        };
+        core.stats.active_tokens = usizes(r)?;
+        core.stats.arcs_expanded = usizes(r)?;
+        let n = r.len(4)?;
+        core.stats.best_cost = (0..n).map(|_| r.f32()).collect::<Result<_, _>>()?;
+        core.stats.table_occupancy = usizes(r)?;
+        core.stats.evictions = r.u64()?;
+        core.stats.overflows = r.u64()?;
+        core.stats.table_reads = r.u64()?;
+        core.stats.table_writes = r.u64()?;
+        let n = r.len(8)?;
+        core.stats.frame_ns = (0..n).map(|_| r.u64()).collect::<Result<_, _>>()?;
+        Ok(core)
+    }
+
     /// Walk the arena from `backpointer` back to the utterance start.
     fn trace_words(&self, backpointer: u32) -> Vec<u32> {
         let mut words = Vec::new();
@@ -618,6 +724,70 @@ mod tests {
                 ..Default::default()
             }
         }
+    }
+
+    #[test]
+    fn save_restore_mid_decode_finishes_bit_identical() {
+        let g = toy_graph();
+        let costs = Matrix::new(
+            4,
+            2,
+            vec![
+                0.1, 2.0, //
+                0.1, 2.0, //
+                2.0, 0.1, //
+                0.1, 2.0,
+            ],
+        )
+        .unwrap();
+        let oneshot = decode(&g, &costs, &BeamConfig::default()).unwrap();
+        // Interrupt after every possible frame boundary, including 0 and 4.
+        for k in 0..=costs.rows() {
+            let mut core = SearchCore::new(&g).unwrap();
+            let mut policy = BeamPolicy::new(BeamConfig::default().beam);
+            for t in 0..k {
+                core.advance(costs.row(t), &mut policy).unwrap();
+            }
+            let mut bytes = Vec::new();
+            core.save_state(&mut bytes);
+            let mut r = crate::wire::Reader::new(&bytes);
+            let mut restored = SearchCore::restore(&g, &mut r).unwrap();
+            r.finish("test").unwrap();
+            let mut policy = BeamPolicy::new(BeamConfig::default().beam);
+            for t in k..costs.rows() {
+                restored.advance(costs.row(t), &mut policy).unwrap();
+            }
+            let resumed = restored.finish();
+            assert_eq!(resumed.words, oneshot.words, "k={k}");
+            assert_eq!(resumed.cost.to_bits(), oneshot.cost.to_bits(), "k={k}");
+            assert_eq!(resumed.stats.active_tokens, oneshot.stats.active_tokens);
+            assert_eq!(resumed.stats.arcs_expanded, oneshot.stats.arcs_expanded);
+        }
+    }
+
+    #[test]
+    fn restore_rejects_corrupt_state() {
+        let g = toy_graph();
+        let costs = Matrix::new(1, 2, vec![0.1, 2.0]).unwrap();
+        let mut core = SearchCore::new(&g).unwrap();
+        let mut policy = BeamPolicy::new(BeamConfig::default().beam);
+        core.advance(costs.row(0), &mut policy).unwrap();
+        let mut bytes = Vec::new();
+        core.save_state(&mut bytes);
+        // Truncation fails cleanly.
+        let mut r = crate::wire::Reader::new(&bytes[..bytes.len() - 3]);
+        assert!(SearchCore::restore(&g, &mut r).is_err());
+        // A token naming a state the graph does not have fails cleanly:
+        // frame(8) + arena_len(8) + [arena...] + tokens_len(8) puts the
+        // first token's state right after the token count.
+        let mut r = crate::wire::Reader::new(&bytes);
+        let _ = r.usize().unwrap();
+        let arena_len = r.usize().unwrap();
+        let state_off = 8 + 8 + arena_len * 8 + 8;
+        let mut corrupt = bytes.clone();
+        corrupt[state_off..state_off + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        let mut r = crate::wire::Reader::new(&corrupt);
+        assert!(SearchCore::restore(&g, &mut r).is_err());
     }
 
     #[test]

@@ -1,0 +1,182 @@
+//! Minimal little-endian byte codec for session checkpoints (ISSUE 7).
+//!
+//! The serving runtime serializes mid-utterance decoder state
+//! ([`crate::SearchCore::save_state`]) and pruning-policy accounting
+//! ([`crate::PruningPolicy::save_state`]) so a session can migrate between
+//! scheduler shards — or survive a process — and finish **bit-for-bit**
+//! identical to an uninterrupted run. No external serialization crates
+//! (the workspace is zero-dependency by design), so the wire format is
+//! spelled out here: fixed-width little-endian integers, `f32` as raw IEEE
+//! bits (round-tripping costs exactly, including NaN payloads), lengths as
+//! `u64`.
+//!
+//! Reads are checked: a [`Reader`] returns a `darkside-error` `Error` on
+//! underflow instead of panicking, so a truncated or foreign byte blob
+//! fails restore cleanly.
+
+use darkside_error::Error;
+
+pub fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+pub fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// `usize` travels as `u64` so checkpoints are architecture-independent.
+pub fn put_usize(out: &mut Vec<u8>, v: usize) {
+    put_u64(out, v as u64);
+}
+
+/// Raw IEEE-754 bits — restore reproduces the value exactly.
+pub fn put_f32(out: &mut Vec<u8>, v: f32) {
+    put_u32(out, v.to_bits());
+}
+
+pub fn put_bool(out: &mut Vec<u8>, v: bool) {
+    out.push(v as u8);
+}
+
+/// A length-prefixed nested blob (e.g. a policy's state inside a session
+/// checkpoint).
+pub fn put_bytes(out: &mut Vec<u8>, bytes: &[u8]) {
+    put_usize(out, bytes.len());
+    out.extend_from_slice(bytes);
+}
+
+/// A checked cursor over checkpoint bytes.
+pub struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    pub fn new(bytes: &'a [u8]) -> Self {
+        Self { bytes, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], Error> {
+        if self.remaining() < n {
+            return Err(Error::shape(
+                "wire",
+                format!(
+                    "checkpoint truncated: need {n} bytes, {} left",
+                    self.remaining()
+                ),
+            ));
+        }
+        let s = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    pub fn u32(&mut self) -> Result<u32, Error> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    pub fn u64(&mut self) -> Result<u64, Error> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    pub fn usize(&mut self) -> Result<usize, Error> {
+        let v = self.u64()?;
+        usize::try_from(v)
+            .map_err(|_| Error::shape("wire", format!("length {v} exceeds this platform's usize")))
+    }
+
+    /// A length prefix about to drive an allocation: additionally bounded
+    /// by the bytes actually left, so corrupt blobs cannot demand
+    /// multi-gigabyte buffers before the decode fails anyway.
+    pub fn len(&mut self, elem_bytes: usize) -> Result<usize, Error> {
+        let n = self.usize()?;
+        if n.saturating_mul(elem_bytes.max(1)) > self.remaining() {
+            return Err(Error::shape(
+                "wire",
+                format!(
+                    "checkpoint claims {n} elements but only {} bytes remain",
+                    self.remaining()
+                ),
+            ));
+        }
+        Ok(n)
+    }
+
+    pub fn f32(&mut self) -> Result<f32, Error> {
+        Ok(f32::from_bits(self.u32()?))
+    }
+
+    pub fn bool(&mut self) -> Result<bool, Error> {
+        Ok(self.take(1)?[0] != 0)
+    }
+
+    /// A length-prefixed nested blob written by [`put_bytes`].
+    pub fn bytes(&mut self) -> Result<&'a [u8], Error> {
+        let n = self.len(1)?;
+        self.take(n)
+    }
+
+    /// Restore must consume everything it wrote; trailing garbage means
+    /// the blob is not what the caller thinks it is.
+    pub fn finish(self, context: &str) -> Result<(), Error> {
+        if self.remaining() != 0 {
+            return Err(Error::shape(
+                context,
+                format!("{} unconsumed bytes after restore", self.remaining()),
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_every_primitive() {
+        let mut buf = Vec::new();
+        put_u32(&mut buf, 0xDEAD_BEEF);
+        put_u64(&mut buf, u64::MAX - 1);
+        put_usize(&mut buf, 12345);
+        put_f32(&mut buf, f32::from_bits(0x7FC0_1234)); // NaN with payload
+        put_bool(&mut buf, true);
+        put_bool(&mut buf, false);
+        put_bytes(&mut buf, b"nested");
+        let mut r = Reader::new(&buf);
+        assert_eq!(r.u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.u64().unwrap(), u64::MAX - 1);
+        assert_eq!(r.usize().unwrap(), 12345);
+        assert_eq!(r.f32().unwrap().to_bits(), 0x7FC0_1234);
+        assert!(r.bool().unwrap());
+        assert!(!r.bool().unwrap());
+        assert_eq!(r.bytes().unwrap(), b"nested");
+        r.finish("test").unwrap();
+    }
+
+    #[test]
+    fn underflow_and_trailing_bytes_are_errors() {
+        let mut buf = Vec::new();
+        put_u32(&mut buf, 7);
+        let mut r = Reader::new(&buf);
+        assert!(r.u64().is_err());
+        let mut r = Reader::new(&buf);
+        r.u32().unwrap();
+        r.finish("test").unwrap();
+        let r = Reader::new(&buf);
+        assert!(r.finish("test").is_err());
+    }
+
+    #[test]
+    fn hostile_length_prefix_is_rejected_before_allocating() {
+        let mut buf = Vec::new();
+        put_usize(&mut buf, usize::MAX / 2);
+        let mut r = Reader::new(&buf);
+        assert!(r.len(8).is_err());
+    }
+}

@@ -13,6 +13,50 @@
 
 use std::fmt;
 
+/// Why a serving engine refused work (ISSUE 7): the structured reason
+/// behind an [`Error::Rejected`], shared by admission decisions, queue
+/// backpressure, and the serve counters keyed off it. Living here (rather
+/// than in `darkside-serve`) lets any layer return a typed shed decision
+/// through the one workspace error enum.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum RejectReason {
+    /// The engine is draining toward shutdown; no new sessions.
+    Draining,
+    /// The concurrent-session budget is exhausted.
+    SessionBudget,
+    /// Buffering the frames would exceed the frame-queue budget.
+    QueueBudget,
+    /// Observed p99 frame latency breached the configured SLO hard limit.
+    SloBreach,
+}
+
+impl RejectReason {
+    /// Every reason, in a stable order (counter arrays index by this).
+    pub const ALL: [RejectReason; 4] = [
+        RejectReason::Draining,
+        RejectReason::SessionBudget,
+        RejectReason::QueueBudget,
+        RejectReason::SloBreach,
+    ];
+
+    /// Stable snake_case label, used as the metric-name suffix of the
+    /// `serve.rejected.<label>` counters.
+    pub fn label(&self) -> &'static str {
+        match self {
+            RejectReason::Draining => "draining",
+            RejectReason::SessionBudget => "session_budget",
+            RejectReason::QueueBudget => "queue_budget",
+            RejectReason::SloBreach => "slo_breach",
+        }
+    }
+}
+
+impl fmt::Display for RejectReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
 /// Workspace-wide error: why a constructor rejected its input.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Error {
@@ -28,6 +72,13 @@ pub enum Error {
     /// Corpus generation could not satisfy its constraints (e.g. more
     /// unique pronunciations requested than the phoneme space holds).
     Corpus { context: String, detail: String },
+    /// A serving engine shed the request: budget exhausted, draining, or
+    /// the latency SLO breached. Carries the typed [`RejectReason`] so
+    /// callers can branch on shed-vs-bug without string matching.
+    Rejected {
+        context: String,
+        reason: RejectReason,
+    },
 }
 
 impl Error {
@@ -58,15 +109,33 @@ impl Error {
             detail: detail.into(),
         }
     }
+
+    pub fn rejected(context: impl Into<String>, reason: RejectReason) -> Self {
+        Error::Rejected {
+            context: context.into(),
+            reason,
+        }
+    }
+
+    /// The typed shed reason, when this error is a serving rejection.
+    /// Load generators and retry layers branch on `Some(_)` (expected
+    /// backpressure) versus `None` (an actual fault).
+    pub fn reject_reason(&self) -> Option<RejectReason> {
+        match self {
+            Error::Rejected { reason, .. } => Some(*reason),
+            _ => None,
+        }
+    }
 }
 
 impl fmt::Display for Error {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let (kind, context, detail) = match self {
-            Error::Shape { context, detail } => ("shape", context, detail),
-            Error::Config { context, detail } => ("config", context, detail),
-            Error::Graph { context, detail } => ("graph", context, detail),
-            Error::Corpus { context, detail } => ("corpus", context, detail),
+            Error::Shape { context, detail } => ("shape", context, detail.clone()),
+            Error::Config { context, detail } => ("config", context, detail.clone()),
+            Error::Graph { context, detail } => ("graph", context, detail.clone()),
+            Error::Corpus { context, detail } => ("corpus", context, detail.clone()),
+            Error::Rejected { context, reason } => ("rejected", context, reason.to_string()),
         };
         write!(f, "{kind} error in {context}: {detail}")
     }
@@ -96,5 +165,19 @@ mod tests {
     fn is_std_error() {
         fn takes_std(_: &dyn std::error::Error) {}
         takes_std(&Error::config("x", "y"));
+    }
+
+    #[test]
+    fn rejection_carries_a_typed_reason() {
+        let e = Error::rejected("serve.offer", RejectReason::SloBreach);
+        assert_eq!(e.reject_reason(), Some(RejectReason::SloBreach));
+        assert_eq!(e.to_string(), "rejected error in serve.offer: slo_breach");
+        assert_eq!(Error::config("x", "y").reject_reason(), None);
+        // Labels are stable metric-name suffixes, one per variant.
+        let labels: Vec<_> = RejectReason::ALL.iter().map(|r| r.label()).collect();
+        assert_eq!(
+            labels,
+            ["draining", "session_budget", "queue_budget", "slo_breach"]
+        );
     }
 }

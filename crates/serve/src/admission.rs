@@ -1,105 +1,169 @@
-//! Admission control (ISSUE 5): bounded budgets with explicit shed
-//! decisions.
+//! Admission control (ISSUE 5, redesigned in ISSUE 7): bounded budgets
+//! plus a live latency SLO, with typed shed decisions.
 //!
 //! The serving engine never queues unboundedly. Every utterance offer is
-//! judged against two budgets — concurrent sessions and total buffered
-//! (un-scored) frames — and gets one of three explicit answers:
+//! judged against the session budget, the frame-queue budget, and — when
+//! [`crate::ServeConfig::slo_p99_ms`] is set — the *observed* per-frame
+//! p99 latency the shards are currently delivering, and gets one of three
+//! explicit answers:
 //!
-//! * **Admitted** — full-quality service under the bundle's policy;
-//! * **Degraded** — served, but under a narrowed beam and the bounded
-//!   loose N-best policy (the paper's own mitigation: cap per-frame work
-//!   so a pruning-inflated search cannot take the tail down with it).
-//!   Chosen when either budget is past
-//!   [`crate::ServeConfig::degrade_fraction`] occupancy;
-//! * **Rejected** — budget exhausted (or the engine is draining); the
-//!   caller sheds the request instead of the engine deadlocking or
-//!   growing without bound.
+//! * **`Ok(Admission::Full)`** — full-quality service under the bundle's
+//!   policy;
+//! * **`Ok(Admission::Degraded)`** — served, but under a narrowed beam and
+//!   the bounded loose N-best policy (the paper's own mitigation: cap
+//!   per-frame work so a pruning-inflated search cannot take the tail
+//!   down with it). Chosen when either budget is past
+//!   [`crate::ServeConfig::degrade_fraction`] occupancy, **or** the
+//!   observed p99 is past the SLO target;
+//! * **`Err(Error::Rejected { .. })`** — shed, with a typed
+//!   [`RejectReason`] (`Draining`, `SessionBudget`, `QueueBudget`, or
+//!   `SloBreach` when the observed p99 is past 2× the target). The caller
+//!   sheds the request instead of the engine deadlocking or growing
+//!   without bound, and per-reason counters key off the same variants.
 //!
-//! The controller is pure bookkeeping — the [`crate::Scheduler`] asks it
-//! for decisions and reports session/queue transitions back — so its
-//! decision table is unit-testable without threads or models.
+//! The SLO signal is latency-first admission: occupancy budgets bound
+//! *memory*, but a pruning-inflated search can blow the tail while the
+//! queue looks healthy — the controller reads the fleet-wide
+//! `serve.frame.ns` p99 (merged from the per-shard recorders by
+//! [`crate::ShardedScheduler`]) and sheds on evidence, not occupancy.
+//!
+//! The controller is pure bookkeeping — the scheduler asks it for
+//! decisions and reports session/queue transitions back — so its decision
+//! table is unit-testable without threads or models.
 
 use crate::ServeConfig;
+use darkside_error::{Error, RejectReason};
 
-/// Why an offer was refused.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum RejectReason {
-    /// The engine is draining toward shutdown; no new sessions.
-    Draining,
-    /// The concurrent-session budget is exhausted.
-    SessionBudget,
-    /// Buffering the utterance would exceed the frame-queue budget.
-    QueueBudget,
-}
-
-/// The controller's answer to one utterance offer.
+/// How an admitted offer will be served.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Admission {
-    Admitted,
+    /// Full-quality service under the bundle's policy.
+    Full,
+    /// Narrowed beam + bounded N-best policy.
     Degraded,
-    Rejected(RejectReason),
 }
 
-/// Budget bookkeeping for the serving engine.
+/// Budget + SLO bookkeeping for the serving engine. Built by
+/// [`crate::ShardedScheduler::build`] from a validated [`ServeConfig`].
 #[derive(Debug)]
 pub struct AdmissionController {
     max_sessions: usize,
     max_queue_frames: usize,
     degrade_fraction: f64,
+    /// SLO target in nanoseconds (from [`ServeConfig::slo_p99_ms`]).
+    slo_p99_ns: Option<f64>,
     active: usize,
     queued_frames: usize,
     draining: bool,
-    /// Cumulative decision counts, for reports and the load generator.
-    pub admitted: u64,
-    pub degraded: u64,
-    pub rejected: u64,
+    admitted: u64,
+    degraded: u64,
+    /// Cumulative rejections, indexed parallel to [`RejectReason::ALL`].
+    rejected_by: [u64; RejectReason::ALL.len()],
+}
+
+fn reason_index(reason: RejectReason) -> usize {
+    RejectReason::ALL
+        .iter()
+        .position(|r| *r == reason)
+        .expect("RejectReason::ALL covers every variant")
 }
 
 impl AdmissionController {
-    pub fn new(cfg: &ServeConfig) -> Self {
+    pub(crate) fn new(cfg: &ServeConfig) -> Self {
         Self {
             max_sessions: cfg.max_sessions,
             max_queue_frames: cfg.max_queue_frames,
             degrade_fraction: cfg.degrade_fraction,
+            slo_p99_ns: cfg.slo_p99_ms.map(|ms| ms * 1e6),
             active: 0,
             queued_frames: 0,
             draining: false,
             admitted: 0,
             degraded: 0,
-            rejected: 0,
+            rejected_by: [0; RejectReason::ALL.len()],
         }
     }
 
     /// Judge an offer of one utterance expected to buffer `frames_hint`
-    /// frames, and record the decision. On `Admitted`/`Degraded` the
-    /// caller opens the session ([`AdmissionController::on_open`]) and
-    /// enqueues its frames; a rejected offer changes no budget state.
-    pub fn offer(&mut self, frames_hint: usize) -> Admission {
-        let decision = self.decide(frames_hint);
-        match decision {
-            Admission::Admitted => self.admitted += 1,
-            Admission::Degraded => self.degraded += 1,
-            Admission::Rejected(_) => self.rejected += 1,
+    /// frames, given the currently observed fleet-wide per-frame p99
+    /// (`None` until enough samples exist), and record the decision. On
+    /// `Ok` the caller opens the session ([`AdmissionController::on_open`])
+    /// and enqueues its frames; a rejection changes no budget state.
+    pub fn offer(
+        &mut self,
+        frames_hint: usize,
+        observed_p99_ns: Option<f64>,
+    ) -> Result<Admission, Error> {
+        match self.decide(frames_hint, observed_p99_ns) {
+            Ok(Admission::Full) => {
+                self.admitted += 1;
+                Ok(Admission::Full)
+            }
+            Ok(Admission::Degraded) => {
+                self.degraded += 1;
+                Ok(Admission::Degraded)
+            }
+            Err(reason) => {
+                self.rejected_by[reason_index(reason)] += 1;
+                Err(Error::rejected("serve.offer", reason))
+            }
         }
-        decision
     }
 
-    fn decide(&self, frames_hint: usize) -> Admission {
+    fn decide(
+        &self,
+        frames_hint: usize,
+        observed_p99_ns: Option<f64>,
+    ) -> Result<Admission, RejectReason> {
         if self.draining {
-            return Admission::Rejected(RejectReason::Draining);
+            return Err(RejectReason::Draining);
         }
         if self.active >= self.max_sessions {
-            return Admission::Rejected(RejectReason::SessionBudget);
+            return Err(RejectReason::SessionBudget);
         }
         if self.queued_frames + frames_hint > self.max_queue_frames {
-            return Admission::Rejected(RejectReason::QueueBudget);
+            return Err(RejectReason::QueueBudget);
+        }
+        let mut slo_degrade = false;
+        if let (Some(slo), Some(p99)) = (self.slo_p99_ns, observed_p99_ns) {
+            if p99 > 2.0 * slo {
+                return Err(RejectReason::SloBreach);
+            }
+            slo_degrade = p99 > slo;
         }
         let session_load = (self.active + 1) as f64 / self.max_sessions as f64;
         let queue_load = (self.queued_frames + frames_hint) as f64 / self.max_queue_frames as f64;
-        if session_load.max(queue_load) > self.degrade_fraction {
-            Admission::Degraded
+        if slo_degrade || session_load.max(queue_load) > self.degrade_fraction {
+            Ok(Admission::Degraded)
         } else {
-            Admission::Admitted
+            Ok(Admission::Full)
+        }
+    }
+
+    /// Budget check for restoring a checkpointed session
+    /// ([`crate::ShardedScheduler::restore`]): the session's quality tier
+    /// is already decided (it travels in the checkpoint), so only the
+    /// draining flag and the hard budgets apply — no degrade decision, no
+    /// SLO gate. Counts as an admission on success.
+    pub fn readmit(&mut self, frames_hint: usize) -> Result<(), Error> {
+        let reason = if self.draining {
+            Some(RejectReason::Draining)
+        } else if self.active >= self.max_sessions {
+            Some(RejectReason::SessionBudget)
+        } else if self.queued_frames + frames_hint > self.max_queue_frames {
+            Some(RejectReason::QueueBudget)
+        } else {
+            None
+        };
+        match reason {
+            Some(reason) => {
+                self.rejected_by[reason_index(reason)] += 1;
+                Err(Error::rejected("serve.restore", reason))
+            }
+            None => {
+                self.admitted += 1;
+                Ok(())
+            }
         }
     }
 
@@ -108,7 +172,7 @@ impl AdmissionController {
         self.active += 1;
     }
 
-    /// A session finalized or failed.
+    /// A session finalized, failed, or checkpointed out of the engine.
     pub fn on_close(&mut self) {
         self.active = self.active.saturating_sub(1);
     }
@@ -118,7 +182,8 @@ impl AdmissionController {
         self.queued_frames += n;
     }
 
-    /// `n` pending frames consumed by a scored micro-batch.
+    /// `n` pending frames consumed by a scored micro-batch (or released by
+    /// a reaped/checkpointed session).
     pub fn on_scored(&mut self, n: usize) {
         self.queued_frames = self.queued_frames.saturating_sub(n);
     }
@@ -145,6 +210,27 @@ impl AdmissionController {
     pub fn queued_frames(&self) -> usize {
         self.queued_frames
     }
+
+    /// Offers admitted at full quality.
+    pub fn admitted(&self) -> u64 {
+        self.admitted
+    }
+
+    /// Offers admitted degraded.
+    pub fn degraded(&self) -> u64 {
+        self.degraded
+    }
+
+    /// Total rejections, every reason.
+    pub fn rejected(&self) -> u64 {
+        self.rejected_by.iter().sum()
+    }
+
+    /// Rejections for one typed reason — the same variant the
+    /// corresponding [`Error::Rejected`] carried.
+    pub fn rejections(&self, reason: RejectReason) -> u64 {
+        self.rejected_by[reason_index(reason)]
+    }
 }
 
 #[cfg(test)]
@@ -152,12 +238,17 @@ mod tests {
     use super::*;
 
     fn controller(max_sessions: usize, max_queue: usize, degrade: f64) -> AdmissionController {
-        AdmissionController::new(&ServeConfig {
-            max_sessions,
-            max_queue_frames: max_queue,
-            degrade_fraction: degrade,
-            ..ServeConfig::default()
-        })
+        AdmissionController::new(
+            &ServeConfig::default()
+                .with_max_sessions(max_sessions)
+                .with_max_queue_frames(max_queue)
+                .with_degrade_fraction(degrade),
+        )
+    }
+
+    fn reason_of(err: Error) -> RejectReason {
+        err.reject_reason()
+            .expect("admission errors carry a reason")
     }
 
     #[test]
@@ -165,58 +256,118 @@ mod tests {
         let mut ac = controller(4, 1000, 0.5);
         // 1/4 and 2/4 occupancy ≤ 0.5 → full quality; 3/4 and 4/4 → degraded.
         for expect in [
-            Admission::Admitted,
-            Admission::Admitted,
+            Admission::Full,
+            Admission::Full,
             Admission::Degraded,
             Admission::Degraded,
         ] {
-            assert_eq!(ac.offer(10), expect);
+            assert_eq!(ac.offer(10, None).unwrap(), expect);
             ac.on_open();
             ac.on_enqueue(10);
         }
         assert_eq!(
-            ac.offer(10),
-            Admission::Rejected(RejectReason::SessionBudget)
+            reason_of(ac.offer(10, None).unwrap_err()),
+            RejectReason::SessionBudget
         );
-        assert_eq!(ac.admitted, 2);
-        assert_eq!(ac.degraded, 2);
-        assert_eq!(ac.rejected, 1);
+        assert_eq!(ac.admitted(), 2);
+        assert_eq!(ac.degraded(), 2);
+        assert_eq!(ac.rejected(), 1);
+        assert_eq!(ac.rejections(RejectReason::SessionBudget), 1);
+        assert_eq!(ac.rejections(RejectReason::QueueBudget), 0);
         // A finished session frees budget again.
         ac.on_close();
         ac.on_scored(40);
-        assert_eq!(ac.offer(10), Admission::Degraded);
+        assert_eq!(ac.offer(10, None).unwrap(), Admission::Degraded);
     }
 
     #[test]
     fn queue_budget_bounds_buffered_frames() {
         let mut ac = controller(100, 50, 1.0);
-        assert_eq!(ac.offer(30), Admission::Admitted);
+        assert_eq!(ac.offer(30, None).unwrap(), Admission::Full);
         ac.on_open();
         ac.on_enqueue(30);
         // 30 + 30 > 50: rejected outright, never buffered.
-        assert_eq!(ac.offer(30), Admission::Rejected(RejectReason::QueueBudget));
-        assert_eq!(ac.offer(20), Admission::Admitted);
+        assert_eq!(
+            reason_of(ac.offer(30, None).unwrap_err()),
+            RejectReason::QueueBudget
+        );
+        assert_eq!(ac.offer(20, None).unwrap(), Admission::Full);
         assert!(ac.queue_has_room(20));
         assert!(!ac.queue_has_room(21));
         // Scoring frees queue room.
         ac.on_scored(30);
         assert_eq!(ac.queued_frames(), 0);
-        assert_eq!(ac.offer(50), Admission::Admitted);
+        assert_eq!(ac.offer(50, None).unwrap(), Admission::Full);
     }
 
     #[test]
     fn draining_rejects_everything_new() {
         let mut ac = controller(4, 1000, 1.0);
         ac.begin_drain();
-        assert_eq!(ac.offer(1), Admission::Rejected(RejectReason::Draining));
+        assert_eq!(
+            reason_of(ac.offer(1, None).unwrap_err()),
+            RejectReason::Draining
+        );
         assert!(ac.is_draining());
+        assert_eq!(
+            reason_of(ac.readmit(1).unwrap_err()),
+            RejectReason::Draining
+        );
     }
 
     #[test]
-    fn degrade_fraction_one_never_degrades() {
+    fn degrade_fraction_one_never_degrades_on_occupancy() {
         let mut ac = controller(2, 100, 1.0);
-        assert_eq!(ac.offer(100), Admission::Admitted);
+        assert_eq!(ac.offer(100, None).unwrap(), Admission::Full);
         ac.on_open();
-        assert_eq!(ac.offer(0), Admission::Admitted);
+        assert_eq!(ac.offer(0, None).unwrap(), Admission::Full);
+    }
+
+    #[test]
+    fn slo_pressure_degrades_then_sheds() {
+        let slo_ms = 10.0;
+        let slo_ns = slo_ms * 1e6;
+        let mut ac = AdmissionController::new(
+            &ServeConfig::default()
+                .with_max_sessions(100)
+                .with_degrade_fraction(1.0)
+                .with_slo_p99_ms(slo_ms),
+        );
+        // Under target, or no evidence yet: full quality.
+        assert_eq!(ac.offer(1, None).unwrap(), Admission::Full);
+        assert_eq!(ac.offer(1, Some(slo_ns * 0.9)).unwrap(), Admission::Full);
+        // Past target: degraded. Past 2× target: shed with SloBreach.
+        assert_eq!(
+            ac.offer(1, Some(slo_ns * 1.5)).unwrap(),
+            Admission::Degraded
+        );
+        let err = ac.offer(1, Some(slo_ns * 2.5)).unwrap_err();
+        assert_eq!(reason_of(err), RejectReason::SloBreach);
+        assert_eq!(ac.rejections(RejectReason::SloBreach), 1);
+        // Budgets still bind first: draining beats SLO.
+        ac.begin_drain();
+        assert_eq!(
+            reason_of(ac.offer(1, Some(slo_ns * 9.0)).unwrap_err()),
+            RejectReason::Draining
+        );
+    }
+
+    #[test]
+    fn readmit_checks_budgets_but_never_degrades() {
+        let mut ac = controller(1, 10, 0.1);
+        ac.readmit(5).unwrap();
+        ac.on_open();
+        ac.on_enqueue(5);
+        assert_eq!(
+            reason_of(ac.readmit(1).unwrap_err()),
+            RejectReason::SessionBudget
+        );
+        ac.on_close();
+        assert_eq!(
+            reason_of(ac.readmit(6).unwrap_err()),
+            RejectReason::QueueBudget
+        );
+        ac.readmit(5).unwrap();
+        assert_eq!(ac.admitted(), 2);
     }
 }

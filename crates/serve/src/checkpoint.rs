@@ -1,0 +1,198 @@
+//! Session checkpoint/restore (ISSUE 7): a live utterance, serialized at
+//! a frame boundary.
+//!
+//! A [`SessionCheckpoint`] captures everything a [`crate::Session`] is
+//! between micro-batches: its identity and quality tier, the un-scored
+//! frames still buffered, the mid-utterance decoder state
+//! ([`darkside_decoder::SearchCore::save_state`] — token set, word-link
+//! arena, cumulative [`darkside_decoder::DecodeStats`]), and the pruning
+//! policy's cumulative accounting
+//! ([`darkside_decoder::PruningPolicy::save_state`]). Restoring on *any*
+//! shard of *any* engine serving the same bundle finishes the utterance
+//! **bit-for-bit** identical to an uninterrupted run — words, cost bits,
+//! and every stats field (property-tested in
+//! `tests/checkpoint_restore.rs`).
+//!
+//! The blob format is the `darkside_decoder::wire` codec (little-endian,
+//! length-checked) behind a magic + version header, so a truncated,
+//! foreign, or stale blob fails [`SessionCheckpoint::from_bytes`] cleanly
+//! instead of resurrecting garbage.
+
+use crate::session::SessionId;
+use darkside_decoder::wire;
+use darkside_error::Error;
+use darkside_nn::Frame;
+
+/// `"DSCK"` — darkside checkpoint.
+const MAGIC: u32 = u32::from_le_bytes(*b"DSCK");
+const VERSION: u32 = 1;
+
+/// A serialized mid-utterance session (see module docs). Obtain one from
+/// [`crate::ShardedScheduler::checkpoint`] (or [`crate::Session::checkpoint`]
+/// directly), move it as bytes, and hand it to
+/// [`crate::ShardedScheduler::restore`].
+#[derive(Clone, Debug)]
+pub struct SessionCheckpoint {
+    pub(crate) id: SessionId,
+    pub(crate) degraded: bool,
+    pub(crate) input_closed: bool,
+    pub(crate) frames_in: usize,
+    pub(crate) submitted_ns: u64,
+    pub(crate) pending: Vec<Frame>,
+    pub(crate) core: Vec<u8>,
+    pub(crate) policy: Vec<u8>,
+}
+
+impl SessionCheckpoint {
+    pub fn id(&self) -> SessionId {
+        self.id
+    }
+
+    /// Whether the session was being served under the degraded
+    /// (narrow-beam, bounded N-best) configuration; restore rebuilds the
+    /// matching policy.
+    pub fn degraded(&self) -> bool {
+        self.degraded
+    }
+
+    /// Un-scored frames the checkpoint carries — the queue budget a
+    /// restore must re-reserve.
+    pub fn pending_frames(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Serialize to a self-describing byte blob.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        wire::put_u32(&mut out, MAGIC);
+        wire::put_u32(&mut out, VERSION);
+        wire::put_u64(&mut out, self.id.0);
+        wire::put_bool(&mut out, self.degraded);
+        wire::put_bool(&mut out, self.input_closed);
+        wire::put_usize(&mut out, self.frames_in);
+        wire::put_u64(&mut out, self.submitted_ns);
+        wire::put_usize(&mut out, self.pending.len());
+        for f in &self.pending {
+            wire::put_usize(&mut out, f.0.len());
+            for &v in &f.0 {
+                wire::put_f32(&mut out, v);
+            }
+        }
+        wire::put_bytes(&mut out, &self.core);
+        wire::put_bytes(&mut out, &self.policy);
+        out
+    }
+
+    /// Deserialize a blob written by [`SessionCheckpoint::to_bytes`].
+    /// Truncation, trailing bytes, a wrong magic, or an unknown version
+    /// all fail with a `darkside-error` `Error`.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, Error> {
+        let mut r = wire::Reader::new(bytes);
+        let magic = r.u32()?;
+        if magic != MAGIC {
+            return Err(Error::shape(
+                "SessionCheckpoint",
+                format!("bad magic {magic:#010x} (not a checkpoint blob)"),
+            ));
+        }
+        let version = r.u32()?;
+        if version != VERSION {
+            return Err(Error::shape(
+                "SessionCheckpoint",
+                format!("unsupported checkpoint version {version} (expected {VERSION})"),
+            ));
+        }
+        let id = SessionId(r.u64()?);
+        let degraded = r.bool()?;
+        let input_closed = r.bool()?;
+        let frames_in = r.usize()?;
+        let submitted_ns = r.u64()?;
+        let num_pending = r.len(8)?;
+        let mut pending = Vec::with_capacity(num_pending);
+        for _ in 0..num_pending {
+            let dim = r.len(4)?;
+            let mut frame = Vec::with_capacity(dim);
+            for _ in 0..dim {
+                frame.push(r.f32()?);
+            }
+            pending.push(Frame(frame));
+        }
+        let core = r.bytes()?.to_vec();
+        let policy = r.bytes()?.to_vec();
+        r.finish("SessionCheckpoint")?;
+        Ok(Self {
+            id,
+            degraded,
+            input_closed,
+            frames_in,
+            submitted_ns,
+            pending,
+            core,
+            policy,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> SessionCheckpoint {
+        SessionCheckpoint {
+            id: SessionId(42),
+            degraded: true,
+            input_closed: false,
+            frames_in: 9,
+            submitted_ns: 123_456_789,
+            pending: vec![Frame(vec![1.5, -2.25]), Frame(vec![0.0, f32::MIN])],
+            core: vec![1, 2, 3, 4],
+            policy: vec![9, 8],
+        }
+    }
+
+    #[test]
+    fn byte_round_trip_is_lossless() {
+        let ck = sample();
+        let bytes = ck.to_bytes();
+        let back = SessionCheckpoint::from_bytes(&bytes).unwrap();
+        assert_eq!(back.id, ck.id);
+        assert_eq!(back.degraded, ck.degraded);
+        assert_eq!(back.input_closed, ck.input_closed);
+        assert_eq!(back.frames_in, ck.frames_in);
+        assert_eq!(back.submitted_ns, ck.submitted_ns);
+        assert_eq!(back.pending.len(), 2);
+        for (a, b) in back.pending.iter().zip(&ck.pending) {
+            let a: Vec<u32> = a.0.iter().map(|v| v.to_bits()).collect();
+            let b: Vec<u32> = b.0.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(a, b);
+        }
+        assert_eq!(back.core, ck.core);
+        assert_eq!(back.policy, ck.policy);
+        // Serialization is deterministic.
+        assert_eq!(back.to_bytes(), bytes);
+    }
+
+    #[test]
+    fn corrupt_blobs_fail_cleanly() {
+        let bytes = sample().to_bytes();
+        // Wrong magic.
+        let mut bad = bytes.clone();
+        bad[0] ^= 0xFF;
+        assert!(SessionCheckpoint::from_bytes(&bad).is_err());
+        // Unknown version.
+        let mut bad = bytes.clone();
+        bad[4] = 99;
+        assert!(SessionCheckpoint::from_bytes(&bad).is_err());
+        // Every truncation fails, none panic.
+        for cut in 0..bytes.len() {
+            assert!(
+                SessionCheckpoint::from_bytes(&bytes[..cut]).is_err(),
+                "truncation at {cut} should fail"
+            );
+        }
+        // Trailing garbage fails.
+        let mut bad = bytes.clone();
+        bad.push(0);
+        assert!(SessionCheckpoint::from_bytes(&bad).is_err());
+    }
+}

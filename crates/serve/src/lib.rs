@@ -1,4 +1,4 @@
-//! # darkside-serve — streaming ASR serving engine (ISSUE 5)
+//! # darkside-serve — sharded streaming ASR serving engine (ISSUE 5 + 7)
 //!
 //! The paper's observation — pruning inflates per-frame Viterbi work and
 //! blows up tail latency — only matters *operationally* when the pruned
@@ -11,93 +11,172 @@
 //!   [`darkside_decoder::PruningPolicy`], accepts feature frames
 //!   incrementally, and yields partial
 //!   ([`darkside_decoder::PartialHypothesis`]) and final
-//!   ([`ServedResult`]) hypotheses;
-//! * a [`Scheduler`] multiplexes N concurrent sessions: each
-//!   [`Scheduler::step`] gathers ready frames across sessions into **one**
-//!   [`darkside_nn::FrameScorer::score_frames`] micro-batch (amortizing
-//!   the GEMM exactly like ISSUE 1's batched kernel, but across sessions
-//!   instead of within one utterance), then fans the acoustic costs back
-//!   to each session's decoder on a pool of worker threads;
-//! * an [`AdmissionController`] enforces a session/queue-depth budget with
-//!   explicit [`SubmitResponse::Rejected`] / degraded responses
-//!   (beam-narrowing + policy downgrade to the paper's bounded loose
-//!   N-best) instead of unbounded queueing, plus drain-based graceful
-//!   shutdown ([`Scheduler::drain`]).
+//!   ([`ServedResult`]) hypotheses; sessions checkpoint to bytes at frame
+//!   boundaries ([`SessionCheckpoint`]) and restore on any shard with
+//!   bit-identical results;
+//! * a [`ShardedScheduler`] spreads sessions over
+//!   [`ServeConfig::shards`] independent shards (home shard =
+//!   `session id % shards`), each with its own session table, micro-batch
+//!   loop, and metrics sink — shards step in parallel with **no shared
+//!   mutex on the hot path**, and a dry shard steals ready sessions from
+//!   the busiest one ([`ServeConfig::steal_threshold`]);
+//! * an [`AdmissionController`] enforces session/queue budgets *and* a
+//!   live latency SLO ([`ServeConfig::slo_p99_ms`], read from the shards'
+//!   `serve.frame.ns` histograms): past-budget or past-2×SLO offers fail
+//!   with a typed [`darkside_error::RejectReason`], borderline ones are
+//!   served degraded (narrowed beam + bounded loose N-best — the paper's
+//!   own mitigation for pruning-inflated search).
 //!
 //! The model enters as a [`darkside_core::ModelBundle`] — the servable
-//! export of a finished `Pipeline` — so the engine serves dense and pruned
-//! scorers through the identical path, which is what makes the paper's
-//! served-p99-vs-sparsity story measurable (`darkside-bench --bin
+//! export of a finished `Pipeline` via
+//! [`darkside_core::Pipeline::servable`] — so the engine serves dense and
+//! pruned scorers through the identical path, which is what makes the
+//! paper's served-p99-vs-sparsity story measurable (`darkside-bench --bin
 //! serve_load`).
 //!
 //! ## Quickstart
 //!
 //! ```no_run
-//! use darkside_core::{Pipeline, PipelineConfig};
-//! use darkside_serve::{Scheduler, ServeConfig, SubmitResponse};
+//! use darkside_core::{Pipeline, PipelineConfig, ServableSpec};
+//! use darkside_serve::{ServeConfig, ShardedScheduler};
 //!
 //! let pipeline = Pipeline::build(PipelineConfig::smoke()).unwrap();
-//! let bundle = pipeline.servable_pruned(0.9).unwrap();
-//! let mut engine = Scheduler::new(bundle, ServeConfig::default()).unwrap();
+//! let bundle = pipeline.servable(ServableSpec::pruned(0.9)).unwrap();
+//! let cfg = ServeConfig::default()
+//!     .with_shards(4)
+//!     .with_slo_p99_ms(20.0);
+//! let mut engine = ShardedScheduler::build(bundle, cfg).unwrap();
 //! # let utterance_frames = Vec::new();
-//! match engine.offer(utterance_frames).unwrap() {
-//!     SubmitResponse::Admitted(id) | SubmitResponse::Degraded(id) => {
+//! match engine.offer(utterance_frames) {
+//!     Ok(response) => {
 //!         while engine.active_sessions() > 0 {
 //!             engine.step().unwrap();
 //!         }
 //!         let served = engine.take_completed();
-//!         println!("{id}: {:?}", served[0].decode.as_ref().unwrap().words);
+//!         println!(
+//!             "{}: {:?}",
+//!             response.id(),
+//!             served[0].decode.as_ref().unwrap().words
+//!         );
 //!     }
-//!     SubmitResponse::Rejected(reason) => eprintln!("shed: {reason:?}"),
+//!     Err(e) => eprintln!("shed: {:?}", e.reject_reason()),
 //! }
 //! ```
 
 pub mod admission;
-pub mod scheduler;
+pub mod checkpoint;
 pub mod session;
+mod shard;
+pub mod sharded;
 
-pub use admission::{Admission, AdmissionController, RejectReason};
-pub use scheduler::{Scheduler, SchedulerStats, StepStats, SubmitResponse};
+pub use admission::{Admission, AdmissionController};
+pub use checkpoint::SessionCheckpoint;
+pub use darkside_error::RejectReason;
 pub use session::{ServedResult, Session, SessionId};
+pub use sharded::{EngineStats, ShardedScheduler, StepStats, SubmitResponse};
 
 use darkside_error::Error;
 
-/// Serving-engine knobs: worker pool size, micro-batch cap, and the
-/// admission budget.
+/// Serving-engine knobs (validated at [`ShardedScheduler::build`], mirror
+/// of the `PipelineConfig` builder idiom): shard/worker topology,
+/// micro-batch cap, admission budgets, and the latency SLO.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct ServeConfig {
-    /// Decode worker threads the scheduler fans sessions across.
+    /// Independent scheduler shards; sessions hash onto them by id and
+    /// shards step in parallel. Default: one per available core, capped
+    /// at 8.
+    pub shards: usize,
+    /// Decode worker threads **per shard** for the post-score fan-out.
+    /// The default 1 keeps each shard single-threaded (parallelism comes
+    /// from the shards themselves).
     pub workers: usize,
-    /// Admission budget: maximum concurrent sessions.
+    /// Admission budget: maximum concurrent sessions, engine-wide.
     pub max_sessions: usize,
     /// Admission budget: maximum un-scored feature frames buffered across
     /// all sessions (bounds memory under overload — offers beyond it are
     /// rejected, never queued).
     pub max_queue_frames: usize,
-    /// Micro-batch cap: at most this many frames are scored per
-    /// [`Scheduler::step`], shared fairly across ready sessions.
+    /// Micro-batch cap: at most this many frames are scored per shard per
+    /// [`ShardedScheduler::step`], shared fairly across ready sessions.
     pub max_batch_frames: usize,
     /// Occupancy fraction of either budget beyond which newly admitted
     /// sessions are degraded (narrowed beam + bounded N-best policy)
     /// rather than served at full quality.
     pub degrade_fraction: f64,
+    /// Per-frame p99 latency target, milliseconds. When set, admission
+    /// reads the live `serve.frame.ns` p99 from the shard histograms:
+    /// past the target new sessions degrade, past 2× they are rejected
+    /// with [`RejectReason::SloBreach`]. `None` disables SLO admission.
+    pub slo_p99_ms: Option<f64>,
+    /// Work stealing: a shard with no ready frames steals a session from
+    /// the busiest shard, provided the donor has at least this many ready
+    /// frames (and ≥ 2 ready sessions, so stealing never ping-pongs a
+    /// lone session). 0 disables stealing.
+    pub steal_threshold: usize,
 }
 
 impl Default for ServeConfig {
     fn default() -> Self {
+        let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
         Self {
-            workers: 4,
+            shards: cores.min(8),
+            workers: 1,
             max_sessions: 64,
             max_queue_frames: 16_384,
             max_batch_frames: 512,
             degrade_fraction: 0.75,
+            slo_p99_ms: None,
+            steal_threshold: 32,
         }
     }
 }
 
 impl ServeConfig {
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
+    }
+
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    pub fn with_max_sessions(mut self, max_sessions: usize) -> Self {
+        self.max_sessions = max_sessions;
+        self
+    }
+
+    pub fn with_max_queue_frames(mut self, max_queue_frames: usize) -> Self {
+        self.max_queue_frames = max_queue_frames;
+        self
+    }
+
+    pub fn with_max_batch_frames(mut self, max_batch_frames: usize) -> Self {
+        self.max_batch_frames = max_batch_frames;
+        self
+    }
+
+    pub fn with_degrade_fraction(mut self, degrade_fraction: f64) -> Self {
+        self.degrade_fraction = degrade_fraction;
+        self
+    }
+
+    pub fn with_slo_p99_ms(mut self, slo_p99_ms: f64) -> Self {
+        self.slo_p99_ms = Some(slo_p99_ms);
+        self
+    }
+
+    pub fn with_steal_threshold(mut self, steal_threshold: usize) -> Self {
+        self.steal_threshold = steal_threshold;
+        self
+    }
+
     pub(crate) fn validate(&self) -> Result<(), Error> {
         let fail = |detail: String| Err(Error::config("ServeConfig", detail));
+        if self.shards == 0 {
+            return fail("zero shards".into());
+        }
         if self.workers == 0 {
             return fail("zero workers".into());
         }
@@ -113,6 +192,11 @@ impl ServeConfig {
         if !(0.0..=1.0).contains(&self.degrade_fraction) {
             return fail(format!("degrade_fraction {}", self.degrade_fraction));
         }
+        if let Some(slo) = self.slo_p99_ms {
+            if !(slo.is_finite() && slo > 0.0) {
+                return fail(format!("slo_p99_ms {slo} is not a positive duration"));
+            }
+        }
         Ok(())
     }
 }
@@ -125,28 +209,39 @@ mod tests {
     fn config_validation_rejects_zero_budgets() {
         assert!(ServeConfig::default().validate().is_ok());
         for bad in [
-            ServeConfig {
-                workers: 0,
-                ..ServeConfig::default()
-            },
-            ServeConfig {
-                max_sessions: 0,
-                ..ServeConfig::default()
-            },
-            ServeConfig {
-                max_batch_frames: 0,
-                ..ServeConfig::default()
-            },
-            ServeConfig {
-                max_queue_frames: 0,
-                ..ServeConfig::default()
-            },
-            ServeConfig {
-                degrade_fraction: 1.5,
-                ..ServeConfig::default()
-            },
+            ServeConfig::default().with_shards(0),
+            ServeConfig::default().with_workers(0),
+            ServeConfig::default().with_max_sessions(0),
+            ServeConfig::default().with_max_batch_frames(0),
+            ServeConfig::default().with_max_queue_frames(0),
+            ServeConfig::default().with_degrade_fraction(1.5),
+            ServeConfig::default().with_degrade_fraction(-0.1),
+            ServeConfig::default().with_slo_p99_ms(0.0),
+            ServeConfig::default().with_slo_p99_ms(f64::NAN),
         ] {
             assert!(bad.validate().is_err(), "{bad:?}");
         }
+    }
+
+    #[test]
+    fn builder_chain_sets_every_knob() {
+        let cfg = ServeConfig::default()
+            .with_shards(3)
+            .with_workers(2)
+            .with_max_sessions(10)
+            .with_max_queue_frames(100)
+            .with_max_batch_frames(32)
+            .with_degrade_fraction(0.5)
+            .with_slo_p99_ms(12.5)
+            .with_steal_threshold(7);
+        assert_eq!(cfg.shards, 3);
+        assert_eq!(cfg.workers, 2);
+        assert_eq!(cfg.max_sessions, 10);
+        assert_eq!(cfg.max_queue_frames, 100);
+        assert_eq!(cfg.max_batch_frames, 32);
+        assert_eq!(cfg.degrade_fraction, 0.5);
+        assert_eq!(cfg.slo_p99_ms, Some(12.5));
+        assert_eq!(cfg.steal_threshold, 7);
+        assert!(cfg.validate().is_ok());
     }
 }

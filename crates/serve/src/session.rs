@@ -11,7 +11,8 @@
 //! serving engine micro-batch aggressively without changing what it
 //! answers.
 
-use darkside_decoder::{DecodeResult, Error, PartialHypothesis, PruningPolicy, SearchCore};
+use crate::checkpoint::SessionCheckpoint;
+use darkside_decoder::{wire, DecodeResult, Error, PartialHypothesis, PruningPolicy, SearchCore};
 use darkside_nn::{Frame, Matrix};
 use darkside_trace as trace;
 use darkside_wfst::Fst;
@@ -164,6 +165,64 @@ impl Session {
         self.submitted_ns
     }
 
+    /// Serialize this session at a frame boundary (ISSUE 7): decoder
+    /// state, policy accounting, buffered frames, identity, and quality
+    /// tier. Only callable between micro-batches — which is the only time
+    /// the scheduler holds the session anyway. Errored sessions cannot be
+    /// checkpointed (their result is already decided; reap them instead).
+    pub fn checkpoint(&self) -> Result<SessionCheckpoint, Error> {
+        if self.error.is_some() {
+            return Err(Error::config(
+                "Session::checkpoint",
+                format!("session {} died mid-search; nothing to resume", self.id),
+            ));
+        }
+        let mut core = Vec::new();
+        self.core.save_state(&mut core);
+        let mut policy = Vec::new();
+        self.policy.save_state(&mut policy);
+        Ok(SessionCheckpoint {
+            id: self.id,
+            degraded: self.degraded,
+            input_closed: self.input_closed,
+            frames_in: self.frames_in,
+            submitted_ns: self.submitted_ns,
+            pending: self.pending.iter().cloned().collect(),
+            core,
+            policy,
+        })
+    }
+
+    /// Rebuild a live session from a checkpoint, on any shard of any
+    /// engine serving the same bundle. `policy` must be a **fresh** policy
+    /// of the same kind and geometry the session was opened with (the
+    /// caller picks full vs degraded via [`SessionCheckpoint::degraded`]);
+    /// its cumulative accounting is restored from the blob. The restored
+    /// session finishes bit-for-bit as the original would have.
+    pub fn restore(
+        ckpt: &SessionCheckpoint,
+        graph: Arc<Fst>,
+        mut policy: Box<dyn PruningPolicy + Send>,
+    ) -> Result<Self, Error> {
+        let mut r = wire::Reader::new(&ckpt.core);
+        let core = SearchCore::restore(graph, &mut r)?;
+        r.finish("Session::restore.core")?;
+        let mut r = wire::Reader::new(&ckpt.policy);
+        policy.restore_state(&mut r)?;
+        r.finish("Session::restore.policy")?;
+        Ok(Self {
+            id: ckpt.id,
+            core,
+            policy,
+            pending: ckpt.pending.iter().cloned().collect(),
+            input_closed: ckpt.input_closed,
+            degraded: ckpt.degraded,
+            frames_in: ckpt.frames_in,
+            submitted_ns: ckpt.submitted_ns,
+            error: None,
+        })
+    }
+
     /// Close the utterance: let the policy export its cumulative metrics,
     /// trace back the best path, and package the result.
     pub fn finalize(mut self) -> ServedResult {
@@ -303,6 +362,77 @@ mod tests {
         assert!(s.is_done());
         assert_eq!(s.ready(), 0);
         assert!(s.finalize().decode.is_err());
+    }
+
+    #[test]
+    fn checkpoint_mid_utterance_resumes_bit_identical() {
+        let graph = Arc::new(toy_graph());
+        let costs = Matrix::new(
+            3,
+            2,
+            vec![
+                0.1, 2.0, //
+                0.1, 2.0, //
+                2.0, 0.1,
+            ],
+        )
+        .unwrap();
+        // Uninterrupted reference.
+        let mut whole = beam_session(&graph);
+        whole.push((0..3).map(|t| Frame(costs.row(t).to_vec())));
+        whole.close_input();
+        let _ = whole.take_ready(3);
+        whole.advance_rows(&costs, 0..3);
+        let reference = whole.finalize().decode.unwrap();
+
+        // Checkpoint after frame 1, round-trip through bytes, resume.
+        let mut s = beam_session(&graph);
+        s.push((0..3).map(|t| Frame(costs.row(t).to_vec())));
+        s.close_input();
+        let _ = s.take_ready(1);
+        s.advance_rows(&costs, 0..1);
+        let blob = s.checkpoint().unwrap().to_bytes();
+        drop(s);
+        let ckpt = SessionCheckpoint::from_bytes(&blob).unwrap();
+        assert_eq!(ckpt.pending_frames(), 2);
+        let mut resumed = Session::restore(
+            &ckpt,
+            graph.clone(),
+            Box::new(BeamPolicy::new(BeamConfig::default().beam)),
+        )
+        .unwrap();
+        assert_eq!(resumed.id(), SessionId(7));
+        let taken = resumed.take_ready(2);
+        assert_eq!(taken.len(), 2);
+        resumed.advance_rows(&costs, 1..3);
+        assert!(resumed.is_done());
+        let got = resumed.finalize().decode.unwrap();
+        assert_eq!(got.words, reference.words);
+        assert_eq!(got.cost.to_bits(), reference.cost.to_bits());
+        assert_eq!(got.stats, reference.stats);
+    }
+
+    #[test]
+    fn errored_sessions_refuse_to_checkpoint() {
+        struct RejectAll;
+        impl PruningPolicy for RejectAll {
+            fn name(&self) -> &'static str {
+                "reject-all"
+            }
+            fn admit(&mut self, _s: u32, _c: f32) -> darkside_decoder::Admit {
+                darkside_decoder::Admit::Reject
+            }
+            fn end_frame(&mut self) -> darkside_decoder::FramePruneStats {
+                darkside_decoder::FramePruneStats::default()
+            }
+        }
+        let graph = Arc::new(toy_graph());
+        let mut s = Session::new(SessionId(1), graph, Box::new(RejectAll), false).unwrap();
+        let costs = Matrix::new(1, 2, vec![0.1, 0.1]).unwrap();
+        s.push(std::iter::once(Frame(costs.row(0).to_vec())));
+        let _ = s.take_ready(1);
+        s.advance_rows(&costs, 0..1);
+        assert!(s.checkpoint().is_err());
     }
 
     #[test]

@@ -1,0 +1,235 @@
+//! ISSUE 7 satellite: session checkpoint/restore is **lossless** — a
+//! session checkpointed at a random frame boundary, serialized to bytes,
+//! and restored (on a different shard of a different engine) finishes
+//! bit-for-bit identical to an uninterrupted one-shot decode: same words,
+//! same f32 cost bits, same per-frame effort stats, for all three pruning
+//! policies. Plus the drain-termination guarantee: draining with work
+//! stealing enabled always terminates, even when every long session homes
+//! onto one shard.
+
+mod common;
+
+use common::{
+    assert_bit_identical, policies, random_costs, random_graph, random_mlp, random_utterance,
+};
+use darkside_decoder::{acoustic_costs, decode_with_policy, BeamConfig};
+use darkside_nn::check::run_cases;
+use darkside_nn::{Frame, FrameScorer};
+use darkside_serve::{ServeConfig, Session, SessionCheckpoint, SessionId, ShardedScheduler};
+use std::sync::Arc;
+
+/// Session-level property: push everything, score a random prefix,
+/// checkpoint, byte-round-trip, restore into a *fresh* session (new policy
+/// instance), score the rest — the decode must be bit-identical to the
+/// uninterrupted one-shot for every policy. The prefix can be empty
+/// (checkpoint before any scoring), including on errored-at-frame-0
+/// searches.
+fn checkpoint_boundary_case(seed: u64) {
+    let beam = BeamConfig {
+        beam: 4.0,
+        ..BeamConfig::default()
+    };
+    run_cases(seed, 30, |rng, case| {
+        let graph = Arc::new(random_graph(rng));
+        let costs = random_costs(rng);
+        for kind in policies() {
+            let what = format!("case {case} policy {}", kind.label());
+            let mut oneshot_policy = kind.build(&beam).unwrap();
+            let oneshot = decode_with_policy(&graph, &costs, oneshot_policy.as_mut());
+            // Random checkpoint boundary strictly before the last frame.
+            let cut = rng.below(costs.rows());
+            let mut session = Session::new(
+                SessionId(7),
+                graph.clone(),
+                kind.build(&beam).unwrap(),
+                false,
+            )
+            .unwrap();
+            session.push((0..costs.rows()).map(|t| Frame(costs.row(t).to_vec())));
+            session.close_input();
+            let taken = session.take_ready(cut);
+            assert_eq!(taken.len(), cut, "{what}");
+            session.advance_rows(&costs, 0..cut);
+            let ckpt = match session.checkpoint() {
+                Ok(ckpt) => ckpt,
+                Err(_) => {
+                    // The search died inside the prefix; the same
+                    // deterministic search must die one-shot too.
+                    assert!(oneshot.is_err(), "{what}: errored streamed, ok oneshot");
+                    continue;
+                }
+            };
+            // Through bytes, like a real migration would move it.
+            let restored_ckpt = SessionCheckpoint::from_bytes(&ckpt.to_bytes()).unwrap();
+            assert_eq!(restored_ckpt.pending_frames(), costs.rows() - cut, "{what}");
+            let mut restored =
+                Session::restore(&restored_ckpt, graph.clone(), kind.build(&beam).unwrap())
+                    .unwrap();
+            let rest = restored.ready();
+            assert_eq!(rest, costs.rows() - cut, "{what}: pending after restore");
+            restored.take_ready(rest);
+            restored.advance_rows(&costs, cut..costs.rows());
+            assert!(restored.is_done(), "{what}: restored session not done");
+            match (restored.finalize().decode, oneshot) {
+                (Ok(resumed), Ok(oneshot)) => {
+                    assert_bit_identical(&resumed, &oneshot, &format!("{what} cut {cut}"))
+                }
+                (Err(_), Err(_)) => {}
+                (resumed, oneshot) => panic!(
+                    "{what} cut {cut}: resumed ok={} vs oneshot ok={}",
+                    resumed.is_ok(),
+                    oneshot.is_ok()
+                ),
+            }
+        }
+    });
+}
+
+#[test]
+fn random_boundary_checkpoints_resume_bit_identical_seed_a() {
+    checkpoint_boundary_case(0xC4EC_000A);
+}
+
+#[test]
+fn random_boundary_checkpoints_resume_bit_identical_seed_b() {
+    checkpoint_boundary_case(0xC4EC_000B);
+}
+
+/// Engine-level: checkpoint a mid-utterance session out of a 3-shard
+/// engine after a random number of micro-batch steps, move it as bytes to
+/// a *different* engine with a *different* shard count (so the session's
+/// home shard changes), and finish it there. Both the migrated session
+/// and the sessions left behind must match their one-shot decodes
+/// bit-for-bit.
+#[test]
+fn checkpoint_migrates_between_engines_with_different_shard_counts() {
+    let beam = BeamConfig {
+        beam: 6.0,
+        ..BeamConfig::default()
+    };
+    run_cases(0xC4EC_00E0, 6, |rng, case| {
+        let graph = Arc::new(random_graph(rng));
+        let mlp = Arc::new(random_mlp(rng));
+        let long = random_utterance(rng, mlp.input_dim(), 12);
+        let background: Vec<Vec<Frame>> = (0..2)
+            .map(|_| {
+                let frames = 2 + rng.below(5);
+                random_utterance(rng, mlp.input_dim(), frames)
+            })
+            .collect();
+        for kind in policies() {
+            let what = format!("case {case} policy {}", kind.label());
+            let bundle = common::bundle_for(&graph, &mlp, beam, kind);
+            let mut engine_a = ShardedScheduler::build(
+                bundle.clone(),
+                ServeConfig::default()
+                    .with_shards(3)
+                    .with_max_batch_frames(2)
+                    .with_degrade_fraction(1.0),
+            )
+            .unwrap();
+            let target = engine_a.offer(long.clone()).unwrap().id();
+            for u in &background {
+                engine_a.offer(u.clone()).unwrap();
+            }
+            // Score a random, partial prefix of the long utterance: with a
+            // 2-frame cap per shard step, the 12-frame target survives.
+            for _ in 0..1 + rng.below(3) {
+                engine_a.step().unwrap();
+            }
+            let blob = engine_a.checkpoint(target).unwrap().to_bytes();
+            let ckpt = SessionCheckpoint::from_bytes(&blob).unwrap();
+            let mut engine_b = ShardedScheduler::build(
+                bundle,
+                ServeConfig::default()
+                    .with_shards(2)
+                    .with_degrade_fraction(1.0),
+            )
+            .unwrap();
+            assert_eq!(engine_b.restore(&ckpt).unwrap(), target, "{what}");
+            let served_b = engine_b.drain().unwrap();
+            assert_eq!(served_b.len(), 1, "{what}");
+            assert_eq!(served_b[0].id, target, "{what}");
+            assert_eq!(served_b[0].frames, long.len(), "{what}");
+            let costs = acoustic_costs(&mlp.score_frames(&long), &beam);
+            let mut policy = kind.build(&beam).unwrap();
+            let oneshot = decode_with_policy(&graph, &costs, policy.as_mut());
+            match (&served_b[0].decode, oneshot) {
+                (Ok(migrated), Ok(oneshot)) => {
+                    assert_bit_identical(migrated, &oneshot, &format!("{what} migrated"))
+                }
+                (Err(_), Err(_)) => {}
+                (migrated, oneshot) => panic!(
+                    "{what}: migrated ok={} vs oneshot ok={}",
+                    migrated.is_ok(),
+                    oneshot.is_ok()
+                ),
+            }
+            // The sessions left on engine A are untouched by the export.
+            let mut served_a = engine_a.drain().unwrap();
+            served_a.sort_by_key(|r| r.id);
+            assert_eq!(served_a.len(), background.len(), "{what}");
+            for (r, u) in served_a.iter().zip(&background) {
+                let costs = acoustic_costs(&mlp.score_frames(u), &beam);
+                let mut policy = kind.build(&beam).unwrap();
+                let oneshot = decode_with_policy(&graph, &costs, policy.as_mut());
+                match (&r.decode, oneshot) {
+                    (Ok(stayed), Ok(oneshot)) => {
+                        assert_bit_identical(stayed, &oneshot, &format!("{what} stayed {}", r.id))
+                    }
+                    (Err(_), Err(_)) => {}
+                    (stayed, oneshot) => panic!(
+                        "{what} stayed {}: ok={} vs oneshot ok={}",
+                        r.id,
+                        stayed.is_ok(),
+                        oneshot.is_ok()
+                    ),
+                }
+            }
+        }
+    });
+}
+
+/// Drain-termination under stealing: every long utterance homes onto
+/// shard 0 (ids ≡ 0 mod 4), the other shards run dry after their short
+/// sessions finish, and draining must still terminate — with the dry
+/// shards actually stealing the stranded work.
+#[test]
+fn drain_with_stealing_terminates_and_rebalances() {
+    let beam = BeamConfig {
+        beam: 6.0,
+        ..BeamConfig::default()
+    };
+    let mut rng = darkside_nn::Rng::new(0x57EA_1D01);
+    let graph = Arc::new(random_graph(&mut rng));
+    let mlp = Arc::new(random_mlp(&mut rng));
+    let bundle = common::bundle_for(&graph, &mlp, beam, policies()[0]);
+    let mut engine = ShardedScheduler::build(
+        bundle,
+        ServeConfig::default()
+            .with_shards(4)
+            .with_steal_threshold(1)
+            .with_max_batch_frames(3)
+            .with_degrade_fraction(1.0),
+    )
+    .unwrap();
+    for i in 0..16 {
+        // Home shard is id % 4: ids 0,4,8,12 (all home 0) get 24 frames,
+        // everyone else 2 — shards 1..3 will run dry almost immediately.
+        let frames = if i % 4 == 0 { 24 } else { 2 };
+        let u = random_utterance(&mut rng, mlp.input_dim(), frames);
+        engine.offer(u).unwrap();
+    }
+    let served = engine.drain().unwrap();
+    assert_eq!(served.len(), 16);
+    assert_eq!(engine.active_sessions(), 0);
+    assert_eq!(engine.queued_frames(), 0);
+    assert!(
+        engine.stats().steals > 0,
+        "dry shards never stole: {:?}",
+        engine.stats()
+    );
+    for r in &served {
+        assert!(r.decode.is_ok(), "session {} failed", r.id);
+    }
+}

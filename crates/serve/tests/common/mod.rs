@@ -1,0 +1,142 @@
+//! Shared generators and assertions for the serve integration tests
+//! (`streaming_equivalence.rs`, `checkpoint_restore.rs`).
+
+#![allow(dead_code)]
+
+use darkside_core::{ModelBundle, PolicyKind};
+use darkside_decoder::{BeamConfig, DecodeResult};
+use darkside_nn::{Frame, Matrix, Mlp, Rng};
+use darkside_viterbi_accel::{NBestTableConfig, UnfoldHashConfig};
+use darkside_wfst::{Arc as FstArc, Fst, TropicalWeight, EPSILON};
+use std::sync::Arc;
+
+pub const NUM_CLASSES: usize = 5;
+pub const MAX_STATES: usize = 40;
+
+/// The three policy kinds under test, with deliberately *bounded* storage
+/// (a tight N-best table and a cramped UNFOLD hash) so eviction/overflow
+/// paths are exercised — streaming and checkpoint/restore must reproduce
+/// even lossy decodes exactly, not just the well-behaved ones.
+pub fn policies() -> [PolicyKind; 3] {
+    [
+        PolicyKind::Beam,
+        PolicyKind::UnfoldHash(UnfoldHashConfig {
+            entries: 8,
+            backup_capacity: 4,
+        }),
+        PolicyKind::LooseNBest(NBestTableConfig {
+            entries: 16,
+            ways: 4,
+        }),
+    ]
+}
+
+/// Random input-eps-free decoding graph (same family as the decoder's own
+/// policy property tests): class ilabels, occasional word olabels,
+/// continuous weights so cost ties are measure-zero.
+pub fn random_graph(rng: &mut Rng) -> Fst {
+    let n = 2 + rng.below(MAX_STATES - 1);
+    let mut fst = Fst::new();
+    for _ in 0..n {
+        fst.add_state();
+    }
+    fst.set_start(0);
+    for s in 0..n as u32 {
+        for _ in 0..1 + rng.below(3) {
+            let olabel = if rng.next_f32() < 0.3 {
+                1 + rng.below(7) as u32
+            } else {
+                EPSILON
+            };
+            fst.add_arc(
+                s,
+                FstArc {
+                    ilabel: 1 + rng.below(NUM_CLASSES) as u32,
+                    olabel,
+                    weight: TropicalWeight(rng.uniform(0.0, 2.0)),
+                    next: rng.below(n) as u32,
+                },
+            );
+        }
+    }
+    for s in 0..n as u32 {
+        if rng.next_f32() < 0.3 {
+            fst.set_final(s, TropicalWeight(rng.uniform(0.0, 1.0)));
+        }
+    }
+    if (0..n as u32).all(|s| !fst.is_final(s)) {
+        fst.set_final((n - 1) as u32, TropicalWeight::ONE);
+    }
+    fst
+}
+
+pub fn random_costs(rng: &mut Rng) -> Matrix {
+    let frames = 1 + rng.below(12);
+    Matrix::from_fn(frames, NUM_CLASSES, |_, _| rng.uniform(0.0, 4.0))
+}
+
+/// A small random acoustic MLP whose class count matches the random
+/// graphs' ilabel alphabet.
+pub fn random_mlp(rng: &mut Rng) -> Mlp {
+    Mlp::kaldi_style(6, 8, 2, 1, NUM_CLASSES, rng)
+}
+
+pub fn random_utterance(rng: &mut Rng, dim: usize, frames: usize) -> Vec<Frame> {
+    (0..frames)
+        .map(|_| Frame((0..dim).map(|_| rng.normal()).collect()))
+        .collect()
+}
+
+/// A bundle over a shared random graph + MLP for one policy kind.
+pub fn bundle_for(
+    graph: &Arc<Fst>,
+    mlp: &Arc<Mlp>,
+    beam: BeamConfig,
+    kind: PolicyKind,
+) -> ModelBundle {
+    ModelBundle {
+        graph: graph.clone(),
+        scorer: mlp.clone(),
+        beam,
+        policy: kind,
+        label: kind.label().to_string(),
+        sparsity: 0.0,
+        structure: "unstructured".to_string(),
+    }
+}
+
+/// Every field the decode produces, bitwise. `cost` and `best_cost` are
+/// compared through `to_bits` — "close enough" would hide a reordered
+/// accumulation. `frame_ns` is the one exclusion: it is wall-clock timing
+/// (populated only under an active trace recorder), not decode output.
+pub fn assert_bit_identical(streamed: &DecodeResult, oneshot: &DecodeResult, what: &str) {
+    assert_eq!(streamed.words, oneshot.words, "{what}: words");
+    assert_eq!(
+        streamed.cost.to_bits(),
+        oneshot.cost.to_bits(),
+        "{what}: cost bits ({} vs {})",
+        streamed.cost,
+        oneshot.cost
+    );
+    assert_eq!(
+        streamed.reached_final, oneshot.reached_final,
+        "{what}: reached_final"
+    );
+    let s = &streamed.stats;
+    let o = &oneshot.stats;
+    assert_eq!(s.active_tokens, o.active_tokens, "{what}: active_tokens");
+    assert_eq!(s.arcs_expanded, o.arcs_expanded, "{what}: arcs_expanded");
+    assert_eq!(
+        s.best_cost.iter().map(|c| c.to_bits()).collect::<Vec<_>>(),
+        o.best_cost.iter().map(|c| c.to_bits()).collect::<Vec<_>>(),
+        "{what}: best_cost bits"
+    );
+    assert_eq!(
+        s.table_occupancy, o.table_occupancy,
+        "{what}: table_occupancy"
+    );
+    assert_eq!(s.evictions, o.evictions, "{what}: evictions");
+    assert_eq!(s.overflows, o.overflows, "{what}: overflows");
+    assert_eq!(s.table_reads, o.table_reads, "{what}: table_reads");
+    assert_eq!(s.table_writes, o.table_writes, "{what}: table_writes");
+}

@@ -3,7 +3,7 @@
 //! [`Mlp`] and the CSR-backed [`PrunedMlp`], over ragged batch
 //! compositions.
 //!
-//! This is the property the [`darkside_serve::Scheduler`] stands on: it
+//! This is the property the [`darkside_serve::ShardedScheduler`] stands on: it
 //! concatenates ready frames from many sessions into one
 //! [`FrameScorer::score_frames`] call and hands each session its row
 //! slice, claiming the session cannot tell the difference. That claim is

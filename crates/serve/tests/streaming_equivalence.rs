@@ -1,7 +1,8 @@
-//! ISSUE 5 satellite: streaming decodes are **bit-for-bit** identical to
-//! one-shot [`decode_with_policy`] — same words, same f32 costs, same
-//! per-frame effort stats — for all three pruning policies, on random
-//! graphs, at two independent seeds.
+//! ISSUE 5 satellite (re-based on the ISSUE 7 sharded engine): streaming
+//! decodes are **bit-for-bit** identical to one-shot
+//! [`decode_with_policy`] — same words, same f32 costs, same per-frame
+//! effort stats — for all three pruning policies, on random graphs, at
+//! two independent seeds.
 //!
 //! Two layers of the claim:
 //!
@@ -9,129 +10,34 @@
 //!    chunk sizes (one frame at a time, ragged pieces, everything at once)
 //!    cannot change the decode: the `SearchCore` recursion is
 //!    frame-synchronous, so only row *order* matters, never grouping.
-//! 2. **Scheduler level** — running many sessions concurrently through
-//!    [`Scheduler::step`] micro-batches (frames scored in cross-session
-//!    GEMM batches, decoders advanced on a worker pool) still reproduces
-//!    each utterance's one-shot decode exactly. This additionally leans on
-//!    the batched-scoring row-equality property (`ragged_batches.rs`).
+//! 2. **Engine level** — running many sessions concurrently through
+//!    [`ShardedScheduler::step`] micro-batches (sessions hashed across
+//!    shards, frames scored in cross-session GEMM batches, decoders
+//!    advanced on per-shard worker pools, dry shards stealing ready
+//!    sessions) still reproduces each utterance's one-shot decode exactly.
+//!    This additionally leans on the batched-scoring row-equality property
+//!    (`ragged_batches.rs`).
 
-use darkside_core::{ModelBundle, PolicyKind};
+mod common;
+
+use common::{
+    assert_bit_identical, policies, random_costs, random_graph, random_mlp, random_utterance,
+};
 use darkside_decoder::{acoustic_costs, decode_with_policy, BeamConfig, DecodeResult};
 use darkside_nn::check::run_cases;
-use darkside_nn::{Frame, FrameScorer, Matrix, Mlp, Rng};
-use darkside_serve::{Scheduler, ServeConfig, Session, SessionId, SubmitResponse};
-use darkside_viterbi_accel::{NBestTableConfig, UnfoldHashConfig};
-use darkside_wfst::{Arc as FstArc, Fst, TropicalWeight, EPSILON};
+use darkside_nn::{Frame, FrameScorer, Matrix};
+use darkside_serve::{ServeConfig, Session, SessionId, ShardedScheduler, SubmitResponse};
+use darkside_wfst::Fst;
 use std::sync::Arc;
-
-const NUM_CLASSES: usize = 5;
-const MAX_STATES: usize = 40;
-
-/// The three policy kinds under test, with deliberately *bounded* storage
-/// (a tight N-best table and a cramped UNFOLD hash) so eviction/overflow
-/// paths are exercised — streaming must reproduce even lossy decodes
-/// exactly, not just the well-behaved ones.
-fn policies() -> [PolicyKind; 3] {
-    [
-        PolicyKind::Beam,
-        PolicyKind::UnfoldHash(UnfoldHashConfig {
-            entries: 8,
-            backup_capacity: 4,
-        }),
-        PolicyKind::LooseNBest(NBestTableConfig {
-            entries: 16,
-            ways: 4,
-        }),
-    ]
-}
-
-/// Random input-eps-free decoding graph (same family as the decoder's own
-/// policy property tests): class ilabels, occasional word olabels,
-/// continuous weights so cost ties are measure-zero.
-fn random_graph(rng: &mut Rng) -> Fst {
-    let n = 2 + rng.below(MAX_STATES - 1);
-    let mut fst = Fst::new();
-    for _ in 0..n {
-        fst.add_state();
-    }
-    fst.set_start(0);
-    for s in 0..n as u32 {
-        for _ in 0..1 + rng.below(3) {
-            let olabel = if rng.next_f32() < 0.3 {
-                1 + rng.below(7) as u32
-            } else {
-                EPSILON
-            };
-            fst.add_arc(
-                s,
-                FstArc {
-                    ilabel: 1 + rng.below(NUM_CLASSES) as u32,
-                    olabel,
-                    weight: TropicalWeight(rng.uniform(0.0, 2.0)),
-                    next: rng.below(n) as u32,
-                },
-            );
-        }
-    }
-    for s in 0..n as u32 {
-        if rng.next_f32() < 0.3 {
-            fst.set_final(s, TropicalWeight(rng.uniform(0.0, 1.0)));
-        }
-    }
-    if (0..n as u32).all(|s| !fst.is_final(s)) {
-        fst.set_final((n - 1) as u32, TropicalWeight::ONE);
-    }
-    fst
-}
-
-fn random_costs(rng: &mut Rng) -> Matrix {
-    let frames = 1 + rng.below(12);
-    Matrix::from_fn(frames, NUM_CLASSES, |_, _| rng.uniform(0.0, 4.0))
-}
-
-/// Every field the decode produces, bitwise. `cost` and `best_cost` are
-/// compared through `to_bits` — "close enough" would hide a reordered
-/// accumulation.
-fn assert_bit_identical(streamed: &DecodeResult, oneshot: &DecodeResult, what: &str) {
-    assert_eq!(streamed.words, oneshot.words, "{what}: words");
-    assert_eq!(
-        streamed.cost.to_bits(),
-        oneshot.cost.to_bits(),
-        "{what}: cost bits ({} vs {})",
-        streamed.cost,
-        oneshot.cost
-    );
-    assert_eq!(
-        streamed.reached_final, oneshot.reached_final,
-        "{what}: reached_final"
-    );
-    let s = &streamed.stats;
-    let o = &oneshot.stats;
-    assert_eq!(s.active_tokens, o.active_tokens, "{what}: active_tokens");
-    assert_eq!(s.arcs_expanded, o.arcs_expanded, "{what}: arcs_expanded");
-    assert_eq!(
-        s.best_cost.iter().map(|c| c.to_bits()).collect::<Vec<_>>(),
-        o.best_cost.iter().map(|c| c.to_bits()).collect::<Vec<_>>(),
-        "{what}: best_cost bits"
-    );
-    assert_eq!(
-        s.table_occupancy, o.table_occupancy,
-        "{what}: table_occupancy"
-    );
-    assert_eq!(s.evictions, o.evictions, "{what}: evictions");
-    assert_eq!(s.overflows, o.overflows, "{what}: overflows");
-    assert_eq!(s.table_reads, o.table_reads, "{what}: table_reads");
-    assert_eq!(s.table_writes, o.table_writes, "{what}: table_writes");
-}
 
 /// Stream `costs` through a session in random-sized chunks (scheduler
 /// batch boundaries land anywhere, including single frames).
 fn stream_decode(
     graph: &Arc<Fst>,
     costs: &Matrix,
-    kind: PolicyKind,
+    kind: darkside_core::PolicyKind,
     beam: &BeamConfig,
-    rng: &mut Rng,
+    rng: &mut darkside_nn::Rng,
 ) -> Result<DecodeResult, darkside_decoder::Error> {
     let mut session = Session::new(
         SessionId(0),
@@ -194,19 +100,7 @@ fn session_streaming_matches_oneshot_seed_b() {
     session_streaming_case(0x5EED_000B);
 }
 
-/// A small random acoustic MLP whose class count matches the random
-/// graphs' ilabel alphabet.
-fn random_mlp(rng: &mut Rng) -> Mlp {
-    Mlp::kaldi_style(6, 8, 2, 1, NUM_CLASSES, rng)
-}
-
-fn random_utterance(rng: &mut Rng, dim: usize, frames: usize) -> Vec<Frame> {
-    (0..frames)
-        .map(|_| Frame((0..dim).map(|_| rng.normal()).collect()))
-        .collect()
-}
-
-fn scheduler_streaming_case(seed: u64) {
+fn sharded_streaming_case(seed: u64) {
     let beam = BeamConfig {
         beam: 6.0,
         ..BeamConfig::default()
@@ -221,25 +115,19 @@ fn scheduler_streaming_case(seed: u64) {
             })
             .collect();
         for kind in policies() {
-            let bundle = ModelBundle {
-                graph: graph.clone(),
-                scorer: mlp.clone(),
-                beam,
-                policy: kind,
-                label: kind.label().to_string(),
-                sparsity: 0.0,
-                structure: "unstructured".to_string(),
-            };
-            // A tiny batch cap + 2 workers forces each utterance's rows to
-            // split across several cross-session micro-batches.
-            let mut engine = Scheduler::new(
+            let bundle = common::bundle_for(&graph, &mlp, beam, kind);
+            // 2 shards + a tiny batch cap + an eager steal threshold: each
+            // utterance's rows split across several cross-session
+            // micro-batches, and sessions migrate mid-utterance when one
+            // shard drains first. None of it may change a single bit.
+            let mut engine = ShardedScheduler::build(
                 bundle,
-                ServeConfig {
-                    workers: 2,
-                    max_batch_frames: 5,
-                    degrade_fraction: 1.0,
-                    ..ServeConfig::default()
-                },
+                ServeConfig::default()
+                    .with_shards(2)
+                    .with_workers(2)
+                    .with_max_batch_frames(5)
+                    .with_steal_threshold(1)
+                    .with_degrade_fraction(1.0),
             )
             .unwrap();
             let mut ids = Vec::new();
@@ -277,11 +165,11 @@ fn scheduler_streaming_case(seed: u64) {
 }
 
 #[test]
-fn scheduler_microbatching_matches_oneshot_seed_a() {
-    scheduler_streaming_case(0xBA7C_000A);
+fn sharded_microbatching_matches_oneshot_seed_a() {
+    sharded_streaming_case(0xBA7C_000A);
 }
 
 #[test]
-fn scheduler_microbatching_matches_oneshot_seed_b() {
-    scheduler_streaming_case(0xBA7C_000B);
+fn sharded_microbatching_matches_oneshot_seed_b() {
+    sharded_streaming_case(0xBA7C_000B);
 }

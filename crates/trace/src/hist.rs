@@ -71,12 +71,41 @@ impl LogHistogram {
 
     /// Record one sample (negatives and NaN clamp to 0).
     pub fn record(&mut self, v: f64) {
+        self.record_n(v, 1);
+    }
+
+    /// Record `n` identical samples in one bucket update — what a batched
+    /// per-frame latency estimate uses (`elapsed / frames` recorded once per
+    /// frame scored) so quantiles weight by frames, not by batches, without
+    /// `n` lock round-trips upstream (ISSUE 7 sharded serving).
+    pub fn record_n(&mut self, v: f64, n: u64) {
+        if n == 0 {
+            return;
+        }
         let v = if v.is_nan() { 0.0 } else { v.max(0.0) };
-        self.counts[bucket_of(v)] += 1;
-        self.count += 1;
-        self.sum += v;
+        self.counts[bucket_of(v)] += n;
+        self.count += n;
+        self.sum += v * n as f64;
         self.min = self.min.min(v);
         self.max = self.max.max(v);
+    }
+
+    /// Fold another histogram into this one. Buckets are identical by
+    /// construction (fixed geometry), so merging is exact: the result is as
+    /// if every sample of `other` had been recorded here. This is how the
+    /// sharded scheduler reads one fleet-wide `serve.frame.ns` p99 from
+    /// per-shard recorders without a shared hot-path mutex (ISSUE 7).
+    pub fn merge(&mut self, other: &LogHistogram) {
+        if other.count == 0 {
+            return;
+        }
+        for (dst, src) in self.counts.iter_mut().zip(&other.counts) {
+            *dst += src;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
     }
 
     pub fn count(&self) -> u64 {
@@ -211,6 +240,42 @@ mod tests {
         assert_eq!(h.min(), 0.0);
         assert_eq!(h.max(), 0.0);
         assert_eq!(h.quantile(0.5), 0.0);
+    }
+
+    #[test]
+    fn merge_equals_recording_everything_in_one_histogram() {
+        let mut a = LogHistogram::new();
+        let mut b = LogHistogram::new();
+        let mut whole = LogHistogram::new();
+        for (i, v) in [3.0, 900.0, 42.5, 0.0, 7e6, 13.0, 77.0].iter().enumerate() {
+            if i % 2 == 0 { &mut a } else { &mut b }.record(*v);
+            whole.record(*v);
+        }
+        a.merge(&b);
+        a.merge(&LogHistogram::new()); // empty merge is a no-op
+        assert_eq!(a.count(), whole.count());
+        assert_eq!(a.min(), whole.min());
+        assert_eq!(a.max(), whole.max());
+        assert_eq!(a.mean(), whole.mean());
+        for q in [0.0, 0.5, 0.95, 0.99, 1.0] {
+            assert_eq!(a.quantile(q), whole.quantile(q), "q={q}");
+        }
+    }
+
+    #[test]
+    fn record_n_weights_like_n_records() {
+        let mut batched = LogHistogram::new();
+        batched.record_n(5.0, 3);
+        batched.record_n(100.0, 1);
+        batched.record_n(17.0, 0); // no-op
+        let mut loose = LogHistogram::new();
+        for v in [5.0, 5.0, 5.0, 100.0] {
+            loose.record(v);
+        }
+        assert_eq!(batched.count(), loose.count());
+        assert_eq!(batched.mean(), loose.mean());
+        assert_eq!(batched.quantile(0.5), loose.quantile(0.5));
+        assert_eq!(batched.quantile(0.99), loose.quantile(0.99));
     }
 
     #[test]

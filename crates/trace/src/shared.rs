@@ -86,6 +86,74 @@ impl SharedRecorder {
         self.lock().open_spans
     }
 
+    /// Record `n` identical samples under `name` with a single lock
+    /// acquisition — the sharded scheduler's per-frame latency estimate
+    /// (`batch elapsed / frames scored`, weighted by frames) without `n`
+    /// mutex round-trips on the hot path (ISSUE 7).
+    pub fn sample_n(&self, name: &str, value: f64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.lock()
+            .histograms
+            .entry(name.to_string())
+            .or_default()
+            .record_n(value, n);
+    }
+
+    /// A clone of the named histogram, if any samples have been recorded.
+    /// Shard histograms are cloned out and [`LogHistogram::merge`]d so the
+    /// SLO admission reads one fleet-wide quantile from per-shard sinks.
+    pub fn histogram(&self, name: &str) -> Option<LogHistogram> {
+        self.lock().histograms.get(name).cloned()
+    }
+
+    /// Samples recorded under `name` so far (0 when absent). Admission uses
+    /// this to hold SLO enforcement until a warm-up's worth of evidence.
+    pub fn sample_count(&self, name: &str) -> u64 {
+        self.lock().histograms.get(name).map_or(0, |h| h.count())
+    }
+
+    /// Nearest-rank quantile of the named histogram, `None` until a sample
+    /// exists under `name`.
+    pub fn quantile(&self, name: &str, q: f64) -> Option<f64> {
+        self.lock().histograms.get(name).map(|h| h.quantile(q))
+    }
+
+    /// Fold everything `other` has recorded into this aggregate: counters
+    /// add, gauges take `other`'s value, histograms [`LogHistogram::merge`],
+    /// span durations accumulate. `other`'s state is cloned out before this
+    /// aggregate locks, so absorbing a shard's recorder can never deadlock
+    /// against a worker still recording into either side.
+    pub fn absorb(&self, other: &SharedRecorder) {
+        let theirs = {
+            let s = other.lock();
+            SharedState {
+                counters: s.counters.clone(),
+                gauges: s.gauges.clone(),
+                histograms: s.histograms.clone(),
+                spans: s.spans.clone(),
+                open_spans: s.open_spans,
+                unbalanced_closes: s.unbalanced_closes,
+            }
+        };
+        let mut mine = self.lock();
+        for (k, v) in theirs.counters {
+            *mine.counters.entry(k).or_insert(0) += v;
+        }
+        mine.gauges.extend(theirs.gauges);
+        for (k, h) in theirs.histograms {
+            mine.histograms.entry(k).or_default().merge(&h);
+        }
+        for (k, a) in theirs.spans {
+            let agg = mine.spans.entry(k).or_default();
+            agg.count += a.count;
+            agg.total_ns += a.total_ns;
+        }
+        mine.open_spans += theirs.open_spans;
+        mine.unbalanced_closes += theirs.unbalanced_closes;
+    }
+
     /// Exits observed with no span open anywhere (see module docs).
     pub fn unbalanced_closes(&self) -> u64 {
         self.lock().unbalanced_closes
@@ -189,6 +257,45 @@ mod tests {
         assert_eq!(snap.spans["s"].count, 1);
         assert_eq!(shared.open_spans(), 0);
         assert_eq!(shared.unbalanced_closes(), 0);
+    }
+
+    #[test]
+    fn quantile_helpers_read_live_histograms() {
+        let shared = SharedRecorder::new();
+        assert_eq!(shared.quantile("h", 0.99), None);
+        assert_eq!(shared.sample_count("h"), 0);
+        shared.sample("h", 10.0);
+        shared.sample_n("h", 1000.0, 3);
+        shared.sample_n("h", 5.0, 0); // no-op
+        assert_eq!(shared.sample_count("h"), 4);
+        let p99 = shared.quantile("h", 0.99).unwrap();
+        assert_eq!(p99, shared.histogram("h").unwrap().quantile(0.99));
+        assert!(
+            p99 >= 1000.0 * 0.8,
+            "p99 {p99} should sit in the top bucket"
+        );
+    }
+
+    #[test]
+    fn absorb_unions_counters_histograms_and_spans() {
+        let fleet = SharedRecorder::new();
+        let shard = SharedRecorder::new();
+        fleet.counter("c", 1);
+        shard.counter("c", 4);
+        shard.gauge("g", 2.5);
+        shard.sample_n("h", 50.0, 2);
+        shard.span_enter("s", 0, 0);
+        shard.span_exit("s", 0, 0, 30);
+        fleet.absorb(&shard);
+        fleet.absorb(&SharedRecorder::new()); // empty absorb is a no-op
+        let snap = fleet.snapshot();
+        assert_eq!(snap.counters["c"], 5);
+        assert_eq!(snap.gauges["g"], 2.5);
+        assert_eq!(snap.histograms["h"].count, 2);
+        assert_eq!(snap.spans["s"].count, 1);
+        assert_eq!(snap.spans["s"].total_ns, 30);
+        // The shard's own aggregate is untouched.
+        assert_eq!(shard.snapshot().counters["c"], 4);
     }
 
     #[test]

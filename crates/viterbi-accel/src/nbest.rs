@@ -22,7 +22,7 @@
 //! `tests/policy_prop.rs`).
 
 use crate::NBestTableConfig;
-use darkside_decoder::{Admit, Error, FramePruneStats, PruningPolicy};
+use darkside_decoder::{wire, Admit, Error, FramePruneStats, PruningPolicy};
 use darkside_hwmodel::{EnergyAccount, EnergyCoefficients};
 use darkside_trace as trace;
 
@@ -165,6 +165,26 @@ impl PruningPolicy for LooseNBestPolicy {
         trace::counter("policy.nbest.evictions", self.total_evictions);
         trace::counter("policy.nbest.overflows", self.total_overflows);
         self.energy.trace_as("nbest_table", &NBEST_TABLE_ENERGY);
+    }
+
+    /// Cross-frame state is pure accounting: the sets flash-clear at every
+    /// [`PruningPolicy::end_frame`], so at a frame boundary only the
+    /// cumulative totals persist (ISSUE 7 checkpoint).
+    fn save_state(&self, out: &mut Vec<u8>) {
+        wire::put_u64(out, self.total_evictions);
+        wire::put_u64(out, self.total_overflows);
+        wire::put_u64(out, self.energy.reads);
+        wire::put_u64(out, self.energy.writes);
+        wire::put_u64(out, self.energy.powered_cycles);
+    }
+
+    fn restore_state(&mut self, r: &mut wire::Reader<'_>) -> Result<(), Error> {
+        self.total_evictions = r.u64()?;
+        self.total_overflows = r.u64()?;
+        self.energy.reads = r.u64()?;
+        self.energy.writes = r.u64()?;
+        self.energy.powered_cycles = r.u64()?;
+        Ok(())
     }
 }
 

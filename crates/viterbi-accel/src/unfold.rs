@@ -17,7 +17,7 @@
 //! of a spilled state re-spills — pessimistic in the same direction as the
 //! paper's overflow penalty.
 
-use darkside_decoder::{Admit, Error, FramePruneStats, PruningPolicy};
+use darkside_decoder::{wire, Admit, Error, FramePruneStats, PruningPolicy};
 use darkside_hwmodel::{EnergyAccount, EnergyCoefficients};
 use darkside_trace as trace;
 
@@ -223,6 +223,25 @@ impl PruningPolicy for UnfoldHashPolicy {
             "energy.dram_spill.pj",
             self.total_overflows as f64 * DRAM_SPILL_PJ,
         );
+    }
+
+    /// At a frame boundary the generation bump has already emptied the
+    /// table and the backup buffer, so — like the N-best policy — only the
+    /// cumulative accounting travels; a fresh policy's zeroed generation
+    /// stamps make its slots empty by construction (ISSUE 7 checkpoint).
+    fn save_state(&self, out: &mut Vec<u8>) {
+        wire::put_u64(out, self.total_overflows);
+        wire::put_u64(out, self.energy.reads);
+        wire::put_u64(out, self.energy.writes);
+        wire::put_u64(out, self.energy.powered_cycles);
+    }
+
+    fn restore_state(&mut self, r: &mut wire::Reader<'_>) -> Result<(), Error> {
+        self.total_overflows = r.u64()?;
+        self.energy.reads = r.u64()?;
+        self.energy.writes = r.u64()?;
+        self.energy.powered_cycles = r.u64()?;
+        Ok(())
     }
 }
 
