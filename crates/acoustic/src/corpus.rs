@@ -79,6 +79,23 @@ impl CorpusConfig {
         }
     }
 
+    /// The large-vocabulary operating point (ISSUE 8 graph scale): the
+    /// same acoustic model and grammar shape as [`default_scaled`], but
+    /// `num_words` words drawn from 2–4-phoneme pronunciations. With the
+    /// default 30-phoneme inventory that space holds ~838k strings — ample
+    /// uniqueness headroom at 10k words, where the default 1–3-phoneme
+    /// range (~28k strings) is already half-saturated and collision-bound.
+    ///
+    /// [`default_scaled`]: CorpusConfig::default_scaled
+    pub fn large_vocab(num_words: usize) -> Self {
+        Self {
+            num_words,
+            min_pron_len: 2,
+            max_pron_len: 4,
+            ..Self::default_scaled()
+        }
+    }
+
     pub fn with_num_words(mut self, n: usize) -> Self {
         self.num_words = n;
         self
@@ -343,7 +360,11 @@ fn generate_lexicon(config: &CorpusConfig, rng: &mut Rng) -> Result<Lexicon, Err
             format!("{unique_needed} unique pronunciations requested from a space of {space:.0}"),
         ));
     }
+    // Discovery order stays the Vec push order (seed-stable); the set only
+    // answers membership, keeping rejection sampling O(1) per attempt so a
+    // 10k-word vocabulary (ISSUE 8) generates in linear time.
     let mut unique: Vec<Vec<usize>> = Vec::with_capacity(unique_needed);
+    let mut seen: std::collections::HashSet<Vec<usize>> = std::collections::HashSet::new();
     let mut attempts = 0usize;
     while unique.len() < unique_needed {
         attempts += 1;
@@ -357,7 +378,7 @@ fn generate_lexicon(config: &CorpusConfig, rng: &mut Rng) -> Result<Lexicon, Err
         let pron: Vec<usize> = (0..len)
             .map(|_| rng.below(config.inventory.num_phonemes))
             .collect();
-        if !unique.contains(&pron) {
+        if seen.insert(pron.clone()) {
             unique.push(pron);
         }
     }
@@ -438,6 +459,27 @@ fn generate_emitters(config: &CorpusConfig, rng: &mut Rng) -> Vec<Vec<Vec<f32>>>
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn large_vocab_scales_the_lexicon_to_ten_thousand_words() {
+        let config = CorpusConfig::large_vocab(10_000);
+        let corpus = Corpus::generate(config).unwrap();
+        assert_eq!(corpus.lexicon.num_words(), 10_000);
+        assert!(corpus
+            .lexicon
+            .prons
+            .iter()
+            .all(|p| (2..=4).contains(&p.len())));
+        // The homophone fraction carries over from the scaled default.
+        assert!(corpus.lexicon.num_homophones() > 0);
+        assert_eq!(corpus.grammar.successors.len(), 10_000);
+        // The default pronunciation range saturates well before 30k words.
+        let cramped = CorpusConfig::default_scaled().with_num_words(30_000);
+        assert!(matches!(
+            Corpus::generate(cramped).unwrap_err(),
+            Error::Corpus { .. }
+        ));
+    }
 
     #[test]
     fn generate_rejects_bad_configs() {

@@ -30,6 +30,7 @@ use darkside_bench::report::{
 };
 use darkside_core::trace::{self, MemoryRecorder};
 use darkside_core::viterbi_accel::{NBestTableConfig, UnfoldHashConfig};
+use darkside_core::wfst::GraphSource;
 use darkside_core::{Pipeline, PipelineConfig, PolicyGridReport, PolicyKind, PruneStructure};
 use std::rc::Rc;
 

@@ -140,7 +140,10 @@ fn main() {
         .iter()
         .map(|u| acoustic_costs(&pipeline.model.score_frames(&u.frames), &beam))
         .collect();
-    let graph = &pipeline.graph;
+    let graph = pipeline
+        .graph
+        .as_eager()
+        .expect("trace_overhead benches the default (eager) graph");
     let frames: usize = costs.iter().map(Matrix::rows).sum();
 
     // Correctness cross-check before any timing.

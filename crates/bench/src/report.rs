@@ -152,6 +152,10 @@ pub fn level_json(level: &LevelReport) -> Json {
         ("mean_table_occupancy", level.mean_table_occupancy.into()),
         ("table_reads", level.table_reads.into()),
         ("table_writes", level.table_writes.into()),
+        ("memo_hits", level.memo_hits.into()),
+        ("memo_misses", level.memo_misses.into()),
+        ("memo_evictions", level.memo_evictions.into()),
+        ("memo_peak_resident", level.memo_peak_resident.into()),
     ])
 }
 
@@ -161,6 +165,7 @@ pub fn pipeline_report_json(name: &str, report: &PipelineReport) -> Json {
     Json::obj(vec![
         ("schema_version", 1u64.into()),
         ("name", Json::str(name)),
+        ("graph_kind", Json::str(&report.graph_kind)),
         ("train_frames", report.train_frames.into()),
         ("test_frames", report.test_frames.into()),
         ("graph_states", report.graph_states.into()),

@@ -16,15 +16,20 @@ use darkside_decoder::{BeamConfig, PruningPolicy};
 use darkside_error::Error;
 use darkside_nn::FrameScorer;
 use darkside_pruning::PruneStructure;
-use darkside_wfst::Fst;
+use darkside_wfst::{GraphKind, SharedGraph};
 use std::sync::Arc;
 
 /// Everything a serving engine needs from a trained (and optionally
 /// pruned) pipeline, shareable across scheduler worker threads.
 #[derive(Clone)]
 pub struct ModelBundle {
-    /// The composed decoding graph every session's search walks.
-    pub graph: Arc<Fst>,
+    /// The decoding graph every session's search walks — eager or lazily
+    /// composed behind the one [`darkside_wfst::GraphSource`] handle
+    /// (ISSUE 8).
+    pub graph: SharedGraph,
+    /// Which representation `graph` is; stamped into session checkpoints
+    /// so a blob never restores against the wrong graph kind.
+    pub graph_kind: GraphKind,
     /// The acoustic model; one `score_frames` call serves a whole
     /// cross-session micro-batch.
     pub scorer: Arc<dyn FrameScorer + Send + Sync>,
@@ -176,7 +181,8 @@ impl Pipeline {
                 )
             };
         Ok(ModelBundle {
-            graph: Arc::new(self.graph.clone()),
+            graph: self.graph.source(),
+            graph_kind: self.graph.kind(),
             scorer,
             beam,
             policy,

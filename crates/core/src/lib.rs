@@ -19,7 +19,8 @@ pub use bundle::{ModelBundle, ServableSpec};
 pub use darkside_error::Error;
 pub use darkside_pruning::PruneStructure;
 pub use pipeline::{
-    LevelReport, Pipeline, PipelineConfig, PipelineReport, PolicyGridLevel, PolicyGridReport,
+    DecodingGraph, GraphConfig, LevelReport, Pipeline, PipelineConfig, PipelineReport,
+    PolicyGridLevel, PolicyGridReport,
 };
 pub use policy::PolicyKind;
 

@@ -17,7 +17,38 @@ use decoder::{acoustic_costs, decode_with_policy, BeamConfig, WerStats};
 use nn::{evaluate, FrameScorer, Mlp, Rng, SgdConfig, Trainer};
 use pruning::{prune_mlp_to_sparsity_structured, PruneStructure, PrunedMlp};
 use std::rc::Rc;
-use wfst::{build_decoding_graph, Fst};
+use std::sync::Arc;
+use wfst::{
+    build_decoding_graph, build_lazy_decoding_graph, prune_grammar, Fst, GrammarPruneReport,
+    GraphKind, GraphSource, LazyComposeFst, MemoStats, SharedGraph,
+};
+
+/// How the pipeline builds and holds its decoding graph (ISSUE 8).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct GraphConfig {
+    /// Eager fully-composed `Fst`, or lazy on-the-fly H ∘ (L ∘ G)
+    /// composition ([`wfst::LazyComposeFst`]) — bit-identical decodes by
+    /// construction, different memory behavior at scale.
+    pub mode: GraphKind,
+    /// LRU memo capacity of the lazy graph, in expanded states (ignored in
+    /// eager mode). Bounds resident arc memory during decode.
+    pub memo_states: usize,
+    /// Entropy-pruning threshold applied to the bigram G before the
+    /// *decoding* graph is built (`wfst::prune_grammar`); `≤ 0` disables.
+    /// Sampling always uses the unpruned grammar, so pruning changes the
+    /// search space, never the task.
+    pub grammar_prune: f64,
+}
+
+impl Default for GraphConfig {
+    fn default() -> Self {
+        Self {
+            mode: GraphKind::Eager,
+            memo_states: 4096,
+            grammar_prune: 0.0,
+        }
+    }
+}
 
 /// Everything `Pipeline::run` needs, with DESIGN.md §4b defaults.
 #[derive(Clone, Debug)]
@@ -49,6 +80,8 @@ pub struct PipelineConfig {
     /// pruning level so structured-vs-unstructured WER is read off at equal
     /// sparsity.
     pub structure: PruneStructure,
+    /// Decoding-graph mode, lazy-memo budget, and grammar pruning (ISSUE 8).
+    pub graph: GraphConfig,
     /// Seed for model init, training shuffles, and train/test sampling.
     pub seed: u64,
 }
@@ -75,6 +108,7 @@ impl PipelineConfig {
             policy: PolicyKind::Beam,
             prune_levels: vec![0.70, 0.80, 0.90],
             structure: PruneStructure::Unstructured,
+            graph: GraphConfig::default(),
             seed: 0xDA_2C,
         }
     }
@@ -111,6 +145,7 @@ impl PipelineConfig {
             policy: PolicyKind::Beam,
             prune_levels: vec![0.90],
             structure: PruneStructure::Unstructured,
+            graph: GraphConfig::default(),
             seed: 0x5310,
         }
     }
@@ -164,6 +199,26 @@ impl PipelineConfig {
         self
     }
 
+    pub fn with_graph(mut self, graph: GraphConfig) -> Self {
+        self.graph = graph;
+        self
+    }
+
+    /// Switch to a lazily-composed decoding graph with the given memo
+    /// budget (states).
+    pub fn with_lazy_graph(mut self, memo_states: usize) -> Self {
+        self.graph.mode = GraphKind::Lazy;
+        self.graph.memo_states = memo_states;
+        self
+    }
+
+    /// Entropy-prune the bigram grammar at `threshold` before building the
+    /// decoding graph (`≤ 0` keeps every arc).
+    pub fn with_grammar_prune(mut self, threshold: f64) -> Self {
+        self.graph.grammar_prune = threshold;
+        self
+    }
+
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
         self
@@ -188,6 +243,9 @@ impl PipelineConfig {
             ("acoustic_scale", (self.beam.acoustic_scale as f64).into()),
             ("policy", Json::str(self.policy.label())),
             ("structure", Json::str(self.structure.label())),
+            ("graph_mode", Json::str(self.graph.mode.label())),
+            ("memo_states", self.graph.memo_states.into()),
+            ("grammar_prune", self.graph.grammar_prune.into()),
             (
                 "prune_levels",
                 Json::Arr(self.prune_levels.iter().map(|&s| s.into()).collect()),
@@ -212,6 +270,15 @@ impl PipelineConfig {
         }
         if self.prune_levels.iter().any(|&s| !(0.0..1.0).contains(&s)) {
             return fail(format!("prune levels {:?}", self.prune_levels));
+        }
+        if self.graph.mode == GraphKind::Lazy && self.graph.memo_states == 0 {
+            return fail("lazy graph with a zero-state memo budget".into());
+        }
+        if !self.graph.grammar_prune.is_finite() {
+            return fail(format!(
+                "grammar prune threshold {}",
+                self.graph.grammar_prune
+            ));
         }
         // Policy geometry problems (non-power-of-two sets, …) surface here
         // rather than mid-run.
@@ -268,6 +335,14 @@ pub struct LevelReport {
     pub table_reads: u64,
     /// Total hypothesis-storage writes across the test set.
     pub table_writes: u64,
+    /// Lazy-graph memo traffic while decoding this level (all zero for
+    /// eager graphs, which have no memo — ISSUE 8 observability).
+    pub memo_hits: u64,
+    pub memo_misses: u64,
+    pub memo_evictions: u64,
+    /// High-water mark of memo-resident states over the graph's lifetime
+    /// so far (0 for eager graphs).
+    pub memo_peak_resident: usize,
 }
 
 /// The full study: dense row first, then one row per pruning level.
@@ -276,6 +351,9 @@ pub struct PipelineReport {
     pub levels: Vec<LevelReport>,
     pub train_frames: usize,
     pub test_frames: usize,
+    /// "eager" or "lazy" — which graph representation every level was
+    /// decoded against.
+    pub graph_kind: String,
     pub graph_states: usize,
     pub graph_arcs: usize,
     pub model_params: usize,
@@ -322,6 +400,104 @@ pub struct PolicyGridReport {
     pub levels: Vec<PolicyGridLevel>,
 }
 
+/// The decoding graph a pipeline built — eager or lazy behind one value
+/// that itself implements [`GraphSource`], so every decode call site
+/// (`decode_with_policy(&pipeline.graph, …)`) is mode-agnostic. Cloning is
+/// cheap (shared `Arc`s); a lazy clone shares its memo and counters.
+#[derive(Clone, Debug)]
+pub enum DecodingGraph {
+    Eager(Arc<Fst>),
+    Lazy(Arc<LazyComposeFst>),
+}
+
+impl DecodingGraph {
+    pub fn kind(&self) -> GraphKind {
+        match self {
+            DecodingGraph::Eager(_) => GraphKind::Eager,
+            DecodingGraph::Lazy(_) => GraphKind::Lazy,
+        }
+    }
+
+    /// The type-erased, shareable handle a [`crate::ModelBundle`] (and its
+    /// serving sessions) holds.
+    pub fn source(&self) -> SharedGraph {
+        match self {
+            DecodingGraph::Eager(g) => g.clone(),
+            DecodingGraph::Lazy(g) => g.clone(),
+        }
+    }
+
+    /// Total arcs (materialized for eager graphs; counted at construction,
+    /// never all resident, for lazy ones).
+    pub fn num_arcs(&self) -> usize {
+        match self {
+            DecodingGraph::Eager(g) => g.num_arcs(),
+            DecodingGraph::Lazy(g) => g.num_arcs(),
+        }
+    }
+
+    /// The materialized graph, when this pipeline built one (benches that
+    /// walk adjacency slices directly — e.g. a hand-rolled reference
+    /// decoder — need the concrete representation).
+    pub fn as_eager(&self) -> Option<&Fst> {
+        match self {
+            DecodingGraph::Eager(g) => Some(g),
+            DecodingGraph::Lazy(_) => None,
+        }
+    }
+}
+
+impl GraphSource for DecodingGraph {
+    fn start(&self) -> Option<u32> {
+        match self {
+            DecodingGraph::Eager(g) => g.start(),
+            DecodingGraph::Lazy(g) => GraphSource::start(&**g),
+        }
+    }
+
+    fn num_states(&self) -> usize {
+        match self {
+            DecodingGraph::Eager(g) => g.num_states(),
+            DecodingGraph::Lazy(g) => g.num_states(),
+        }
+    }
+
+    fn max_ilabel(&self) -> u32 {
+        match self {
+            DecodingGraph::Eager(g) => g.max_ilabel(),
+            DecodingGraph::Lazy(g) => g.max_ilabel(),
+        }
+    }
+
+    fn is_input_eps_free(&self) -> bool {
+        match self {
+            DecodingGraph::Eager(g) => g.is_input_eps_free(),
+            DecodingGraph::Lazy(g) => g.is_input_eps_free(),
+        }
+    }
+
+    fn final_weight(&self, state: u32) -> wfst::TropicalWeight {
+        match self {
+            DecodingGraph::Eager(g) => g.final_weight(state),
+            DecodingGraph::Lazy(g) => g.final_weight(state),
+        }
+    }
+
+    fn expand<'a>(&'a self, state: u32, scratch: &'a mut Vec<wfst::Arc>) -> &'a [wfst::Arc] {
+        match self {
+            DecodingGraph::Eager(g) => g.arcs(state),
+            DecodingGraph::Lazy(g) => g.expand(state, scratch),
+        }
+    }
+
+    fn memo_stats(&self) -> Option<MemoStats> {
+        match self {
+            DecodingGraph::Eager(_) => None,
+            DecodingGraph::Lazy(g) => g.memo_stats(),
+        }
+    }
+}
+
 /// The end-to-end system. Construction ([`Pipeline::build`]) does the
 /// expensive one-time work — corpus generation, decoding-graph composition,
 /// dense training — so callers can re-decode or re-prune without repeating
@@ -331,8 +507,10 @@ pub struct PolicyGridReport {
 pub struct Pipeline {
     pub config: PipelineConfig,
     pub corpus: Corpus,
-    pub graph: Fst,
+    pub graph: DecodingGraph,
     pub model: Mlp,
+    /// Size/perplexity accounting of the grammar prune, when one ran.
+    grammar_prune: Option<GrammarPruneReport>,
     test_set: Vec<Utterance>,
     train_frames: usize,
     final_train_loss: f64,
@@ -348,9 +526,32 @@ impl Pipeline {
             let _s = trace::span!("corpus");
             Corpus::generate(config.corpus.clone())?
         };
-        let graph = {
+        let (graph, grammar_prune) = {
             let _s = trace::span!("graph");
-            build_decoding_graph(&corpus.config.inventory, &corpus.lexicon, &corpus.grammar)?
+            // The decode graph may see a pruned grammar; sampling keeps the
+            // true one, so the task distribution never changes.
+            let mut grammar_prune = None;
+            let decode_grammar = if config.graph.grammar_prune > 0.0 {
+                let (pruned, report) = prune_grammar(&corpus.grammar, config.graph.grammar_prune)?;
+                grammar_prune = Some(report);
+                pruned
+            } else {
+                corpus.grammar.clone()
+            };
+            let graph = match config.graph.mode {
+                GraphKind::Eager => DecodingGraph::Eager(Arc::new(build_decoding_graph(
+                    &corpus.config.inventory,
+                    &corpus.lexicon,
+                    &decode_grammar,
+                )?)),
+                GraphKind::Lazy => DecodingGraph::Lazy(Arc::new(build_lazy_decoding_graph(
+                    &corpus.config.inventory,
+                    &corpus.lexicon,
+                    &decode_grammar,
+                    config.graph.memo_states,
+                )?)),
+            };
+            (graph, grammar_prune)
         };
 
         let mut rng = Rng::new(config.seed);
@@ -381,11 +582,25 @@ impl Pipeline {
             corpus,
             graph,
             model,
+            grammar_prune,
             test_set,
             train_frames: features.rows(),
             final_train_loss: last.mean_loss as f64,
             final_train_accuracy: last.accuracy as f64,
         })
+    }
+
+    /// The held-out test set every [`Pipeline::evaluate_scorer`] call
+    /// decodes (fixed at build time, so eager and lazy pipelines built from
+    /// the same config score identical utterances).
+    pub fn test_set(&self) -> &[Utterance] {
+        &self.test_set
+    }
+
+    /// Size/perplexity accounting of the grammar prune, when
+    /// [`GraphConfig::grammar_prune`] was enabled.
+    pub fn grammar_prune_report(&self) -> Option<&GrammarPruneReport> {
+        self.grammar_prune.as_ref()
     }
 
     /// Decode the held-out set through `scorer` under the run's configured
@@ -437,6 +652,9 @@ impl Pipeline {
         let mut table_writes = 0u64;
         let mut arcs_per_frame: Vec<f64> = Vec::new();
         let mut frame_ns: Vec<f64> = Vec::new();
+        // Memo counters are cumulative over the graph's lifetime; this
+        // level's traffic is the before/after delta (zero for eager).
+        let memo_before = self.graph.memo_stats().unwrap_or_default();
         for utt in &self.test_set {
             let scores = scorer.score_frames(&utt.frames);
             confidence += scores.mean_confidence() as f64 * utt.frames.len() as f64;
@@ -468,6 +686,19 @@ impl Pipeline {
                 }
             }
         }
+        let memo = self.graph.memo_stats();
+        let memo_after = memo.unwrap_or_default();
+        if traced && memo.is_some() {
+            // Surface the lazy memo in the RunReport (ISSUE 8 satellite):
+            // counter deltas for this level plus the live resident gauge.
+            trace::counter("wfst.memo.hits", memo_after.hits - memo_before.hits);
+            trace::counter("wfst.memo.misses", memo_after.misses - memo_before.misses);
+            trace::counter(
+                "wfst.memo.evictions",
+                memo_after.evictions - memo_before.evictions,
+            );
+            trace::gauge("wfst.memo.resident_states", memo_after.resident as f64);
+        }
         let utts = self.test_set.len() as f64;
         let pct = trace::exact_percentile;
         Ok(LevelReport {
@@ -491,6 +722,10 @@ impl Pipeline {
             mean_table_occupancy: occupancy as f64 / frames as f64,
             table_reads,
             table_writes,
+            memo_hits: memo_after.hits - memo_before.hits,
+            memo_misses: memo_after.misses - memo_before.misses,
+            memo_evictions: memo_after.evictions - memo_before.evictions,
+            memo_peak_resident: memo_after.peak_resident,
         })
     }
 
@@ -570,6 +805,7 @@ impl Pipeline {
             levels,
             train_frames: self.train_frames,
             test_frames: self.test_set.iter().map(|u| u.frames.len()).sum(),
+            graph_kind: self.graph.kind().label().to_string(),
             graph_states: self.graph.num_states(),
             graph_arcs: self.graph.num_arcs(),
             model_params: self.model.num_params(),

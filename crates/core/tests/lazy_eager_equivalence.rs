@@ -1,0 +1,137 @@
+//! ISSUE 8 satellite: a lazily-composed decoding graph is **bit-for-bit**
+//! interchangeable with the eager build — same words, same f32 cost bits,
+//! same per-frame effort stats — for all three pruning policies, at two
+//! independent corpus seeds, and regardless of the memo budget. The hard
+//! case is a cache small enough to evict mid-utterance: re-expansion must
+//! reproduce the exact arc slices the first expansion produced, or the
+//! search diverges.
+//!
+//! This is the end-to-end twin of `darkside-wfst`'s structural
+//! `lazy_is_byte_identical_to_eager_compose_trim`: that test pins the
+//! *graphs* equal, this one pins the *decodes* equal through the whole
+//! pipeline (corpus → model → costs → policy search).
+
+use darkside_core::decoder::{acoustic_costs, decode_with_policy, DecodeResult};
+use darkside_core::nn::FrameScorer;
+use darkside_core::viterbi_accel::{NBestTableConfig, UnfoldHashConfig};
+use darkside_core::wfst::{GraphKind, GraphSource};
+use darkside_core::{Pipeline, PipelineConfig, PolicyKind};
+
+/// Smoke-sized pipeline at `seed` — untrained (the model's weights are
+/// seeded and deterministic, and decode equivalence does not care about
+/// model quality, only that both sides score identical costs).
+fn base_config(seed: u64) -> PipelineConfig {
+    let mut config = PipelineConfig::smoke().with_training(0, 0).with_seed(seed);
+    config.corpus.seed = seed ^ 0x00C0_FFEE;
+    config
+}
+
+fn policies() -> [PolicyKind; 3] {
+    [
+        PolicyKind::Beam,
+        PolicyKind::UnfoldHash(UnfoldHashConfig {
+            entries: 8,
+            backup_capacity: 4,
+        }),
+        PolicyKind::LooseNBest(NBestTableConfig {
+            entries: 16,
+            ways: 4,
+        }),
+    ]
+}
+
+/// Every decode output, bitwise (`frame_ns` excluded: wall-clock timing,
+/// populated only under a trace recorder).
+fn assert_bit_identical(lazy: &DecodeResult, eager: &DecodeResult, what: &str) {
+    assert_eq!(lazy.words, eager.words, "{what}: words");
+    assert_eq!(
+        lazy.cost.to_bits(),
+        eager.cost.to_bits(),
+        "{what}: cost bits ({} vs {})",
+        lazy.cost,
+        eager.cost
+    );
+    assert_eq!(lazy.reached_final, eager.reached_final, "{what}: final");
+    let l = &lazy.stats;
+    let e = &eager.stats;
+    assert_eq!(l.active_tokens, e.active_tokens, "{what}: active_tokens");
+    assert_eq!(l.arcs_expanded, e.arcs_expanded, "{what}: arcs_expanded");
+    assert_eq!(
+        l.best_cost.iter().map(|c| c.to_bits()).collect::<Vec<_>>(),
+        e.best_cost.iter().map(|c| c.to_bits()).collect::<Vec<_>>(),
+        "{what}: best_cost bits"
+    );
+    assert_eq!(l.table_occupancy, e.table_occupancy, "{what}: occupancy");
+    assert_eq!(l.evictions, e.evictions, "{what}: evictions");
+    assert_eq!(l.overflows, e.overflows, "{what}: overflows");
+    assert_eq!(l.table_reads, e.table_reads, "{what}: table_reads");
+    assert_eq!(l.table_writes, e.table_writes, "{what}: table_writes");
+}
+
+fn equivalence_case(seed: u64, memo_states: usize, expect_evictions: bool) {
+    let eager = Pipeline::build(base_config(seed)).unwrap();
+    let lazy = Pipeline::build(base_config(seed).with_lazy_graph(memo_states)).unwrap();
+    assert_eq!(eager.graph.kind(), GraphKind::Eager);
+    assert_eq!(lazy.graph.kind(), GraphKind::Lazy);
+    // Same seed → same corpus, same model, and (the wfst-level guarantee)
+    // the same graph under two representations.
+    assert_eq!(eager.graph.num_states(), lazy.graph.num_states());
+    assert_eq!(eager.graph.num_arcs(), lazy.graph.num_arcs());
+    assert_eq!(eager.test_set().len(), lazy.test_set().len());
+
+    let beam = base_config(seed).beam;
+    for kind in policies() {
+        for (u, utt) in eager.test_set().iter().enumerate() {
+            let what = format!("seed {seed:#x} memo {memo_states} policy {} utt {u}", {
+                kind.label()
+            });
+            let costs = acoustic_costs(&eager.model.score_frames(&utt.frames), &beam);
+            let mut eager_policy = kind.build(&beam).unwrap();
+            let mut lazy_policy = kind.build(&beam).unwrap();
+            let via_eager = decode_with_policy(&eager.graph, &costs, eager_policy.as_mut());
+            let via_lazy = decode_with_policy(&lazy.graph, &costs, lazy_policy.as_mut());
+            match (via_lazy, via_eager) {
+                (Ok(l), Ok(e)) => assert_bit_identical(&l, &e, &what),
+                (Err(_), Err(_)) => {}
+                (l, e) => panic!("{what}: lazy ok={} vs eager ok={}", l.is_ok(), e.is_ok()),
+            }
+        }
+    }
+
+    let memo = lazy.graph.memo_stats().expect("lazy graph exposes stats");
+    assert!(memo.misses > 0, "decode never expanded a state lazily");
+    assert!(
+        memo.resident <= memo.capacity && memo.peak_resident <= memo.capacity,
+        "memo exceeded its budget: {memo:?}"
+    );
+    if expect_evictions {
+        assert!(
+            memo.evictions > 0,
+            "memo of {memo_states} states never evicted — the hard \
+             re-expansion path went untested: {memo:?}"
+        );
+    }
+}
+
+#[test]
+fn lazy_decodes_match_eager_bit_for_bit_seed_a() {
+    // Memo far larger than the graph: every state expands exactly once.
+    equivalence_case(0x1A2B_0001, 1 << 20, false);
+}
+
+#[test]
+fn lazy_decodes_match_eager_bit_for_bit_seed_b() {
+    equivalence_case(0x1A2B_0002, 1 << 20, false);
+}
+
+#[test]
+fn lazy_decodes_survive_mid_utterance_evictions_seed_a() {
+    // A deliberately cramped memo: states are evicted and re-expanded
+    // while the token set still references them.
+    equivalence_case(0x1A2B_0001, 8, true);
+}
+
+#[test]
+fn lazy_decodes_survive_mid_utterance_evictions_seed_b() {
+    equivalence_case(0x1A2B_0002, 8, true);
+}

@@ -24,8 +24,7 @@ use crate::{BeamConfig, PROB_FLOOR};
 use darkside_error::Error;
 use darkside_nn::Matrix;
 use darkside_trace as trace;
-use darkside_wfst::{label_class, Fst, EPSILON};
-use std::borrow::Borrow;
+use darkside_wfst::{label_class, Arc as FstArc, GraphSource, EPSILON};
 use std::collections::HashMap;
 
 /// Per-frame search effort and quality traces (the paper's Fig. 4 inputs),
@@ -117,10 +116,15 @@ struct Candidate {
 /// [`SearchCore::advance`], so beam, UNFOLD-style hash, and the paper's
 /// loose N-best are drop-in swaps over the identical recursion.
 ///
-/// The core is generic over how it holds the graph (`G: Borrow<Fst>`,
-/// ISSUE 5): the one-shot entry points instantiate `SearchCore<&Fst>`,
-/// while a long-lived streaming session owns its graph as
-/// `SearchCore<Arc<Fst>>` — same recursion, bit for bit, so incremental
+/// The core is generic over the graph *expansion source* (`G:
+/// GraphSource`, ISSUE 8, generalizing the ISSUE 5 `Borrow<Fst>` bound):
+/// the one-shot entry points instantiate `SearchCore<&Fst>` (fully
+/// monomorphized — the pre-ISSUE-8 hot loop, bit for bit), a long-lived
+/// streaming session owns a type-erased
+/// `SearchCore<darkside_wfst::SharedGraph>`, and a lazily-composed
+/// [`darkside_wfst::LazyComposeFst`] drops in with identical results
+/// because its state numbering and arc order match the eager graph by
+/// construction. Same recursion everywhere, so incremental
 /// [`SearchCore::advance`] calls across serving micro-batch boundaries
 /// decode exactly like a one-shot [`decode_with_policy`].
 ///
@@ -128,13 +132,17 @@ struct Candidate {
 /// core's token set equals the set of states the policy's storage holds
 /// (minus any tokens the end-of-frame cutoff removed) — `Accept` upserts,
 /// `Replace` forgets the evicted state, `Reject` leaves the map untouched.
-pub struct SearchCore<G: Borrow<Fst>> {
+pub struct SearchCore<G: GraphSource> {
     graph: G,
     arena: Vec<WordLink>,
     /// Active tokens, sorted by state id (deterministic expansion order).
     tokens: Vec<(u32, Token)>,
     /// Scratch merge map for the frame under construction (reused).
     next: HashMap<u32, Candidate>,
+    /// Arc buffer loaned to [`GraphSource::expand`] each step (reused;
+    /// untouched by eager graphs, filled by lazy ones). Transient — not
+    /// part of [`SearchCore::save_state`].
+    scratch: Vec<FstArc>,
     stats: DecodeStats,
     frame: usize,
 }
@@ -153,16 +161,15 @@ pub struct PartialHypothesis {
     pub frames: usize,
 }
 
-impl<G: Borrow<Fst>> SearchCore<G> {
+impl<G: GraphSource> SearchCore<G> {
     /// Seed the search at the graph's start state. Fails on a missing start
     /// state or a graph with input epsilons (the frame-synchronous recursion
     /// needs exactly one consumed frame per arc).
     pub fn new(graph: G) -> Result<Self, Error> {
         let start = graph
-            .borrow()
             .start()
             .ok_or_else(|| Error::graph("decode", "graph has no start state".to_string()))?;
-        if !graph.borrow().is_input_eps_free() {
+        if !graph.is_input_eps_free() {
             return Err(Error::graph(
                 "decode",
                 "graph has input epsilons; decode needs one frame per arc".to_string(),
@@ -179,6 +186,7 @@ impl<G: Borrow<Fst>> SearchCore<G> {
                 },
             )],
             next: HashMap::new(),
+            scratch: Vec::new(),
             stats: DecodeStats::default(),
             frame: 0,
         })
@@ -194,10 +202,11 @@ impl<G: Borrow<Fst>> SearchCore<G> {
         let t0 = if traced { trace::now_ns() } else { 0 };
         let mut expanded = 0usize;
         self.next.clear();
-        let graph = self.graph.borrow();
+        let graph = &self.graph;
         let next = &mut self.next;
+        let scratch = &mut self.scratch;
         for &(state, token) in &self.tokens {
-            for arc in graph.arcs(state) {
+            for arc in graph.expand(state, &mut *scratch) {
                 expanded += 1;
                 let cost = token.cost + arc.weight.0 + frame[label_class(arc.ilabel)];
                 match policy.admit(arc.next, cost) {
@@ -306,7 +315,7 @@ impl<G: Borrow<Fst>> SearchCore<G> {
     /// preferring finishers (shared by [`SearchCore::partial`] and
     /// [`SearchCore::finish`]).
     fn best_token(&self) -> (f32, u32, bool) {
-        let graph = self.graph.borrow();
+        let graph = &self.graph;
         let finisher = self
             .tokens
             .iter()
@@ -395,7 +404,7 @@ impl<G: Borrow<Fst>> SearchCore<G> {
         if num_tokens == 0 && core.frame > 0 {
             return Err(bad("empty token set mid-utterance".into()));
         }
-        let num_states = core.graph.borrow().num_states() as u32;
+        let num_states = core.graph.num_states() as u32;
         core.tokens = Vec::with_capacity(num_tokens);
         let mut prev_state = None;
         for _ in 0..num_tokens {
@@ -463,9 +472,10 @@ fn upsert(next: &mut HashMap<u32, Candidate>, state: u32, cost: f32, parent: u32
 }
 
 /// Decode one utterance's acoustic-cost matrix (`frames × classes`, from
-/// [`crate::acoustic_costs`]) under any pruning policy.
-pub fn decode_with_policy(
-    graph: &Fst,
+/// [`crate::acoustic_costs`]) under any pruning policy, over any graph
+/// source (eager `&Fst`, a shared handle, or a lazy composition).
+pub fn decode_with_policy<G: GraphSource>(
+    graph: G,
     costs: &Matrix,
     policy: &mut dyn PruningPolicy,
 ) -> Result<DecodeResult, Error> {
@@ -492,7 +502,11 @@ pub fn decode_with_policy(
 
 /// Decode under the classic beam policy (the [`BeamConfig`] entry point
 /// every pre-ISSUE-3 call site uses).
-pub fn decode(graph: &Fst, costs: &Matrix, config: &BeamConfig) -> Result<DecodeResult, Error> {
+pub fn decode<G: GraphSource>(
+    graph: G,
+    costs: &Matrix,
+    config: &BeamConfig,
+) -> Result<DecodeResult, Error> {
     let mut policy = BeamPolicy::new(config.beam);
     decode_with_policy(graph, costs, &mut policy)
 }
@@ -506,7 +520,7 @@ pub fn max_frame_cost(config: &BeamConfig) -> f32 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use darkside_wfst::{Arc, TropicalWeight};
+    use darkside_wfst::{Arc, Fst, TropicalWeight};
 
     /// Two-state graph: class 0 or class 1 per frame, both looping; class 1
     /// arcs emit word 5 and lead to the only final state.

@@ -22,10 +22,15 @@ use crate::session::SessionId;
 use darkside_decoder::wire;
 use darkside_error::Error;
 use darkside_nn::Frame;
+use darkside_wfst::GraphKind;
 
 /// `"DSCK"` — darkside checkpoint.
 const MAGIC: u32 = u32::from_le_bytes(*b"DSCK");
-const VERSION: u32 = 1;
+/// v2 (ISSUE 8): a graph-kind tag follows the session id, so a blob saved
+/// against a lazy graph is never restored into an engine serving an eager
+/// one (or vice versa). v1 blobs predate the field and are rejected —
+/// checkpoints are short-lived migration artifacts, not archives.
+const VERSION: u32 = 2;
 
 /// A serialized mid-utterance session (see module docs). Obtain one from
 /// [`crate::ShardedScheduler::checkpoint`] (or [`crate::Session::checkpoint`]
@@ -34,6 +39,8 @@ const VERSION: u32 = 1;
 #[derive(Clone, Debug)]
 pub struct SessionCheckpoint {
     pub(crate) id: SessionId,
+    /// Which graph representation the session was decoding against.
+    pub(crate) graph_kind: GraphKind,
     pub(crate) degraded: bool,
     pub(crate) input_closed: bool,
     pub(crate) frames_in: usize,
@@ -55,6 +62,12 @@ impl SessionCheckpoint {
         self.degraded
     }
 
+    /// Which graph representation (eager / lazy) the session was decoding
+    /// against; restore requires the target engine's bundle to match.
+    pub fn graph_kind(&self) -> GraphKind {
+        self.graph_kind
+    }
+
     /// Un-scored frames the checkpoint carries — the queue budget a
     /// restore must re-reserve.
     pub fn pending_frames(&self) -> usize {
@@ -67,6 +80,7 @@ impl SessionCheckpoint {
         wire::put_u32(&mut out, MAGIC);
         wire::put_u32(&mut out, VERSION);
         wire::put_u64(&mut out, self.id.0);
+        wire::put_u32(&mut out, self.graph_kind.tag());
         wire::put_bool(&mut out, self.degraded);
         wire::put_bool(&mut out, self.input_closed);
         wire::put_usize(&mut out, self.frames_in);
@@ -103,6 +117,7 @@ impl SessionCheckpoint {
             ));
         }
         let id = SessionId(r.u64()?);
+        let graph_kind = GraphKind::from_tag(r.u32()?)?;
         let degraded = r.bool()?;
         let input_closed = r.bool()?;
         let frames_in = r.usize()?;
@@ -122,6 +137,7 @@ impl SessionCheckpoint {
         r.finish("SessionCheckpoint")?;
         Ok(Self {
             id,
+            graph_kind,
             degraded,
             input_closed,
             frames_in,
@@ -140,6 +156,7 @@ mod tests {
     fn sample() -> SessionCheckpoint {
         SessionCheckpoint {
             id: SessionId(42),
+            graph_kind: GraphKind::Lazy,
             degraded: true,
             input_closed: false,
             frames_in: 9,
@@ -156,6 +173,7 @@ mod tests {
         let bytes = ck.to_bytes();
         let back = SessionCheckpoint::from_bytes(&bytes).unwrap();
         assert_eq!(back.id, ck.id);
+        assert_eq!(back.graph_kind, GraphKind::Lazy);
         assert_eq!(back.degraded, ck.degraded);
         assert_eq!(back.input_closed, ck.input_closed);
         assert_eq!(back.frames_in, ck.frames_in);
@@ -182,6 +200,10 @@ mod tests {
         // Unknown version.
         let mut bad = bytes.clone();
         bad[4] = 99;
+        assert!(SessionCheckpoint::from_bytes(&bad).is_err());
+        // Unknown graph-kind tag (magic + version + id put it at 16..20).
+        let mut bad = bytes.clone();
+        bad[16..20].copy_from_slice(&99u32.to_le_bytes());
         assert!(SessionCheckpoint::from_bytes(&bad).is_err());
         // Every truncation fails, none panic.
         for cut in 0..bytes.len() {

@@ -15,9 +15,8 @@ use crate::checkpoint::SessionCheckpoint;
 use darkside_decoder::{wire, DecodeResult, Error, PartialHypothesis, PruningPolicy, SearchCore};
 use darkside_nn::{Frame, Matrix};
 use darkside_trace as trace;
-use darkside_wfst::Fst;
+use darkside_wfst::{GraphKind, SharedGraph};
 use std::collections::VecDeque;
-use std::sync::Arc;
 
 /// Engine-assigned session identity (monotonic per scheduler).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -52,7 +51,10 @@ pub struct ServedResult {
 /// frame-synchronous decoder.
 pub struct Session {
     id: SessionId,
-    core: SearchCore<Arc<Fst>>,
+    core: SearchCore<SharedGraph>,
+    /// Which representation the shared graph is (stamped into
+    /// checkpoints; restore refuses a mismatched engine).
+    graph_kind: GraphKind,
     policy: Box<dyn PruningPolicy + Send>,
     pending: VecDeque<Frame>,
     input_closed: bool,
@@ -66,13 +68,15 @@ pub struct Session {
 impl Session {
     pub fn new(
         id: SessionId,
-        graph: Arc<Fst>,
+        graph: SharedGraph,
+        graph_kind: GraphKind,
         policy: Box<dyn PruningPolicy + Send>,
         degraded: bool,
     ) -> Result<Self, Error> {
         Ok(Self {
             id,
             core: SearchCore::new(graph)?,
+            graph_kind,
             policy,
             pending: VecDeque::new(),
             input_closed: false,
@@ -183,6 +187,7 @@ impl Session {
         self.policy.save_state(&mut policy);
         Ok(SessionCheckpoint {
             id: self.id,
+            graph_kind: self.graph_kind,
             degraded: self.degraded,
             input_closed: self.input_closed,
             frames_in: self.frames_in,
@@ -197,13 +202,27 @@ impl Session {
     /// engine serving the same bundle. `policy` must be a **fresh** policy
     /// of the same kind and geometry the session was opened with (the
     /// caller picks full vs degraded via [`SessionCheckpoint::degraded`]);
-    /// its cumulative accounting is restored from the blob. The restored
-    /// session finishes bit-for-bit as the original would have.
+    /// its cumulative accounting is restored from the blob. `graph_kind`
+    /// is the target engine's representation — it must match the kind the
+    /// checkpoint was taken against (mid-utterance token state indexes
+    /// that graph's state space). The restored session finishes
+    /// bit-for-bit as the original would have.
     pub fn restore(
         ckpt: &SessionCheckpoint,
-        graph: Arc<Fst>,
+        graph: SharedGraph,
+        graph_kind: GraphKind,
         mut policy: Box<dyn PruningPolicy + Send>,
     ) -> Result<Self, Error> {
+        if ckpt.graph_kind != graph_kind {
+            return Err(Error::config(
+                "Session::restore",
+                format!(
+                    "checkpoint was taken against a {} graph but this engine serves a {} one",
+                    ckpt.graph_kind.label(),
+                    graph_kind.label()
+                ),
+            ));
+        }
         let mut r = wire::Reader::new(&ckpt.core);
         let core = SearchCore::restore(graph, &mut r)?;
         r.finish("Session::restore.core")?;
@@ -213,6 +232,7 @@ impl Session {
         Ok(Self {
             id: ckpt.id,
             core,
+            graph_kind,
             policy,
             pending: ckpt.pending.iter().cloned().collect(),
             input_closed: ckpt.input_closed,
@@ -246,7 +266,8 @@ impl Session {
 mod tests {
     use super::*;
     use darkside_decoder::{decode, BeamConfig, BeamPolicy};
-    use darkside_wfst::{Arc as FstArc, TropicalWeight, EPSILON};
+    use darkside_wfst::{Arc as FstArc, Fst, TropicalWeight, EPSILON};
+    use std::sync::Arc;
 
     /// The decoder's toy shape: two states, class 0 loops, class 1 emits
     /// word 5 into the final state.
@@ -281,10 +302,11 @@ mod tests {
         g
     }
 
-    fn beam_session(graph: &Arc<Fst>) -> Session {
+    fn beam_session(graph: &SharedGraph) -> Session {
         Session::new(
             SessionId(7),
             graph.clone(),
+            GraphKind::Eager,
             Box::new(BeamPolicy::new(BeamConfig::default().beam)),
             false,
         )
@@ -293,7 +315,7 @@ mod tests {
 
     #[test]
     fn incremental_session_matches_oneshot_decode() {
-        let graph = Arc::new(toy_graph());
+        let graph: SharedGraph = Arc::new(toy_graph());
         let costs = Matrix::new(
             3,
             2,
@@ -328,7 +350,7 @@ mod tests {
 
     #[test]
     fn zero_frame_session_finalizes_to_the_empty_path() {
-        let graph = Arc::new(toy_graph());
+        let graph: SharedGraph = Arc::new(toy_graph());
         let mut s = beam_session(&graph);
         s.close_input();
         assert!(s.is_done());
@@ -352,8 +374,15 @@ mod tests {
                 darkside_decoder::FramePruneStats::default()
             }
         }
-        let graph = Arc::new(toy_graph());
-        let mut s = Session::new(SessionId(1), graph, Box::new(RejectAll), false).unwrap();
+        let graph: SharedGraph = Arc::new(toy_graph());
+        let mut s = Session::new(
+            SessionId(1),
+            graph,
+            GraphKind::Eager,
+            Box::new(RejectAll),
+            false,
+        )
+        .unwrap();
         let costs = Matrix::new(2, 2, vec![0.1, 0.1, 0.1, 0.1]).unwrap();
         s.push((0..2).map(|t| Frame(costs.row(t).to_vec())));
         s.close_input();
@@ -366,7 +395,7 @@ mod tests {
 
     #[test]
     fn checkpoint_mid_utterance_resumes_bit_identical() {
-        let graph = Arc::new(toy_graph());
+        let graph: SharedGraph = Arc::new(toy_graph());
         let costs = Matrix::new(
             3,
             2,
@@ -395,9 +424,19 @@ mod tests {
         drop(s);
         let ckpt = SessionCheckpoint::from_bytes(&blob).unwrap();
         assert_eq!(ckpt.pending_frames(), 2);
+        assert_eq!(ckpt.graph_kind(), GraphKind::Eager);
+        // Restoring into an engine serving the other graph kind is refused.
+        assert!(Session::restore(
+            &ckpt,
+            graph.clone(),
+            GraphKind::Lazy,
+            Box::new(BeamPolicy::new(BeamConfig::default().beam)),
+        )
+        .is_err());
         let mut resumed = Session::restore(
             &ckpt,
             graph.clone(),
+            GraphKind::Eager,
             Box::new(BeamPolicy::new(BeamConfig::default().beam)),
         )
         .unwrap();
@@ -426,8 +465,15 @@ mod tests {
                 darkside_decoder::FramePruneStats::default()
             }
         }
-        let graph = Arc::new(toy_graph());
-        let mut s = Session::new(SessionId(1), graph, Box::new(RejectAll), false).unwrap();
+        let graph: SharedGraph = Arc::new(toy_graph());
+        let mut s = Session::new(
+            SessionId(1),
+            graph,
+            GraphKind::Eager,
+            Box::new(RejectAll),
+            false,
+        )
+        .unwrap();
         let costs = Matrix::new(1, 2, vec![0.1, 0.1]).unwrap();
         s.push(std::iter::once(Frame(costs.row(0).to_vec())));
         let _ = s.take_ready(1);
@@ -437,7 +483,7 @@ mod tests {
 
     #[test]
     fn pushes_after_close_are_ignored() {
-        let graph = Arc::new(toy_graph());
+        let graph: SharedGraph = Arc::new(toy_graph());
         let mut s = beam_session(&graph);
         s.close_input();
         s.push(std::iter::once(Frame(vec![0.0, 0.0])));

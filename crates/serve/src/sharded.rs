@@ -188,8 +188,13 @@ impl ShardedScheduler {
                     &self.bundle
                 };
                 let id = SessionId(self.next_id);
-                let session =
-                    Session::new(id, bundle.graph.clone(), bundle.build_policy()?, degraded)?;
+                let session = Session::new(
+                    id,
+                    bundle.graph.clone(),
+                    bundle.graph_kind,
+                    bundle.build_policy()?,
+                    degraded,
+                )?;
                 self.next_id += 1;
                 let home = self.home(id);
                 self.shards[home].adopt(session);
@@ -361,7 +366,12 @@ impl ShardedScheduler {
         } else {
             &self.bundle
         };
-        let session = Session::restore(ckpt, bundle.graph.clone(), bundle.build_policy()?)?;
+        let session = Session::restore(
+            ckpt,
+            bundle.graph.clone(),
+            bundle.graph_kind,
+            bundle.build_policy()?,
+        )?;
         if let Err(e) = self.admission.readmit(ckpt.pending_frames()) {
             return Err(self.count_rejection(e));
         }

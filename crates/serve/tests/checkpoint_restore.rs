@@ -12,10 +12,12 @@ mod common;
 use common::{
     assert_bit_identical, policies, random_costs, random_graph, random_mlp, random_utterance,
 };
+use darkside_core::{Pipeline, PipelineConfig, ServableSpec};
 use darkside_decoder::{acoustic_costs, decode_with_policy, BeamConfig};
 use darkside_nn::check::run_cases;
 use darkside_nn::{Frame, FrameScorer};
 use darkside_serve::{ServeConfig, Session, SessionCheckpoint, SessionId, ShardedScheduler};
+use darkside_wfst::GraphKind;
 use std::sync::Arc;
 
 /// Session-level property: push everything, score a random prefix,
@@ -41,6 +43,7 @@ fn checkpoint_boundary_case(seed: u64) {
             let mut session = Session::new(
                 SessionId(7),
                 graph.clone(),
+                GraphKind::Eager,
                 kind.build(&beam).unwrap(),
                 false,
             )
@@ -62,9 +65,13 @@ fn checkpoint_boundary_case(seed: u64) {
             // Through bytes, like a real migration would move it.
             let restored_ckpt = SessionCheckpoint::from_bytes(&ckpt.to_bytes()).unwrap();
             assert_eq!(restored_ckpt.pending_frames(), costs.rows() - cut, "{what}");
-            let mut restored =
-                Session::restore(&restored_ckpt, graph.clone(), kind.build(&beam).unwrap())
-                    .unwrap();
+            let mut restored = Session::restore(
+                &restored_ckpt,
+                graph.clone(),
+                GraphKind::Eager,
+                kind.build(&beam).unwrap(),
+            )
+            .unwrap();
             let rest = restored.ready();
             assert_eq!(rest, costs.rows() - cut, "{what}: pending after restore");
             restored.take_ready(rest);
@@ -188,6 +195,75 @@ fn checkpoint_migrates_between_engines_with_different_shard_counts() {
             }
         }
     });
+}
+
+/// ISSUE 8 satellite: a session decoding against a **lazy** composed
+/// graph checkpoints mid-utterance, migrates as bytes into a fresh engine
+/// serving the same lazy bundle, and finishes bit-for-bit identical to
+/// the one-shot decode against that graph. An engine serving the *eager*
+/// build of the same pipeline refuses the blob — the graph kind rides the
+/// wire format (checkpoint v2), so mid-utterance token state can never be
+/// replayed against the wrong representation.
+#[test]
+fn lazy_graph_sessions_migrate_and_reject_kind_mismatch() {
+    let lazy = Pipeline::build(
+        PipelineConfig::smoke()
+            .with_training(0, 0)
+            .with_lazy_graph(64),
+    )
+    .unwrap();
+    let bundle = lazy.servable(ServableSpec::dense()).unwrap();
+    assert_eq!(bundle.graph_kind, GraphKind::Lazy);
+    let frames = lazy.test_set()[0].frames.clone();
+    assert!(frames.len() >= 2, "need a mid-utterance boundary");
+
+    let mut engine_a = ShardedScheduler::build(
+        bundle.clone(),
+        ServeConfig::default()
+            .with_shards(2)
+            .with_max_batch_frames(1)
+            .with_degrade_fraction(1.0),
+    )
+    .unwrap();
+    let target = engine_a.offer(frames.clone()).unwrap().id();
+    engine_a.step().unwrap();
+    let blob = engine_a.checkpoint(target).unwrap().to_bytes();
+    let ckpt = SessionCheckpoint::from_bytes(&blob).unwrap();
+    assert_eq!(ckpt.graph_kind(), GraphKind::Lazy);
+    assert!(
+        ckpt.pending_frames() > 0,
+        "checkpoint must be mid-utterance"
+    );
+
+    // Same pipeline configuration, eager graph: the blob is refused.
+    let eager = Pipeline::build(PipelineConfig::smoke().with_training(0, 0)).unwrap();
+    let eager_bundle = eager.servable(ServableSpec::dense()).unwrap();
+    assert_eq!(eager_bundle.graph_kind, GraphKind::Eager);
+    let mut engine_wrong = ShardedScheduler::build(
+        eager_bundle,
+        ServeConfig::default().with_degrade_fraction(1.0),
+    )
+    .unwrap();
+    assert!(engine_wrong.restore(&ckpt).is_err());
+
+    // A fresh lazy engine finishes the migrated session bit-for-bit.
+    let mut engine_b = ShardedScheduler::build(
+        bundle.clone(),
+        ServeConfig::default().with_degrade_fraction(1.0),
+    )
+    .unwrap();
+    assert_eq!(engine_b.restore(&ckpt).unwrap(), target);
+    let served = engine_b.drain().unwrap();
+    assert_eq!(served.len(), 1);
+    assert_eq!(served[0].id, target);
+    let costs = acoustic_costs(&bundle.scorer.score_frames(&frames), &bundle.beam);
+    let mut policy = bundle.build_policy().unwrap();
+    let oneshot = decode_with_policy(&bundle.graph, &costs, policy.as_mut()).unwrap();
+    assert_bit_identical(
+        served[0].decode.as_ref().unwrap(),
+        &oneshot,
+        "lazy migrated",
+    );
 }
 
 /// Drain-termination under stealing: every long utterance homes onto

@@ -7,7 +7,7 @@ use darkside_core::{ModelBundle, PolicyKind};
 use darkside_decoder::{BeamConfig, DecodeResult};
 use darkside_nn::{Frame, Matrix, Mlp, Rng};
 use darkside_viterbi_accel::{NBestTableConfig, UnfoldHashConfig};
-use darkside_wfst::{Arc as FstArc, Fst, TropicalWeight, EPSILON};
+use darkside_wfst::{Arc as FstArc, Fst, GraphKind, TropicalWeight, EPSILON};
 use std::sync::Arc;
 
 pub const NUM_CLASSES: usize = 5;
@@ -96,6 +96,7 @@ pub fn bundle_for(
 ) -> ModelBundle {
     ModelBundle {
         graph: graph.clone(),
+        graph_kind: GraphKind::Eager,
         scorer: mlp.clone(),
         beam,
         policy: kind,

@@ -27,7 +27,7 @@ use darkside_decoder::{acoustic_costs, decode_with_policy, BeamConfig, DecodeRes
 use darkside_nn::check::run_cases;
 use darkside_nn::{Frame, FrameScorer, Matrix};
 use darkside_serve::{ServeConfig, Session, SessionId, ShardedScheduler, SubmitResponse};
-use darkside_wfst::Fst;
+use darkside_wfst::{Fst, GraphKind};
 use std::sync::Arc;
 
 /// Stream `costs` through a session in random-sized chunks (scheduler
@@ -42,6 +42,7 @@ fn stream_decode(
     let mut session = Session::new(
         SessionId(0),
         graph.clone(),
+        GraphKind::Eager,
         kind.build(beam).unwrap(),
         false,
     )

@@ -15,6 +15,8 @@
 
 use crate::compose::compose;
 use crate::graph::{Arc, Fst, EPSILON};
+use crate::lazy::LazyComposeFst;
+use crate::source::GraphSource;
 use crate::TropicalWeight;
 use darkside_acoustic::{Bigram, Lexicon, PhonemeInventory};
 use darkside_error::Error;
@@ -222,6 +224,38 @@ pub fn build_decoding_graph(
     if !hlg.is_input_eps_free() {
         return Err(Error::graph(
             "build_decoding_graph",
+            "composed graph has input epsilons".to_string(),
+        ));
+    }
+    Ok(hlg)
+}
+
+/// Lazy counterpart of [`build_decoding_graph`]: L ∘ G is materialized
+/// eagerly (it is small — states scale with words, not with
+/// `words × phonemes × states`), but the outer H ∘ (L ∘ G) composition is
+/// deferred behind a [`LazyComposeFst`] whose memo holds at most
+/// `memo_states` expanded states. State numbering, arcs, and weights are
+/// bit-identical to the eager graph (see [`crate::lazy`]).
+pub fn build_lazy_decoding_graph(
+    inventory: &PhonemeInventory,
+    lexicon: &Lexicon,
+    grammar: &Bigram,
+    memo_states: usize,
+) -> Result<LazyComposeFst, Error> {
+    let g = build_g(grammar)?;
+    let l = build_l(lexicon)?;
+    let lg = compose(&l, &g)?;
+    let h = build_h(inventory);
+    let hlg = LazyComposeFst::new(h, lg, memo_states).map_err(|e| match e {
+        Error::Graph { detail, .. } if detail.contains("empty") => Error::graph(
+            "build_lazy_decoding_graph",
+            "composition is empty (lexicon/grammar mismatch)".to_string(),
+        ),
+        other => other,
+    })?;
+    if !hlg.is_input_eps_free() {
+        return Err(Error::graph(
+            "build_lazy_decoding_graph",
             "composed graph has input epsilons".to_string(),
         ));
     }

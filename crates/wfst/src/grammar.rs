@@ -1,0 +1,233 @@
+//! Entropy-based bigram pruning (ISSUE 8 tentpole, following the
+//! Seymore–Rosenfeld / Stolcke line of LM pruning that *Neural Language
+//! Model Pruning for ASR* builds on).
+//!
+//! At 10k words the bigram G contributes `num_words ×
+//! successors_per_word` arcs to L∘G, and through composition each
+//! grammar arc fans out across every homophone pronunciation — the
+//! grammar is the lever that sets decoding-graph size. [`prune_grammar`]
+//! drops the successor arcs whose removal costs the least modeling power,
+//! measured per arc by its weighted relative-entropy contribution
+//!
+//! ```text
+//! score(w → v) = p(w) · p(v | w) · ( ln p(v | w) − ln p_u(v) )
+//! ```
+//!
+//! where `p(w)` / `p_u(v)` come from the grammar's initial (unigram)
+//! distribution and `p(v | w)` is the successor probability renormalized
+//! by the continue mass `1 − end_prob` (so it is a proper conditional).
+//! An arc scoring below the threshold is deleted; a context always keeps
+//! at least its best-scoring successor so no word becomes a dead end.
+//! Kept arcs keep their original costs bit for bit — like Stolcke
+//! pruning, explicit estimates are preserved and only the *pruned* events
+//! fall back to a unigram-shaped backoff:
+//!
+//! ```text
+//! q(v | w) = p(v | w)                     v kept
+//!          = α(w) · p_u(v)                v pruned,
+//! ```
+//!
+//! with `α(w)` scaled so `q(· | w)` still sums to the continue mass. The
+//! report prices the damage as model perplexity before and after — the
+//! cross-entropy of the true bigram against `q`, exponentiated — which by
+//! Gibbs' inequality can only rise; the caller trades that rise against
+//! the arc count. WER impact is measured end-to-end by `exp_scale`.
+
+use darkside_acoustic::Bigram;
+use darkside_error::Error;
+
+/// Size/perplexity accounting for one [`prune_grammar`] call.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct GrammarPruneReport {
+    /// The threshold the arcs were scored against.
+    pub threshold: f64,
+    /// Successor arcs in the input grammar.
+    pub arcs_before: usize,
+    /// Successor arcs kept.
+    pub arcs_after: usize,
+    /// Perplexity of the unpruned bigram (per successor event,
+    /// conditioned on the utterance continuing).
+    pub ppl_before: f64,
+    /// Perplexity of the pruned-with-backoff model against the unpruned
+    /// bigram; `≥ ppl_before` whenever anything was pruned.
+    pub ppl_after: f64,
+}
+
+/// Entropy-prune `g`'s successor arcs at `threshold` (see module docs).
+/// A threshold `≤ 0` keeps everything (the no-op knob default); the
+/// initial distribution and end cost are never touched, so sampling
+/// remains exact and only the decoding graph shrinks.
+pub fn prune_grammar(g: &Bigram, threshold: f64) -> Result<(Bigram, GrammarPruneReport), Error> {
+    if !threshold.is_finite() {
+        return Err(Error::config(
+            "prune_grammar",
+            format!("threshold must be finite, got {threshold}"),
+        ));
+    }
+    let num_words = g.successors.len();
+    // Unigram probabilities from the initial distribution (mass 1 over
+    // every word, so p_u is defined for any successor).
+    let mut p_u = vec![0.0f64; num_words];
+    for &(w, cost) in &g.initial {
+        p_u[w as usize] = (-f64::from(cost)).exp();
+    }
+    // Continue mass: successor probs per context sum to 1 − end_prob.
+    let continue_mass: f64 = g
+        .successors
+        .iter()
+        .find(|succ| !succ.is_empty())
+        .map(|succ| succ.iter().map(|&(_, c)| (-f64::from(c)).exp()).sum())
+        .unwrap_or(1.0);
+
+    let arcs_before: usize = g.successors.iter().map(Vec::len).sum();
+    let mut pruned = Bigram {
+        initial: g.initial.clone(),
+        successors: Vec::with_capacity(num_words),
+        end_cost: g.end_cost,
+    };
+    let mut arcs_after = 0usize;
+    // Cross-entropies of the true conditional against itself (before) and
+    // against the pruned-with-backoff model (after), weighted by p(w).
+    let mut h_before = 0.0f64;
+    let mut h_after = 0.0f64;
+
+    for (w, succ) in g.successors.iter().enumerate() {
+        if succ.is_empty() {
+            pruned.successors.push(Vec::new());
+            continue;
+        }
+        // score and the conditional-given-continue probability per arc.
+        let scored: Vec<(f64, f64)> = succ
+            .iter()
+            .map(|&(v, cost)| {
+                let p_joint = (-f64::from(cost)).exp();
+                let p_cond = p_joint / continue_mass;
+                let score = p_u[w] * p_cond * (p_cond.ln() - p_u[v as usize].ln());
+                (score, p_cond)
+            })
+            .collect();
+        // Always keep the best-scoring successor: a context must not
+        // become a dead end in G (and hence in the decoding graph).
+        let best = scored
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1 .0.total_cmp(&b.1 .0))
+            .map(|(i, _)| i)
+            .unwrap();
+        let keep: Vec<bool> = scored
+            .iter()
+            .enumerate()
+            .map(|(i, &(score, _))| threshold <= 0.0 || score >= threshold || i == best)
+            .collect();
+
+        // Backoff scale over the pruned successors: q(v|w) = α · p_u(v)
+        // with α chosen so the pruned slots absorb exactly the pruned
+        // conditional mass (q stays a proper distribution).
+        let pruned_mass: f64 = scored
+            .iter()
+            .zip(&keep)
+            .filter(|(_, &k)| !k)
+            .map(|(&(_, p_cond), _)| p_cond)
+            .sum();
+        let pruned_unigram: f64 = succ
+            .iter()
+            .zip(&keep)
+            .filter(|(_, &k)| !k)
+            .map(|(&(v, _), _)| p_u[v as usize])
+            .sum();
+        let alpha = if pruned_unigram > 0.0 {
+            pruned_mass / pruned_unigram
+        } else {
+            0.0
+        };
+
+        let mut kept_arcs = Vec::new();
+        for ((&(v, cost), &(_, p_cond)), &k) in succ.iter().zip(&scored).zip(&keep) {
+            h_before -= p_u[w] * p_cond * p_cond.ln();
+            let q = if k { p_cond } else { alpha * p_u[v as usize] };
+            h_after -= p_u[w] * p_cond * q.ln();
+            if k {
+                kept_arcs.push((v, cost));
+            }
+        }
+        arcs_after += kept_arcs.len();
+        pruned.successors.push(kept_arcs);
+    }
+
+    let report = GrammarPruneReport {
+        threshold,
+        arcs_before,
+        arcs_after,
+        ppl_before: h_before.exp(),
+        ppl_after: h_after.exp(),
+    };
+    Ok((pruned, report))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use darkside_acoustic::{Corpus, CorpusConfig};
+
+    fn grammar() -> Bigram {
+        Corpus::generate(CorpusConfig::default_scaled())
+            .unwrap()
+            .grammar
+    }
+
+    #[test]
+    fn zero_threshold_is_a_no_op() {
+        let g = grammar();
+        let (pruned, report) = prune_grammar(&g, 0.0).unwrap();
+        assert_eq!(report.arcs_before, report.arcs_after);
+        assert_eq!(pruned.successors, g.successors);
+        assert_eq!(pruned.initial, g.initial);
+        assert!((report.ppl_before - report.ppl_after).abs() < 1e-9);
+        assert!(report.ppl_before > 1.0);
+    }
+
+    #[test]
+    fn pruning_shrinks_arcs_and_raises_perplexity() {
+        let g = grammar();
+        let (pruned, report) = prune_grammar(&g, 5e-4).unwrap();
+        assert!(report.arcs_after < report.arcs_before, "{report:?}");
+        assert!(
+            report.ppl_after > report.ppl_before,
+            "Gibbs: cross-entropy must exceed entropy once arcs drop ({report:?})"
+        );
+        // Harder pruning ⇒ fewer arcs, worse perplexity (monotone knob).
+        let (_, harder) = prune_grammar(&g, 7.5e-4).unwrap();
+        assert!(harder.arcs_after <= report.arcs_after);
+        assert!(harder.ppl_after >= report.ppl_after);
+        // Kept arcs are bit-identical to the originals; sampling surfaces
+        // (initial, end cost) are untouched.
+        assert_eq!(pruned.end_cost.to_bits(), g.end_cost.to_bits());
+        assert_eq!(pruned.initial, g.initial);
+        for (kept, orig) in pruned.successors.iter().zip(&g.successors) {
+            for arc in kept {
+                assert!(orig.iter().any(|o| o == arc));
+            }
+        }
+    }
+
+    #[test]
+    fn every_context_keeps_at_least_one_successor() {
+        let g = grammar();
+        // Absurd threshold: everything scores below it.
+        let (pruned, report) = prune_grammar(&g, 1e9).unwrap();
+        assert_eq!(report.arcs_after, g.successors.len());
+        for succ in &pruned.successors {
+            assert_eq!(succ.len(), 1);
+        }
+    }
+
+    #[test]
+    fn non_finite_thresholds_are_rejected() {
+        let g = grammar();
+        assert!(prune_grammar(&g, f64::NAN).is_err());
+        assert!(prune_grammar(&g, f64::INFINITY).is_err());
+        // Negative is the documented "off" setting, not an error.
+        let (_, report) = prune_grammar(&g, -1.0).unwrap();
+        assert_eq!(report.arcs_before, report.arcs_after);
+    }
+}

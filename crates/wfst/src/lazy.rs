@@ -1,0 +1,607 @@
+//! [`LazyComposeFst`] — on-the-fly composition behind a bounded LRU memo
+//! (ISSUE 8 tentpole).
+//!
+//! The eager decoding graph materializes every arc of `H ∘ (L ∘ G)` up
+//! front; at 10k-word scale that is millions of arcs, nearly all of which
+//! a confident decode never touches. `LazyComposeFst` keeps the operands
+//! and recomputes a state's outgoing arcs only when the search first asks
+//! for them, holding recent expansions in an LRU memo whose capacity (in
+//! states) bounds resident graph memory no matter how large the
+//! composition is.
+//!
+//! ## Why the state table is still precomputed
+//!
+//! State *identity* cannot be lazy here. The hash policies key on state
+//! ids, serving checkpoints serialize token state ids, and the PR 3
+//! determinism guarantee promises lazy == eager **bit for bit** — so a
+//! state's id must not depend on the order a particular decode happened to
+//! discover it. Construction therefore replays exactly the eager pipeline
+//! ([`crate::compose`]'s BFS pair discovery, then [`Fst::trim`]'s
+//! ascending-id renumbering of coaccessible states) to fix the same
+//! numbering the eager graph would have, while storing only O(states):
+//! the pair table, the final weights, and a pair → id map. Arcs — the
+//! O(states × out-degree) bulk — are never stored; they are recomputed in
+//! the same order the eager composer emits them (A-alone moves, then
+//! matched moves in `b`-arc order, then B-alone moves, with trim's
+//! dead-target filter applied inline), so an expansion is byte-identical
+//! to the eager graph's adjacency list.
+//!
+//! This is the OpenFst/Kaldi lazy-decoding design point (a shared state
+//! table + a garbage-collected arc cache), specialized to the tropical
+//! semiring and this crate's filterless composition.
+//!
+//! Construction walks every arc twice (discovery + an exact-metadata pass
+//! that counts surviving arcs and pins `max_ilabel`/eps-freeness to the
+//! trimmed graph's exact values), so building lazy costs about as much
+//! *time* as building eager — what it saves is steady-state *memory*,
+//! which is the quantity the 10k-word acceptance gate measures.
+
+use crate::graph::{Arc as FstArc, Fst, EPSILON};
+use crate::source::{GraphSource, MemoStats};
+use crate::TropicalWeight;
+use darkside_error::Error;
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+const NONE: usize = usize::MAX;
+
+/// One resident memo entry: a state's expanded arcs plus its position in
+/// the intrusive LRU list (`prev` toward the front / more recent).
+struct MemoEntry {
+    state: u32,
+    arcs: Vec<FstArc>,
+    prev: usize,
+    next: usize,
+}
+
+/// Slab-backed LRU of expanded states, plus the cumulative counters
+/// [`MemoStats`] snapshots. Everything lives behind one mutex in
+/// [`LazyComposeFst`]; the lock is held only to look up or insert — never
+/// across the caller's arc iteration.
+struct Memo {
+    /// state → slot in `slots`.
+    map: HashMap<u32, usize>,
+    slots: Vec<MemoEntry>,
+    free: Vec<usize>,
+    /// Most-recently-used slot (`NONE` when empty).
+    head: usize,
+    /// Least-recently-used slot — the eviction victim.
+    tail: usize,
+    capacity: usize,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+    peak_resident: usize,
+}
+
+impl Memo {
+    fn new(capacity: usize) -> Self {
+        Self {
+            map: HashMap::new(),
+            slots: Vec::new(),
+            free: Vec::new(),
+            head: NONE,
+            tail: NONE,
+            capacity,
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+            peak_resident: 0,
+        }
+    }
+
+    fn unlink(&mut self, slot: usize) {
+        let (prev, next) = (self.slots[slot].prev, self.slots[slot].next);
+        match prev {
+            NONE => self.head = next,
+            p => self.slots[p].next = next,
+        }
+        match next {
+            NONE => self.tail = prev,
+            n => self.slots[n].prev = prev,
+        }
+    }
+
+    fn push_front(&mut self, slot: usize) {
+        self.slots[slot].prev = NONE;
+        self.slots[slot].next = self.head;
+        match self.head {
+            NONE => self.tail = slot,
+            h => self.slots[h].prev = slot,
+        }
+        self.head = slot;
+    }
+
+    /// Copy `state`'s cached arcs into `out` if resident (refreshing its
+    /// LRU position and counting the hit).
+    fn lookup_into(&mut self, state: u32, out: &mut Vec<FstArc>) -> bool {
+        let Some(&slot) = self.map.get(&state) else {
+            return false;
+        };
+        self.hits += 1;
+        if self.head != slot {
+            self.unlink(slot);
+            self.push_front(slot);
+        }
+        out.extend_from_slice(&self.slots[slot].arcs);
+        true
+    }
+
+    /// Admit a freshly-expanded state, evicting the LRU entry when full.
+    fn insert(&mut self, state: u32, arcs: Vec<FstArc>) {
+        self.misses += 1;
+        if self.map.len() >= self.capacity {
+            let victim = self.tail;
+            self.unlink(victim);
+            self.map.remove(&self.slots[victim].state);
+            self.slots[victim].arcs = Vec::new();
+            self.free.push(victim);
+            self.evictions += 1;
+        }
+        let slot = match self.free.pop() {
+            Some(slot) => {
+                self.slots[slot] = MemoEntry {
+                    state,
+                    arcs,
+                    prev: NONE,
+                    next: NONE,
+                };
+                slot
+            }
+            None => {
+                self.slots.push(MemoEntry {
+                    state,
+                    arcs,
+                    prev: NONE,
+                    next: NONE,
+                });
+                self.slots.len() - 1
+            }
+        };
+        self.map.insert(state, slot);
+        self.push_front(slot);
+        self.peak_resident = self.peak_resident.max(self.map.len());
+    }
+
+    fn stats(&self) -> MemoStats {
+        MemoStats {
+            hits: self.hits,
+            misses: self.misses,
+            evictions: self.evictions,
+            resident: self.map.len(),
+            peak_resident: self.peak_resident,
+            capacity: self.capacity,
+        }
+    }
+}
+
+/// `a ∘ b` composed on demand, state ids identical to
+/// `compose(&a, &b)?.trim()` by construction (see module docs). In the
+/// decoding pipeline `a` is H and `b` is L∘G.
+pub struct LazyComposeFst {
+    a: Fst,
+    b: Fst,
+    /// id → operand state pair, for the surviving (trimmed) states only.
+    pairs: Vec<(u32, u32)>,
+    /// Surviving pair → id: the inverse of `pairs`, consulted per produced
+    /// arc during expansion (trim's dead-target filter).
+    pair_id: HashMap<(u32, u32), u32>,
+    finals: Vec<TropicalWeight>,
+    start: u32,
+    /// Exact over the trimmed graph's arcs (pinned in the metadata pass).
+    max_ilabel: u32,
+    input_eps_free: bool,
+    num_arcs: usize,
+    memo: Mutex<Memo>,
+}
+
+impl std::fmt::Debug for LazyComposeFst {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LazyComposeFst")
+            .field("num_states", &self.pairs.len())
+            .field("num_arcs", &self.num_arcs)
+            .field("start", &self.start)
+            .field("memo", &self.memo.lock().unwrap().stats())
+            .finish()
+    }
+}
+
+impl LazyComposeFst {
+    /// Build the state table for `a ∘ b` (trimmed) and an empty memo
+    /// bounded at `memo_states` resident expansions. Errors if either
+    /// operand lacks a start state, if the trimmed composition is empty,
+    /// or if `memo_states` is zero.
+    pub fn new(a: Fst, b: Fst, memo_states: usize) -> Result<Self, Error> {
+        if memo_states == 0 {
+            return Err(Error::config(
+                "LazyComposeFst",
+                "memo capacity of zero states".to_string(),
+            ));
+        }
+        let (Some(a_start), Some(b_start)) = (a.start(), b.start()) else {
+            return Err(Error::graph(
+                "compose",
+                "operand has no start state".to_string(),
+            ));
+        };
+
+        // Pass 1 — replay the eager composer's BFS: discovery ids match
+        // `compose`'s output state ids exactly. Arcs are not kept; only
+        // the reverse edges coaccessibility needs (freed after this fn).
+        let mut disc_id: HashMap<(u32, u32), u32> = HashMap::new();
+        let mut queue: Vec<(u32, u32)> = Vec::new();
+        let mut finals_disc: Vec<TropicalWeight> = Vec::new();
+        let mut rev: Vec<Vec<u32>> = Vec::new();
+        disc_id.insert((a_start, b_start), 0);
+        queue.push((a_start, b_start));
+        finals_disc.push(TropicalWeight::ZERO);
+        rev.push(Vec::new());
+        let mut head = 0usize;
+        while head < queue.len() {
+            let (sa, sb) = queue[head];
+            let from = head as u32;
+            head += 1;
+            let fw = a.final_weight(sa).times(b.final_weight(sb));
+            if fw != TropicalWeight::ZERO {
+                finals_disc[from as usize] = fw;
+            }
+            let push = |disc_id: &mut HashMap<(u32, u32), u32>,
+                        queue: &mut Vec<(u32, u32)>,
+                        finals_disc: &mut Vec<TropicalWeight>,
+                        rev: &mut Vec<Vec<u32>>,
+                        pair: (u32, u32)|
+             -> u32 {
+                let next = *disc_id.entry(pair).or_insert_with(|| {
+                    queue.push(pair);
+                    finals_disc.push(TropicalWeight::ZERO);
+                    rev.push(Vec::new());
+                    (queue.len() - 1) as u32
+                });
+                rev[next as usize].push(from);
+                next
+            };
+            for arc_a in a.arcs(sa) {
+                if arc_a.olabel == EPSILON {
+                    push(
+                        &mut disc_id,
+                        &mut queue,
+                        &mut finals_disc,
+                        &mut rev,
+                        (arc_a.next, sb),
+                    );
+                    continue;
+                }
+                for arc_b in b.arcs(sb) {
+                    if arc_b.ilabel == arc_a.olabel {
+                        push(
+                            &mut disc_id,
+                            &mut queue,
+                            &mut finals_disc,
+                            &mut rev,
+                            (arc_a.next, arc_b.next),
+                        );
+                    }
+                }
+            }
+            for arc_b in b.arcs(sb) {
+                if arc_b.ilabel == EPSILON {
+                    push(
+                        &mut disc_id,
+                        &mut queue,
+                        &mut finals_disc,
+                        &mut rev,
+                        (sa, arc_b.next),
+                    );
+                }
+            }
+        }
+        drop(disc_id);
+
+        // Pass 2 — trim. Every discovered state is accessible (the BFS
+        // only ever reaches pairs from the start pair), so trim's filter
+        // reduces to coaccessibility; the ascending-discovery-id renumber
+        // below is exactly `Fst::trim`'s survivor numbering.
+        let n = queue.len();
+        let mut coaccessible = vec![false; n];
+        let mut stack: Vec<u32> = (0..n as u32)
+            .filter(|&s| finals_disc[s as usize] != TropicalWeight::ZERO)
+            .collect();
+        for &s in &stack {
+            coaccessible[s as usize] = true;
+        }
+        while let Some(s) = stack.pop() {
+            for &p in &rev[s as usize] {
+                if !coaccessible[p as usize] {
+                    coaccessible[p as usize] = true;
+                    stack.push(p);
+                }
+            }
+        }
+        drop(rev);
+        if !coaccessible[0] {
+            return Err(Error::graph(
+                "LazyComposeFst",
+                "composition is empty after trimming (no start-to-final path)".to_string(),
+            ));
+        }
+        let mut pairs: Vec<(u32, u32)> = Vec::new();
+        let mut finals: Vec<TropicalWeight> = Vec::new();
+        let mut pair_id: HashMap<(u32, u32), u32> = HashMap::new();
+        for s in 0..n {
+            if coaccessible[s] {
+                pair_id.insert(queue[s], pairs.len() as u32);
+                pairs.push(queue[s]);
+                finals.push(finals_disc[s]);
+            }
+        }
+        let start = pair_id[&queue[0]];
+
+        let mut lazy = Self {
+            a,
+            b,
+            pairs,
+            pair_id,
+            finals,
+            start,
+            max_ilabel: EPSILON,
+            input_eps_free: true,
+            num_arcs: 0,
+            memo: Mutex::new(Memo::new(memo_states)),
+        };
+
+        // Pass 3 — exact metadata over the *surviving* arcs, so
+        // `max_ilabel`/eps-freeness/`num_arcs` agree with the eager
+        // trimmed graph (trim recomputes them from the kept arcs too).
+        let mut scratch = Vec::new();
+        for id in 0..lazy.pairs.len() as u32 {
+            scratch.clear();
+            lazy.fill_arcs(id, &mut scratch);
+            lazy.num_arcs += scratch.len();
+            for arc in &scratch {
+                lazy.max_ilabel = lazy.max_ilabel.max(arc.ilabel);
+                lazy.input_eps_free &= arc.ilabel != EPSILON;
+            }
+        }
+        Ok(lazy)
+    }
+
+    /// Total arcs of the (trimmed) composition — counted at construction,
+    /// never materialized at once.
+    pub fn num_arcs(&self) -> usize {
+        self.num_arcs
+    }
+
+    /// Configured memo capacity, in states.
+    pub fn memo_capacity(&self) -> usize {
+        self.memo.lock().unwrap().capacity
+    }
+
+    /// Recompute `state`'s outgoing arcs in the eager graph's order:
+    /// A-alone, then matched (in `b`-arc order), then B-alone — each
+    /// filtered to surviving targets, exactly as trim rebuilds adjacency.
+    fn fill_arcs(&self, state: u32, out: &mut Vec<FstArc>) {
+        let (sa, sb) = self.pairs[state as usize];
+        for arc_a in self.a.arcs(sa) {
+            if arc_a.olabel == EPSILON {
+                if let Some(&next) = self.pair_id.get(&(arc_a.next, sb)) {
+                    out.push(FstArc {
+                        ilabel: arc_a.ilabel,
+                        olabel: EPSILON,
+                        weight: arc_a.weight,
+                        next,
+                    });
+                }
+                continue;
+            }
+            for arc_b in self.b.arcs(sb) {
+                if arc_b.ilabel == arc_a.olabel {
+                    if let Some(&next) = self.pair_id.get(&(arc_a.next, arc_b.next)) {
+                        out.push(FstArc {
+                            ilabel: arc_a.ilabel,
+                            olabel: arc_b.olabel,
+                            weight: arc_a.weight.times(arc_b.weight),
+                            next,
+                        });
+                    }
+                }
+            }
+        }
+        for arc_b in self.b.arcs(sb) {
+            if arc_b.ilabel == EPSILON {
+                if let Some(&next) = self.pair_id.get(&(sa, arc_b.next)) {
+                    out.push(FstArc {
+                        ilabel: EPSILON,
+                        olabel: arc_b.olabel,
+                        weight: arc_b.weight,
+                        next,
+                    });
+                }
+            }
+        }
+    }
+}
+
+impl GraphSource for LazyComposeFst {
+    fn start(&self) -> Option<u32> {
+        Some(self.start)
+    }
+
+    fn num_states(&self) -> usize {
+        self.pairs.len()
+    }
+
+    fn max_ilabel(&self) -> u32 {
+        self.max_ilabel
+    }
+
+    fn is_input_eps_free(&self) -> bool {
+        self.input_eps_free
+    }
+
+    fn final_weight(&self, state: u32) -> TropicalWeight {
+        self.finals[state as usize]
+    }
+
+    fn expand<'a>(&'a self, state: u32, scratch: &'a mut Vec<FstArc>) -> &'a [FstArc] {
+        scratch.clear();
+        {
+            let mut memo = self.memo.lock().unwrap();
+            if memo.lookup_into(state, scratch) {
+                return scratch;
+            }
+        }
+        // Miss: expand outside the lock (pure function of the immutable
+        // operands), then admit. Two threads may race to expand the same
+        // state; both produce identical arcs, so the double insert is just
+        // a double-counted miss, never a correctness issue.
+        self.fill_arcs(state, scratch);
+        self.memo.lock().unwrap().insert(state, scratch.clone());
+        scratch
+    }
+
+    fn memo_stats(&self) -> Option<MemoStats> {
+        Some(self.memo.lock().unwrap().stats())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builders::{build_g, build_h, build_l};
+    use crate::compose::compose;
+    use crate::source::SharedGraph;
+    use darkside_acoustic::{Corpus, CorpusConfig, PhonemeInventory};
+
+    fn tiny_operands() -> (Fst, Fst) {
+        let config = CorpusConfig {
+            num_words: 12,
+            successors_per_word: 4,
+            inventory: PhonemeInventory {
+                num_phonemes: 6,
+                states_per_phoneme: 3,
+            },
+            ..CorpusConfig::default_scaled()
+        };
+        let corpus = Corpus::generate(config).unwrap();
+        let g = build_g(&corpus.grammar).unwrap();
+        let l = build_l(&corpus.lexicon).unwrap();
+        let lg = compose(&l, &g).unwrap();
+        let h = build_h(&corpus.config.inventory);
+        (h, lg)
+    }
+
+    /// The tentpole invariant: state numbering, finals, metadata, and
+    /// every state's arc list (order included) match the eager
+    /// compose-then-trim graph exactly.
+    #[test]
+    fn lazy_is_byte_identical_to_eager_compose_trim() {
+        let (h, lg) = tiny_operands();
+        let eager = compose(&h, &lg).unwrap().trim();
+        let lazy = LazyComposeFst::new(h, lg, 16).unwrap();
+
+        assert_eq!(lazy.num_states(), eager.num_states());
+        assert_eq!(lazy.num_arcs(), eager.num_arcs());
+        assert_eq!(GraphSource::start(&lazy), eager.start());
+        assert_eq!(lazy.max_ilabel(), eager.max_ilabel());
+        assert_eq!(lazy.is_input_eps_free(), eager.is_input_eps_free());
+        let mut scratch = Vec::new();
+        for s in 0..eager.num_states() as u32 {
+            assert_eq!(
+                lazy.final_weight(s).0.to_bits(),
+                eager.final_weight(s).0.to_bits(),
+                "final weight of state {s}"
+            );
+            let lazy_arcs = lazy.expand(s, &mut scratch).to_vec();
+            assert_eq!(lazy_arcs.as_slice(), eager.arcs(s), "arcs of state {s}");
+        }
+    }
+
+    #[test]
+    fn memo_counts_hits_misses_and_evictions_and_stays_bounded() {
+        let (h, lg) = tiny_operands();
+        let eager = compose(&h, &lg).unwrap().trim();
+        let lazy = LazyComposeFst::new(h, lg, 2).unwrap();
+        let mut scratch = Vec::new();
+
+        // Two distinct states fit; a third evicts the least recent.
+        let a0 = lazy.expand(0, &mut scratch).to_vec();
+        let _ = lazy.expand(1, &mut scratch);
+        let _ = lazy.expand(0, &mut scratch); // hit, refreshes 0
+        let _ = lazy.expand(2, &mut scratch); // evicts 1 (LRU)
+        let _ = lazy.expand(0, &mut scratch); // still resident
+        let stats = lazy.memo_stats().unwrap();
+        assert_eq!(stats.hits, 2);
+        assert_eq!(stats.misses, 3);
+        assert_eq!(stats.evictions, 1);
+        assert_eq!(stats.resident, 2);
+        assert_eq!(stats.peak_resident, 2);
+        assert_eq!(stats.capacity, 2);
+
+        // Evicted states re-expand identically.
+        let again = lazy.expand(1, &mut scratch).to_vec();
+        assert_eq!(again.as_slice(), eager.arcs(1));
+        assert_eq!(a0.as_slice(), eager.arcs(0));
+        assert_eq!(lazy.memo_stats().unwrap().evictions, 2);
+    }
+
+    #[test]
+    fn lazy_graphs_are_shareable_across_threads() {
+        let (h, lg) = tiny_operands();
+        let eager = compose(&h, &lg).unwrap().trim();
+        let lazy: SharedGraph = std::sync::Arc::new(LazyComposeFst::new(h, lg, 4).unwrap());
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let lazy = &lazy;
+                let eager = &eager;
+                scope.spawn(move || {
+                    let mut scratch = Vec::new();
+                    for s in (0..eager.num_states() as u32).rev() {
+                        assert_eq!(lazy.expand(s, &mut scratch), eager.arcs(s));
+                    }
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn degenerate_inputs_fail_cleanly() {
+        let (h, lg) = tiny_operands();
+        assert!(matches!(
+            LazyComposeFst::new(h.clone(), lg.clone(), 0).unwrap_err(),
+            Error::Config { .. }
+        ));
+        assert!(matches!(
+            LazyComposeFst::new(Fst::new(), lg, 8).unwrap_err(),
+            Error::Graph { .. }
+        ));
+        // A composition with no start-to-final path trims to empty.
+        let mut a = Fst::new();
+        let s = a.add_state();
+        a.set_start(s);
+        a.add_arc(
+            s,
+            FstArc {
+                ilabel: 1,
+                olabel: 1,
+                weight: TropicalWeight::ONE,
+                next: s,
+            },
+        );
+        let mut b = Fst::new();
+        let t = b.add_state();
+        b.set_start(t);
+        b.add_arc(
+            t,
+            FstArc {
+                ilabel: 1,
+                olabel: 1,
+                weight: TropicalWeight::ONE,
+                next: t,
+            },
+        );
+        assert!(matches!(
+            LazyComposeFst::new(a, b, 8).unwrap_err(),
+            Error::Graph { .. }
+        ));
+    }
+}

@@ -14,12 +14,21 @@
 
 pub mod builders;
 pub mod compose;
+pub mod grammar;
 pub mod graph;
+pub mod lazy;
+pub mod source;
 
-pub use builders::{build_decoding_graph, build_g, build_h, build_l, class_label, label_class};
+pub use builders::{
+    build_decoding_graph, build_g, build_h, build_l, build_lazy_decoding_graph, class_label,
+    label_class,
+};
 pub use compose::compose;
 pub use darkside_error::Error;
+pub use grammar::{prune_grammar, GrammarPruneReport};
 pub use graph::{Arc, Fst, EPSILON};
+pub use lazy::LazyComposeFst;
+pub use source::{GraphKind, GraphSource, MemoStats, SharedGraph};
 
 /// A weight in the tropical semiring: a cost in −log space.
 ///
