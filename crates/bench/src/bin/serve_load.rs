@@ -36,7 +36,10 @@
 //! * an engine offered more load than its admission budget rejects the
 //!   excess explicitly and still drains to empty;
 //! * draining with work stealing terminates, and the dry shards actually
-//!   steal the stranded sessions.
+//!   steal the stranded sessions;
+//! * with the dark-side detector armed (ISSUE 9), ≥ 90 % of 90 %-sparse
+//!   beam sessions flag within 50 frames, and the dense control flags
+//!   none.
 //!
 //! Flags: `--smoke` (CI scale), `--json <path>` (write BENCH_serve.json),
 //! `--sessions N` (closed-loop concurrency, default 8), `--utts N`
@@ -46,12 +49,12 @@ use darkside_bench::report::{check, json_arg, write_json_file};
 use darkside_core::acoustic::Utterance;
 use darkside_core::decoder::{acoustic_costs, decode_with_policy};
 use darkside_core::nn::{Frame, FrameScorer, Rng, Scores};
-use darkside_core::trace::{exact_percentile, Json};
+use darkside_core::trace::{exact_percentile, Json, WindowConfig};
 use darkside_core::viterbi_accel::{NBestTableConfig, UnfoldHashConfig};
 use darkside_core::{
     ModelBundle, Pipeline, PipelineConfig, PolicyKind, PruneStructure, ServableSpec,
 };
-use darkside_serve::{RejectReason, ServeConfig, ShardedScheduler};
+use darkside_serve::{DetectorConfig, RejectReason, ServeConfig, ShardedScheduler};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -400,6 +403,82 @@ fn run_slo_shed(bundle: &ModelBundle, utts: &[Utterance]) -> SloShedResult {
     }
 }
 
+/// Detector scenario (ISSUE 9): serve one bundle with windowed telemetry
+/// and the per-session dark-side detector armed, and report what the
+/// health tracker saw — how many sessions flagged, how fast, and the
+/// frame-margin distribution the margin check reads.
+struct DetectorRun {
+    sessions: usize,
+    flagged: usize,
+    /// Sessions whose flag landed within [`DETECT_FRAMES_BUDGET`] frames.
+    flagged_within: usize,
+    margin_p50: f64,
+    margin_p99: f64,
+    frames_to_flag_p50: f64,
+    frames_to_flag_max: f64,
+    /// The engine's fleet-wide telemetry snapshot (counters + windowed
+    /// view), straight into the artifact.
+    telemetry: Json,
+}
+
+/// The ISSUE 9 acceptance budget: a pathological session must flag within
+/// this many frames.
+const DETECT_FRAMES_BUDGET: u32 = 50;
+
+fn run_detector(bundle: &ModelBundle, utts: &[Utterance], concurrency: usize) -> DetectorRun {
+    let total_frames: usize = utts.iter().map(|u| u.frames.len()).sum();
+    let cfg = ServeConfig::default()
+        .with_shards(2)
+        .with_max_sessions(concurrency.max(1))
+        .with_max_queue_frames(total_frames.max(1))
+        .with_max_batch_frames(1024)
+        .with_degrade_fraction(1.0)
+        .with_telemetry(WindowConfig::of_seconds(2.0, 8))
+        // Deployment tuning, not the library default: the dense model's
+        // per-frame hypothesis count bursts past 2× its own *mean*
+        // baseline on ambiguous stretches, so the workload multiple sits
+        // at 2.5× with a 12-frame streak — transient dense bursts reset
+        // the streak, while the paper's ~3.6× sustained inflation at 90 %
+        // sparsity holds the threshold for the whole window.
+        .with_detector(
+            DetectorConfig::default()
+                .with_hyps_multiple(2.5)
+                .with_window_frames(12),
+        );
+    let mut engine = ShardedScheduler::build(bundle.clone(), cfg).expect("detector engine");
+    let mut next = 0;
+    let mut flagged_at: Vec<Option<u32>> = Vec::with_capacity(utts.len());
+    while flagged_at.len() < utts.len() {
+        while next < utts.len() && engine.active_sessions() < concurrency {
+            engine
+                .offer(utts[next].frames.clone())
+                .expect("detector offer");
+            next += 1;
+        }
+        engine.step().expect("step");
+        for r in engine.take_completed() {
+            r.decode.expect("detector decode");
+            flagged_at.push(r.flagged_at);
+        }
+    }
+    let metrics = engine.metrics();
+    let margin = metrics.histograms.get("decode.frame.margin");
+    let to_flag = metrics.histograms.get("serve.detector.frames_to_flag");
+    DetectorRun {
+        sessions: flagged_at.len(),
+        flagged: flagged_at.iter().filter(|f| f.is_some()).count(),
+        flagged_within: flagged_at
+            .iter()
+            .filter(|f| f.is_some_and(|at| at <= DETECT_FRAMES_BUDGET))
+            .count(),
+        margin_p50: margin.map_or(0.0, |h| h.p50),
+        margin_p99: margin.map_or(0.0, |h| h.p99),
+        frames_to_flag_p50: to_flag.map_or(0.0, |h| h.p50),
+        frames_to_flag_max: to_flag.map_or(0.0, |h| h.max),
+        telemetry: engine.telemetry().to_json(),
+    }
+}
+
 /// Steal scenario: every long utterance homes onto shard 0 (ids ≡ 0 mod
 /// 4), the other shards' short sessions finish almost immediately — drain
 /// must terminate with the dry shards stealing the stranded work.
@@ -734,6 +813,66 @@ fn main() {
         "steal-drain: offered {} → drained {}, steals {}",
         steal.offered, steal.drained, steal.steals
     );
+
+    // ISSUE 9 detector scenarios: the detector watches a 90 %-unstructured
+    // *beam* bundle exported with `with_retrain(0)` — the raw prune-and-
+    // ship artifact whose flattened posteriors let the un-bounded beam's
+    // hypothesis set blow up (the paper's dark side, live; the retrained
+    // measurement cells above deliberately recover that confidence, so
+    // they are the wrong specimen). The dense bundle is the false-positive
+    // control. The workload baseline is re-probed at the *serving* beam —
+    // the bundles carry a baseline probed under the pipeline's offline
+    // beam, and the threshold must compare like against like.
+    let detector_baseline = pipeline
+        .dense_hyps_baseline(&serving_beam)
+        .expect("dense baseline probe");
+    // Detection needs room to observe: a session shorter than the streak
+    // window plus a few frames of onset can't meaningfully flag, so the
+    // scenario draws utterances of at least 16 frames.
+    let det_utts: Vec<Utterance> = {
+        let mut det_rng = Rng::new(0x005E_DE7E);
+        let mut picked: Vec<Utterance> = Vec::with_capacity(num_utts);
+        while picked.len() < num_utts {
+            picked.extend(
+                pipeline
+                    .corpus
+                    .sample_set(num_utts, &mut det_rng)
+                    .into_iter()
+                    .filter(|u| u.frames.len() >= 16),
+            );
+        }
+        picked.truncate(num_utts);
+        picked
+    };
+    let mut det_bundle = pipeline
+        .servable(
+            ServableSpec::pruned(0.9)
+                .with_retrain(0)
+                .with_policy(PolicyKind::Beam)
+                .with_beam(serving_beam),
+        )
+        .expect("unretrained prune to 90%");
+    det_bundle.dense_hyps_baseline = detector_baseline;
+    let det = run_detector(&det_bundle, &det_utts, concurrency);
+    let mut dense_det_bundle = dense.with_policy(PolicyKind::Beam, serving_beam);
+    dense_det_bundle.dense_hyps_baseline = detector_baseline;
+    let dense_det = run_detector(&dense_det_bundle, &det_utts, concurrency);
+    println!(
+        "detector @ 90% beam: {}/{} sessions flagged ({} within {DETECT_FRAMES_BUDGET} frames; \
+         frames-to-flag p50 {:.0} max {:.0}; margin p50 {:.2} p99 {:.2}; baseline {:.1} hyps)",
+        det.flagged,
+        det.sessions,
+        det.flagged_within,
+        det.frames_to_flag_p50,
+        det.frames_to_flag_max,
+        det.margin_p50,
+        det.margin_p99,
+        detector_baseline,
+    );
+    println!(
+        "detector @ dense:    {}/{} sessions flagged (margin p50 {:.2} p99 {:.2})",
+        dense_det.flagged, dense_det.sessions, dense_det.margin_p50, dense_det.margin_p99,
+    );
     println!("elapsed: {:.1}s", start.elapsed().as_secs_f64());
 
     let find = |level: &str, policy: &str, structure: &str| {
@@ -886,12 +1025,34 @@ fn main() {
             steal.drained, steal.offered, steal.steals
         ),
     );
+    // The ISSUE 9 acceptance pair: the dark side is caught fast where it
+    // exists, and never hallucinated where it doesn't.
+    ok &= check(
+        "detector flags >=90% of 90%-sparse beam sessions within 50 frames",
+        10 * det.flagged_within >= 9 * det.sessions,
+        format!(
+            "flagged {}/{} within {DETECT_FRAMES_BUDGET} frames (p50 {:.0}, max {:.0} frames)",
+            det.flagged_within, det.sessions, det.frames_to_flag_p50, det.frames_to_flag_max
+        ),
+    );
+    ok &= check(
+        "detector stays silent on the dense model",
+        dense_det.flagged == 0,
+        format!(
+            "{} false positives of {} dense sessions",
+            dense_det.flagged, dense_det.sessions
+        ),
+    );
 
     if let Some(path) = &json_path {
-        // schema_version 3: ISSUE 7 — host_cores, the sessions × shards
-        // scaling sweep + knees, and the slo_shed / steal_drain scenarios.
+        // schema_version 4: ISSUE 9 — the detector scenario (flag counts,
+        // time-to-detect, margin percentiles, dense false positives) and
+        // the engine's fleet telemetry snapshot. Schema 3 (ISSUE 7) added
+        // host_cores, the sessions × shards scaling sweep + knees, and the
+        // slo_shed / steal_drain scenarios; every schema-3 field is
+        // unchanged.
         let json = Json::obj(vec![
-            ("schema_version", 3u64.into()),
+            ("schema_version", 4u64.into()),
             ("name", Json::str("serve_load")),
             ("smoke", smoke.into()),
             ("host_cores", host_cores.into()),
@@ -976,6 +1137,25 @@ fn main() {
                     ("drained", overload.drained.into()),
                 ]),
             ),
+            (
+                "detector",
+                Json::obj(vec![
+                    ("dense_hyps_baseline", detector_baseline.into()),
+                    ("detect_frames_budget", (DETECT_FRAMES_BUDGET as u64).into()),
+                    ("sessions", det.sessions.into()),
+                    ("flagged", det.flagged.into()),
+                    ("flagged_within_budget", det.flagged_within.into()),
+                    ("frames_to_flag_p50", det.frames_to_flag_p50.into()),
+                    ("frames_to_flag_max", det.frames_to_flag_max.into()),
+                    ("margin_p50", det.margin_p50.into()),
+                    ("margin_p99", det.margin_p99.into()),
+                    ("dense_sessions", dense_det.sessions.into()),
+                    ("dense_false_positives", dense_det.flagged.into()),
+                    ("dense_margin_p50", dense_det.margin_p50.into()),
+                    ("dense_margin_p99", dense_det.margin_p99.into()),
+                ]),
+            ),
+            ("telemetry", det.telemetry),
             ("gates_passed", ok.into()),
         ]);
         write_json_file(path, &json).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));

@@ -1,0 +1,331 @@
+//! `serve_top` — a `top(1)`-style live view of a serving fleet, driven
+//! entirely through the metrics exposition endpoint (ISSUE 9).
+//!
+//! Builds a smoke engine with windowed telemetry, the dark-side detector,
+//! and the exporter enabled, drives a closed loop of load, and between
+//! steps scrapes `GET /metrics` over plain TCP, parses the Prometheus
+//! text, and renders fleet / per-shard / per-session tables. Everything
+//! printed comes from the scrape — the binary never reads engine state
+//! directly, so it doubles as an end-to-end check that the exposition
+//! carries the whole serving story on its own:
+//!
+//! * every scrape parses cleanly (name, labels, value — no malformed
+//!   lines);
+//! * the fleet `darkside_serve_frame_ns` series and the windowed
+//!   (`_window`-suffixed) series are present once frames have been served;
+//! * live sessions appear as per-session gauges mid-serve and are gone
+//!   after drain;
+//! * the final scrape's completed counter equals the utterances offered.
+//!
+//! Flags: `--smoke` (CI scale), `--sessions N` (closed-loop concurrency),
+//! `--utts N` (utterance budget).
+
+use darkside_bench::report::check;
+use darkside_core::nn::Rng;
+use darkside_core::trace::WindowConfig;
+use darkside_core::{Pipeline, PipelineConfig, ServableSpec};
+use darkside_serve::{DetectorConfig, ServeConfig, ShardedScheduler};
+use std::collections::BTreeMap;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+
+/// One parsed Prometheus sample: `name{labels} value`.
+struct Sample {
+    name: String,
+    labels: Vec<(String, String)>,
+    value: f64,
+}
+
+impl Sample {
+    fn label(&self, key: &str) -> Option<&str> {
+        self.labels
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Parse a Prometheus text-exposition body. The grammar handled is exactly
+/// what the engine renders (label values never contain `,` or `"`), and
+/// anything outside it is a hard error — a scrape the parser trips over is
+/// a bug in the exposition, which is half of what this binary checks.
+fn parse_prometheus(body: &str) -> Result<Vec<Sample>, String> {
+    let mut out = Vec::new();
+    for line in body.lines() {
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (head, value) = line
+            .rsplit_once(' ')
+            .ok_or_else(|| format!("no value: {line:?}"))?;
+        let value: f64 = value.parse().map_err(|_| format!("bad value: {line:?}"))?;
+        let (name, labels) = match head.split_once('{') {
+            None => (head.to_string(), Vec::new()),
+            Some((name, rest)) => {
+                let rest = rest
+                    .strip_suffix('}')
+                    .ok_or_else(|| format!("unclosed labels: {line:?}"))?;
+                let mut labels = Vec::new();
+                for part in rest.split(',').filter(|p| !p.is_empty()) {
+                    let (k, v) = part
+                        .split_once('=')
+                        .ok_or_else(|| format!("bad label: {line:?}"))?;
+                    labels.push((k.to_string(), v.trim_matches('"').to_string()));
+                }
+                (name.to_string(), labels)
+            }
+        };
+        out.push(Sample {
+            name,
+            labels,
+            value,
+        });
+    }
+    Ok(out)
+}
+
+/// Minimal HTTP/1.0 GET, body only (headers stripped at the blank line).
+fn http_get(addr: SocketAddr, path: &str) -> Result<String, String> {
+    let mut stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    write!(stream, "GET {path} HTTP/1.0\r\n\r\n").map_err(|e| format!("request: {e}"))?;
+    let mut response = String::new();
+    stream
+        .read_to_string(&mut response)
+        .map_err(|e| format!("read: {e}"))?;
+    if !response.starts_with("HTTP/1.0 200") {
+        return Err(format!("non-200 scrape: {response:?}"));
+    }
+    response
+        .split_once("\r\n\r\n")
+        .map(|(_, body)| body.to_string())
+        .ok_or_else(|| "no body delimiter".to_string())
+}
+
+/// Find an unlabelled (fleet-section) sample by exact name.
+fn fleet<'a>(samples: &'a [Sample], name: &str) -> Option<&'a Sample> {
+    samples
+        .iter()
+        .find(|s| s.name == name && s.label("shard").is_none())
+}
+
+/// Find a per-shard sample (labelled with this shard, no session label).
+fn shard_sample<'a>(samples: &'a [Sample], name: &str, shard: &str) -> Option<&'a Sample> {
+    samples
+        .iter()
+        .find(|s| s.name == name && s.label("shard") == Some(shard) && s.label("session").is_none())
+}
+
+/// Render one scrape as fleet / per-shard / per-session tables. Returns
+/// the number of live per-session rows (the caller's liveness check).
+fn render(samples: &[Sample]) -> usize {
+    let completed = fleet(samples, "darkside_serve_session_completed_total").map(|s| s.value);
+    let flagged = fleet(samples, "darkside_serve_detector_flagged_total").map(|s| s.value);
+    let frame_p99 = samples
+        .iter()
+        .find(|s| {
+            s.name == "darkside_serve_frame_ns"
+                && s.label("shard").is_none()
+                && s.label("quantile") == Some("0.99")
+        })
+        .map(|s| s.value);
+    let window_fps = samples
+        .iter()
+        .find(|s| s.name == "darkside_serve_session_frames_window_per_sec")
+        .map(|s| s.value);
+    println!(
+        "fleet: completed {} | flagged {} | frame p99 {} us | window {} frames/s",
+        completed.map_or("-".into(), |v| format!("{v:.0}")),
+        flagged.map_or("0".into(), |v| format!("{v:.0}")),
+        frame_p99.map_or("-".into(), |v| format!("{:.1}", v / 1e3)),
+        window_fps.map_or("-".into(), |v| format!("{v:.0}")),
+    );
+
+    // Shards are discovered from the scrape itself: any shard-labelled,
+    // session-free series names a shard.
+    let shards: Vec<String> = {
+        let mut seen = BTreeMap::new();
+        for s in samples {
+            if let (Some(shard), None) = (s.label("shard"), s.label("session")) {
+                seen.insert(shard.to_string(), ());
+            }
+        }
+        seen.into_keys().collect()
+    };
+    println!(
+        "| {:>5} | {:>6} | {:>8} | {:>11} | {:>7} |",
+        "shard", "done", "frames", "frame-p99us", "flagged"
+    );
+    println!("|-------|--------|----------|-------------|---------|");
+    for shard in &shards {
+        let col = |name: &str| {
+            shard_sample(samples, name, shard)
+                .map_or("-".to_string(), |s| format!("{:.0}", s.value))
+        };
+        let p99 = samples
+            .iter()
+            .find(|s| {
+                s.name == "darkside_serve_frame_ns"
+                    && s.label("shard") == Some(shard)
+                    && s.label("quantile") == Some("0.99")
+            })
+            .map_or("-".to_string(), |s| format!("{:.1}", s.value / 1e3));
+        println!(
+            "| {:>5} | {:>6} | {:>8} | {:>11} | {:>7} |",
+            shard,
+            col("darkside_serve_session_completed_total"),
+            col("darkside_serve_session_frames_total"),
+            p99,
+            col("darkside_serve_detector_flagged_total"),
+        );
+    }
+
+    let sessions: Vec<&Sample> = samples
+        .iter()
+        .filter(|s| s.name == "darkside_serve_session_frames" && s.label("session").is_some())
+        .collect();
+    if !sessions.is_empty() {
+        println!(
+            "| {:>8} | {:>5} | {:>6} | {:>8} | {:>7} |",
+            "session", "shard", "frames", "degraded", "flagged"
+        );
+        println!("|----------|-------|--------|----------|---------|");
+        for s in &sessions {
+            println!(
+                "| {:>8} | {:>5} | {:>6.0} | {:>8} | {:>7} |",
+                s.label("session").unwrap_or("?"),
+                s.label("shard").unwrap_or("?"),
+                s.value,
+                s.label("degraded").unwrap_or("?"),
+                s.label("flagged").unwrap_or("?"),
+            );
+        }
+    }
+    sessions.len()
+}
+
+fn usize_flag(name: &str, default: usize) -> usize {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.iter().position(|a| a == name) {
+        None => default,
+        Some(i) => args
+            .get(i + 1)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| {
+                eprintln!("error: {name} requires a count");
+                std::process::exit(1);
+            }),
+    }
+}
+
+fn reject_unknown_args() {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--smoke" => {}
+            "--sessions" | "--utts" => {
+                args.next();
+            }
+            other => {
+                eprintln!(
+                    "error: unknown argument {other:?}; usage: serve_top \
+                     [--smoke] [--sessions <n>] [--utts <n>]"
+                );
+                std::process::exit(1);
+            }
+        }
+    }
+}
+
+fn main() {
+    reject_unknown_args();
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let concurrency = usize_flag("--sessions", 8);
+    let num_utts = usize_flag("--utts", if smoke { 8 } else { 32 });
+
+    // The 90 %-pruned bundle is the interesting one to watch: its probed
+    // dense baseline arms the detector's workload check, so the per-session
+    // table can actually show flags when pruning inflates the search.
+    println!("serve_top: building the pipeline_smoke system...");
+    let pipeline = Pipeline::build(PipelineConfig::smoke()).expect("pipeline build");
+    let bundle = pipeline
+        .servable(ServableSpec::pruned(0.9))
+        .expect("prune to 90%");
+    let mut rng = Rng::new(0x0709_0709);
+    let utts = pipeline.corpus.sample_set(num_utts, &mut rng);
+
+    let cfg = ServeConfig::default()
+        .with_shards(2)
+        .with_max_sessions(concurrency.max(1))
+        .with_max_queue_frames(1 << 20)
+        .with_max_batch_frames(64)
+        .with_degrade_fraction(1.0)
+        .with_telemetry(WindowConfig::of_seconds(2.0, 8))
+        .with_detector(DetectorConfig::default())
+        .with_exporter_port(0);
+    let mut engine = ShardedScheduler::build(bundle, cfg).expect("engine");
+    let addr = engine.exporter_addr().expect("exporter configured");
+    println!("exposition endpoint: http://{addr}/metrics (and /events)");
+
+    let scrape = |what: &str| -> Vec<Sample> {
+        let body = http_get(addr, "/metrics").unwrap_or_else(|e| panic!("{what} scrape: {e}"));
+        parse_prometheus(&body).unwrap_or_else(|e| panic!("{what} scrape does not parse: {e}"))
+    };
+
+    let mut next = 0;
+    let mut served = 0;
+    let mut tick = 0u64;
+    let mut saw_live_sessions = false;
+    let mut saw_windowed = false;
+    while served < utts.len() {
+        while next < utts.len() && engine.active_sessions() < concurrency {
+            engine
+                .offer(utts[next].frames.clone())
+                .expect("closed-loop offer");
+            next += 1;
+        }
+        engine.step().expect("step");
+        served += engine.take_completed().len();
+        // Scrape every few steps: each render is one "top" refresh. The
+        // engine throttles publishes to 50 ms, so back-to-back scrapes may
+        // repeat a frame — that staleness bound is part of the contract.
+        if tick.is_multiple_of(4) {
+            println!("--- refresh {} (step {tick}) ---", tick / 4);
+            let samples = scrape("live");
+            saw_live_sessions |= render(&samples) > 0;
+            saw_windowed |= samples.iter().any(|s| s.name.contains("_window"));
+        }
+        tick += 1;
+    }
+    engine.drain().expect("drain");
+    println!("--- final (drained) ---");
+    let samples = scrape("final");
+    let live_rows = render(&samples);
+
+    let completed = fleet(&samples, "darkside_serve_session_completed_total")
+        .map(|s| s.value)
+        .unwrap_or(0.0);
+    let mut ok = check(
+        "live sessions appeared as per-session gauges",
+        saw_live_sessions,
+        "at least one mid-serve scrape carried session rows".to_string(),
+    );
+    ok &= check(
+        "windowed series present",
+        saw_windowed,
+        "a mid-serve scrape carried _window-suffixed series".to_string(),
+    );
+    ok &= check(
+        "fleet frame histogram present",
+        fleet(&samples, "darkside_serve_frame_ns_count").is_some_and(|s| s.value > 0.0),
+        "darkside_serve_frame_ns_count > 0 after drain".to_string(),
+    );
+    ok &= check(
+        "drained scrape matches the load offered",
+        completed as usize == utts.len() && live_rows == 0,
+        format!(
+            "completed {completed:.0}/{} with {live_rows} stale session rows",
+            utts.len()
+        ),
+    );
+    std::process::exit(if ok { 0 } else { 1 });
+}

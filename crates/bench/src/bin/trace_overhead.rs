@@ -1,27 +1,45 @@
-//! CI trace-overhead gate (ISSUE 4 acceptance): decode under the default
-//! `NullRecorder` must cost within 5 % of the pre-PR search loop.
+//! CI trace-overhead gates (ISSUE 4 + ISSUE 9 acceptance).
 //!
 //! Run: `cargo run --release -p darkside-bench --bin trace_overhead`.
 //!
-//! Builds the `pipeline_smoke` system, scores its held-out corpus sample
-//! once, then times the instrumented `darkside_decoder::decode` (trace
-//! hooks compiled in, no recorder installed) against an in-bin verbatim
-//! copy of the PR 2 beam-search loop over the identical cost matrices.
-//! Samples are interleaved and medians compared, so drift hits both sides
-//! equally. Exits nonzero when the median ratio exceeds
-//! [`MAX_OVERHEAD_RATIO`]. The two loops' outputs are also cross-checked
-//! (words + cost) before any timing, so the gate can never pass on a loop
-//! that diverged.
+//! Three checks, all exiting nonzero on failure:
+//!
+//! 1. **Decode overhead** (ISSUE 4): decode under the default
+//!    `NullRecorder` must cost within 5 % of the pre-PR search loop.
+//!    Builds the `pipeline_smoke` system, scores its held-out corpus
+//!    sample once, then times the instrumented `darkside_decoder::decode`
+//!    (trace hooks compiled in, no recorder installed) against an in-bin
+//!    verbatim copy of the PR 2 beam-search loop over the identical cost
+//!    matrices. Samples are interleaved and medians compared, so drift
+//!    hits both sides equally. The two loops' outputs are also
+//!    cross-checked (words + cost) before any timing, so the gate can
+//!    never pass on a loop that diverged.
+//! 2. **Windowed-telemetry serving overhead** (ISSUE 9): a serving engine
+//!    with live telemetry windows *and* the dark-side detector armed must
+//!    drain the same load within 5 % of the telemetry-off engine —
+//!    observation must never tax the serving path it observes.
+//! 3. **Prometheus exposition golden file** (ISSUE 9): a fixed synthetic
+//!    [`TelemetrySnapshot`] must render byte-for-byte to the committed
+//!    `golden/telemetry.prom` — scrape-format drift fails CI instead of
+//!    silently breaking fleet dashboards. Regenerate deliberately with
+//!    `--write-golden <path>` after an intentional schema change.
 
+use darkside_core::acoustic::Utterance;
 use darkside_core::decoder::{acoustic_costs, decode, BeamConfig};
 use darkside_core::nn::{FrameScorer, Matrix, Rng};
+use darkside_core::trace::{
+    HistogramSummary, MetricsSnapshot, SpanAgg, TelemetrySnapshot, WindowConfig, WindowRate,
+    WindowedView,
+};
 use darkside_core::wfst::{label_class, Fst, EPSILON};
-use darkside_core::{Pipeline, PipelineConfig};
+use darkside_core::{ModelBundle, Pipeline, PipelineConfig, ServableSpec};
+use darkside_serve::{DetectorConfig, ServeConfig, ShardedScheduler};
+use std::collections::BTreeMap;
 use std::hint::black_box;
 use std::time::Instant;
 
 /// Instrumented-over-reference median wall-time budget (the ISSUE 4 ≤ 5 %
-/// acceptance bound).
+/// decode bound, shared by the ISSUE 9 serving-step bound).
 const MAX_OVERHEAD_RATIO: f64 = 1.05;
 /// Interleaved timing samples per side.
 const SAMPLES: usize = 15;
@@ -126,7 +144,132 @@ fn median_ns(mut samples: Vec<u64>) -> u64 {
     samples[samples.len() / 2]
 }
 
+// --- ISSUE 9: windowed-telemetry serving-step overhead ------------------
+
+/// Serve every utterance through a fresh single-shard engine and return
+/// the stepping wall time (build and offers excluded — the gate is about
+/// the per-step observation cost, not engine setup).
+fn serve_pass(bundle: &ModelBundle, telemetry: bool, utts: &[Utterance]) -> u64 {
+    let mut cfg = ServeConfig::default()
+        .with_shards(1)
+        .with_workers(1)
+        .with_max_sessions(utts.len().max(1))
+        .with_max_queue_frames(1 << 20)
+        .with_max_batch_frames(256)
+        .with_degrade_fraction(1.0);
+    if telemetry {
+        // The full ISSUE 9 observation path: windowed rates on every shard
+        // sink plus the per-frame margin/workload health checks (armed
+        // with the bundle's real dense baseline, so the untriggered-
+        // detector fast path is what gets timed).
+        cfg = cfg
+            .with_telemetry(WindowConfig::of_seconds(2.0, 8))
+            .with_detector(DetectorConfig::default());
+    }
+    let mut engine = ShardedScheduler::build(bundle.clone(), cfg).expect("engine");
+    for u in utts {
+        engine.offer(u.frames.clone()).expect("offer");
+    }
+    let t0 = Instant::now();
+    while engine.active_sessions() > 0 {
+        engine.step().expect("step");
+        engine.take_completed();
+    }
+    t0.elapsed().as_nanos() as u64
+}
+
+// --- ISSUE 9: Prometheus exposition golden file -------------------------
+
+/// A fixed synthetic snapshot covering every exposition feature: counters,
+/// gauges, quantile-labelled histogram summaries, span aggregates, and the
+/// windowed view. Nothing here reads a clock — the rendering is
+/// byte-deterministic by construction.
+fn golden_snapshot() -> TelemetrySnapshot {
+    let frame_ns = HistogramSummary {
+        count: 1863,
+        min: 950.0,
+        max: 250_000.0,
+        mean: 15_250.5,
+        p50: 12_000.0,
+        p95: 30_000.0,
+        p99: 60_000.0,
+    };
+    let margin = HistogramSummary {
+        count: 1800,
+        min: 0.015625,
+        max: 4.75,
+        mean: 0.6875,
+        p50: 1.0,
+        p95: 2.375,
+        p99: 4.0,
+    };
+    let mut cumulative = MetricsSnapshot::default();
+    cumulative
+        .counters
+        .insert("serve.session.completed".into(), 42);
+    cumulative
+        .counters
+        .insert("serve.detector.flagged".into(), 3);
+    cumulative.counters.insert("wfst.memo.hits".into(), 8192);
+    cumulative.gauges.insert("serve.queue.depth".into(), 17.5);
+    cumulative
+        .gauges
+        .insert("wfst.memo.resident_states".into(), 4096.0);
+    cumulative
+        .histograms
+        .insert("serve.frame.ns".into(), frame_ns);
+    cumulative
+        .histograms
+        .insert("decode.frame.margin".into(), margin);
+    cumulative.spans.insert(
+        "serve.session".into(),
+        SpanAgg {
+            count: 42,
+            total_ns: 630_000_000,
+        },
+    );
+    TelemetrySnapshot {
+        at_ns: 1_234_567_890,
+        cumulative,
+        windowed: Some(WindowedView {
+            span_ns: 2_000_000_000,
+            counters: BTreeMap::from([(
+                "serve.session.frames".to_string(),
+                WindowRate {
+                    total: 512,
+                    per_sec: 256.0,
+                },
+            )]),
+            histograms: BTreeMap::from([("serve.frame.ns".to_string(), frame_ns)]),
+        }),
+    }
+}
+
+/// The committed scrape-format contract (regenerate with
+/// `--write-golden <path>` after an intentional change).
+const GOLDEN_PROM: &str = include_str!("../../golden/telemetry.prom");
+
 fn main() {
+    // `--write-golden <path>`: regenerate the exposition contract and
+    // exit — no timing, no pipeline build.
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if let Some(i) = args.iter().position(|a| a == "--write-golden") {
+        let path = args.get(i + 1).unwrap_or_else(|| {
+            eprintln!("error: --write-golden requires a path");
+            std::process::exit(1);
+        });
+        std::fs::write(path, golden_snapshot().to_prometheus())
+            .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+        println!("wrote {path}");
+        return;
+    }
+    if !args.is_empty() {
+        eprintln!(
+            "error: unknown arguments {args:?}; usage: trace_overhead [--write-golden <path>]"
+        );
+        std::process::exit(1);
+    }
+
     let config = PipelineConfig::smoke();
     let beam = config.beam;
     println!("trace_overhead: building the pipeline_smoke system...");
@@ -190,5 +333,70 @@ fn main() {
         "{} trace overhead: {ratio:.4}x (budget <= {MAX_OVERHEAD_RATIO}x)",
         if pass { "PASS" } else { "FAIL" }
     );
-    std::process::exit(if pass { 0 } else { 1 });
+    let mut ok = pass;
+
+    // Gate 2: the windowed-telemetry serving step. Interleaved whole-drain
+    // passes (off, on) over the same load; the *fastest* drain of each
+    // side is compared rather than the median — a whole drain is long
+    // enough for one background load spike to move its median, but both
+    // sides' minima are spike-free, which is what an overhead ratio
+    // should compare.
+    let bundle = pipeline
+        .servable(ServableSpec::dense())
+        .expect("dense servable");
+    let serve_utts = pipeline.corpus.sample_set(12, &mut rng);
+    const SERVE_SAMPLES: usize = 15;
+    // One discarded warmup pair: the first drains fault in the scorer's
+    // working set and the allocator's arenas for both configurations.
+    serve_pass(&bundle, false, &serve_utts);
+    serve_pass(&bundle, true, &serve_utts);
+    let mut off_ns = Vec::with_capacity(SERVE_SAMPLES);
+    let mut on_ns = Vec::with_capacity(SERVE_SAMPLES);
+    for _ in 0..SERVE_SAMPLES {
+        off_ns.push(serve_pass(&bundle, false, &serve_utts));
+        on_ns.push(serve_pass(&bundle, true, &serve_utts));
+    }
+    let off = off_ns.iter().copied().min().unwrap_or(1).max(1);
+    let on = on_ns.iter().copied().min().unwrap_or(1);
+    let serve_ratio = on as f64 / off as f64;
+    let serve_pass_ok = serve_ratio <= MAX_OVERHEAD_RATIO;
+    println!(
+        "{} windowed telemetry serving overhead: {serve_ratio:.4}x \
+         (on {:.3} ms vs off {:.3} ms per drain, budget <= {MAX_OVERHEAD_RATIO}x)",
+        if serve_pass_ok { "PASS" } else { "FAIL" },
+        on as f64 / 1e6,
+        off as f64 / 1e6
+    );
+    ok &= serve_pass_ok;
+
+    // Gate 3: the exposition format contract.
+    let rendered = golden_snapshot().to_prometheus();
+    let golden_ok = rendered == GOLDEN_PROM;
+    println!(
+        "{} prometheus exposition matches golden/telemetry.prom ({} bytes)",
+        if golden_ok { "PASS" } else { "FAIL" },
+        rendered.len()
+    );
+    if !golden_ok {
+        for (i, (got, want)) in rendered.lines().zip(GOLDEN_PROM.lines()).enumerate() {
+            if got != want {
+                println!(
+                    "  first divergence at line {}:\n  got:  {got}\n  want: {want}",
+                    i + 1
+                );
+                break;
+            }
+        }
+        if rendered.lines().count() != GOLDEN_PROM.lines().count() {
+            println!(
+                "  line count {} vs golden {}",
+                rendered.lines().count(),
+                GOLDEN_PROM.lines().count()
+            );
+        }
+        println!("  (intentional change? regenerate: trace_overhead --write-golden crates/bench/golden/telemetry.prom)");
+    }
+    ok &= golden_ok;
+
+    std::process::exit(if ok { 0 } else { 1 });
 }

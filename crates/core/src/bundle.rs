@@ -44,6 +44,11 @@ pub struct ModelBundle {
     pub structure: String,
     /// Achieved global sparsity of the scorer (0 for dense).
     pub sparsity: f64,
+    /// Mean hypotheses/frame of the **dense** model under this bundle's
+    /// beam ([`Pipeline::dense_hyps_baseline`]) — what the ISSUE 9
+    /// per-session detector multiplies to get its workload threshold. 0
+    /// disables the workload check (no probe data).
+    pub dense_hyps_baseline: f64,
 }
 
 impl ModelBundle {
@@ -87,6 +92,9 @@ pub struct ServableSpec {
     policy: Option<PolicyKind>,
     /// Serving-time beam; `None` defers to the pipeline's.
     beam: Option<BeamConfig>,
+    /// Masked-retraining epochs after the prune; `None` defers to the
+    /// pipeline's configured budget.
+    retrain: Option<usize>,
 }
 
 impl ServableSpec {
@@ -97,6 +105,7 @@ impl ServableSpec {
             structure: None,
             policy: None,
             beam: None,
+            retrain: None,
         }
     }
 
@@ -132,6 +141,17 @@ impl ServableSpec {
         self.beam = Some(beam);
         self
     }
+
+    /// Masked-retrain for `epochs` after the prune instead of the
+    /// pipeline's configured budget. `with_retrain(0)` exports the raw
+    /// prune-and-ship artifact — the confidence-collapsed model the
+    /// paper's dark side is about, which the serving bench's detector
+    /// scenario serves deliberately. Dense specs reject the override
+    /// (there is nothing to retrain).
+    pub fn with_retrain(mut self, epochs: usize) -> Self {
+        self.retrain = Some(epochs);
+        self
+    }
 }
 
 impl Pipeline {
@@ -158,6 +178,12 @@ impl Pipeline {
                         ),
                     ));
                 }
+                if let Some(epochs) = spec.retrain {
+                    return Err(Error::config(
+                        "ServableSpec",
+                        format!("dense export cannot carry a retrain override ({epochs} epochs)"),
+                    ));
+                }
                 (
                     Arc::new(self.model.clone()),
                     "dense".to_string(),
@@ -172,7 +198,9 @@ impl Pipeline {
                     ));
                 }
                 let structure = spec.structure.unwrap_or(self.config.structure);
-                let (pruned, achieved) = self.prune_to_structured(spec.sparsity, structure)?;
+                let retrain = spec.retrain.unwrap_or(self.config.retrain_epochs);
+                let (pruned, achieved) =
+                    self.prune_with_retrain(spec.sparsity, structure, retrain)?;
                 (
                     Arc::new(pruned),
                     format!("{:.0}%", spec.sparsity * 100.0),
@@ -189,6 +217,7 @@ impl Pipeline {
             label,
             structure,
             sparsity,
+            dense_hyps_baseline: self.dense_hyps_baseline(&beam)?,
         })
     }
 }
@@ -211,6 +240,10 @@ mod tests {
         assert_eq!(pruned.label, "90%");
         assert!((pruned.sparsity - 0.9).abs() < 0.01);
         assert_eq!(dense.scorer.input_dim(), pruned.scorer.input_dim());
+        // Both bundles carry the same dense workload baseline (probed once
+        // per beam geometry, memoized across exports).
+        assert!(dense.dense_hyps_baseline > 0.0);
+        assert_eq!(dense.dense_hyps_baseline, pruned.dense_hyps_baseline);
 
         fn is_send_sync<T: Send + Sync>(_: &T) {}
         is_send_sync(&dense.graph);

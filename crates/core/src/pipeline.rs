@@ -515,6 +515,9 @@ pub struct Pipeline {
     train_frames: usize,
     final_train_loss: f64,
     final_train_accuracy: f64,
+    /// Memo of [`Pipeline::dense_hyps_baseline`] probes, keyed by beam
+    /// geometry bits (one probe per distinct serving beam).
+    dense_hyps_probes: std::sync::Mutex<Vec<((u32, u32), f64)>>,
 }
 
 impl Pipeline {
@@ -587,7 +590,55 @@ impl Pipeline {
             train_frames: features.rows(),
             final_train_loss: last.mean_loss as f64,
             final_train_accuracy: last.accuracy as f64,
+            dense_hyps_probes: std::sync::Mutex::new(Vec::new()),
         })
+    }
+
+    /// Mean hypotheses/frame of the **dense** model decoding under `beam`
+    /// with the classic beam policy — the workload baseline the ISSUE 9
+    /// per-session dark-side detector compares live sessions against (the
+    /// paper's hypothesis blowup is *relative to dense*). Probed over a
+    /// small fixed slice of the held-out set, frame-weighted, and memoized
+    /// per beam geometry so repeated [`Pipeline::servable`] exports pay
+    /// once. Returns 0 when the pipeline has no test utterances (the
+    /// detector treats a non-positive baseline as "no workload check").
+    pub fn dense_hyps_baseline(&self, beam: &BeamConfig) -> Result<f64, Error> {
+        const PROBE_UTTERANCES: usize = 4;
+        let key = (beam.beam.to_bits(), beam.acoustic_scale.to_bits());
+        {
+            let probes = self
+                .dense_hyps_probes
+                .lock()
+                .unwrap_or_else(|e| e.into_inner());
+            if let Some((_, v)) = probes.iter().find(|(k, _)| *k == key) {
+                return Ok(*v);
+            }
+        }
+        let mut frames = 0usize;
+        let mut hyps = 0f64;
+        for utt in self.test_set.iter().take(PROBE_UTTERANCES) {
+            let scores = FrameScorer::score_frames(&self.model, &utt.frames);
+            let costs = acoustic_costs(&scores, beam);
+            let mut policy = PolicyKind::Beam.build(beam)?;
+            let result = decode_with_policy(&self.graph, &costs, policy.as_mut())?;
+            for n in &result.stats.active_tokens {
+                hyps += *n as f64;
+            }
+            frames += result.stats.active_tokens.len();
+        }
+        let baseline = if frames == 0 {
+            0.0
+        } else {
+            hyps / frames as f64
+        };
+        let mut probes = self
+            .dense_hyps_probes
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        if !probes.iter().any(|(k, _)| *k == key) {
+            probes.push((key, baseline));
+        }
+        Ok(baseline)
     }
 
     /// The held-out test set every [`Pipeline::evaluate_scorer`] call
@@ -744,6 +795,18 @@ impl Pipeline {
         target: f64,
         structure: PruneStructure,
     ) -> Result<(PrunedMlp, f64), Error> {
+        self.prune_with_retrain(target, structure, self.config.retrain_epochs)
+    }
+
+    /// [`Pipeline::prune_to_structured`] with an explicit masked-retraining
+    /// budget instead of the configured one. Zero epochs exports the raw
+    /// prune-and-ship artifact ([`crate::ServableSpec::with_retrain`]).
+    pub(crate) fn prune_with_retrain(
+        &self,
+        target: f64,
+        structure: PruneStructure,
+        retrain_epochs: usize,
+    ) -> Result<(PrunedMlp, f64), Error> {
         let mut model = self.model.clone();
         let result = {
             let _s = trace::span!("prune");
@@ -751,7 +814,7 @@ impl Pipeline {
             result.apply(&mut model);
             result
         };
-        if self.config.retrain_epochs > 0 {
+        if retrain_epochs > 0 {
             let _retrain_span = trace::span!("retrain");
             let (features, labels) = {
                 // Retrain on a fresh sample of the same task (the paper
@@ -772,7 +835,7 @@ impl Pipeline {
                 ..self.config.sgd
             };
             let mut trainer = Trainer::new(sgd, &model);
-            for _ in 0..self.config.retrain_epochs {
+            for _ in 0..retrain_epochs {
                 trainer.train_epoch(&mut model, &features, &labels, &mut rng, |m| {
                     result.apply(m)
                 });

@@ -145,6 +145,11 @@ pub struct SearchCore<G: GraphSource> {
     scratch: Vec<FstArc>,
     stats: DecodeStats,
     frame: usize,
+    /// Best-vs-runner-up cost gap of the most recent frame (ISSUE 9
+    /// detector feed; `f32::INFINITY` until a frame with ≥ 2 hypotheses).
+    /// Transient like `scratch`: recomputed every [`SearchCore::advance`],
+    /// not part of [`SearchCore::save_state`].
+    frame_margin: f32,
 }
 
 /// A mid-utterance best hypothesis (ISSUE 5 streaming): what a serving
@@ -189,6 +194,7 @@ impl<G: GraphSource> SearchCore<G> {
             scratch: Vec::new(),
             stats: DecodeStats::default(),
             frame: 0,
+            frame_margin: f32::INFINITY,
         })
     }
 
@@ -225,11 +231,24 @@ impl<G: GraphSource> SearchCore<G> {
                 format!("all hypotheses died at frame {}", self.frame),
             ));
         }
-        let best = self
-            .next
-            .values()
-            .map(|c| c.cost)
-            .fold(f32::INFINITY, f32::min);
+        // One pass for the frame-best *and* the runner-up: the gap between
+        // them is the per-frame score margin the ISSUE 9 dark-side detector
+        // watches (the paper's confidence collapse, observed live — a
+        // collapsing softmax flattens hypothesis costs, so the margin
+        // shrinks as sparsity grows). Margin never feeds back into pruning;
+        // decode output is bit-identical with or without a reader.
+        let (best, runner_up) =
+            self.next
+                .values()
+                .map(|c| c.cost)
+                .fold((f32::INFINITY, f32::INFINITY), |(b, r), c| {
+                    if c < b {
+                        (c, b)
+                    } else {
+                        (b, r.min(c))
+                    }
+                });
+        self.frame_margin = runner_up - best;
         let prune = policy.end_frame();
         let cutoff = prune.cutoff.unwrap_or(f32::INFINITY);
         // Deterministic survivor order: sorted by state id, so the arena
@@ -274,6 +293,9 @@ impl<G: GraphSource> SearchCore<G> {
             trace::sample("decode.frame.ns", ns as f64);
             trace::sample("decode.frame.arcs", expanded as f64);
             trace::counter("decode.frames", 1);
+            if self.frame_margin.is_finite() {
+                trace::sample("decode.frame.margin", self.frame_margin as f64);
+            }
         }
         self.frame += 1;
         Ok(())
@@ -282,6 +304,25 @@ impl<G: GraphSource> SearchCore<G> {
     /// Frames consumed so far.
     pub fn frames(&self) -> usize {
         self.frame
+    }
+
+    /// Best-vs-runner-up cost gap of the most recent frame
+    /// (`f32::INFINITY` before the first frame or when only one hypothesis
+    /// survived). The ISSUE 9 per-session detector's margin signal.
+    pub fn frame_margin(&self) -> f32 {
+        self.frame_margin
+    }
+
+    /// Hypotheses currently alive (after the last frame's cutoff) — the
+    /// detector's workload signal, without waiting for `DecodeStats`.
+    pub fn active_hypotheses(&self) -> usize {
+        self.tokens.len()
+    }
+
+    /// The graph this search walks (serve's per-step reap reads lazy-graph
+    /// memo counters through this).
+    pub fn graph(&self) -> &G {
+        &self.graph
     }
 
     /// Best hypothesis *now* (⊗ final weight when one finishes; the best

@@ -57,6 +57,10 @@ pub struct AdmissionController {
     draining: bool,
     admitted: u64,
     degraded: u64,
+    /// Sessions the dark-side detector downgraded mid-stream (ISSUE 9) —
+    /// typed separately from `degraded` (admission-time degrades), so the
+    /// two degrade paths stay distinguishable in reports.
+    detector_degraded: u64,
     /// Cumulative rejections, indexed parallel to [`RejectReason::ALL`].
     rejected_by: [u64; RejectReason::ALL.len()],
 }
@@ -80,6 +84,7 @@ impl AdmissionController {
             draining: false,
             admitted: 0,
             degraded: 0,
+            detector_degraded: 0,
             rejected_by: [0; RejectReason::ALL.len()],
         }
     }
@@ -219,6 +224,20 @@ impl AdmissionController {
     /// Offers admitted degraded.
     pub fn degraded(&self) -> u64 {
         self.degraded
+    }
+
+    /// A live session was flagged by the dark-side detector and downgraded
+    /// mid-stream (the scheduler's [`crate::ShardedScheduler::step`]
+    /// sweep).
+    pub fn on_detector_degrade(&mut self) {
+        self.detector_degraded += 1;
+    }
+
+    /// Sessions downgraded mid-stream by the dark-side detector (distinct
+    /// from [`AdmissionController::degraded`], which counts admission-time
+    /// degrades).
+    pub fn detector_degraded(&self) -> u64 {
+        self.detector_degraded
     }
 
     /// Total rejections, every reason.

@@ -1,0 +1,296 @@
+//! The metrics exposition endpoint (ISSUE 9): a zero-dependency TCP
+//! server publishing the engine's fleet snapshot in two formats.
+//!
+//! * `GET /metrics` — Prometheus text exposition: the fleet-wide merged
+//!   [`darkside_trace::TelemetrySnapshot`], per-shard labelled series, and
+//!   one gauge per live session. One response per connection.
+//! * `GET /events` — a JSONL stream: every time the scheduler publishes a
+//!   new snapshot, one JSON object is written as a line. The connection
+//!   stays open until the client hangs up or the exporter shuts down.
+//!
+//! The engine's stepping thread *renders* ([`Exporter::publish`]); the
+//! exporter's background thread only ever *serves* the last rendered
+//! [`Exposition`] — a scrape never touches a recorder, a mutex on the hot
+//! path, or the scheduler itself. `std::net` only, per the workspace's
+//! no-external-deps rule (the same reason this speaks just enough HTTP/1.0
+//! for `curl` and a Prometheus scraper: request line in, full response
+//! out, connection close delimits the body).
+
+use darkside_error::Error;
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// How long the acceptor sleeps when no connection is pending.
+const ACCEPT_POLL: Duration = Duration::from_millis(5);
+
+/// How often a `/events` streamer checks for a new generation.
+const EVENT_POLL: Duration = Duration::from_millis(10);
+
+/// One rendered fleet snapshot, in both exposition formats.
+#[derive(Clone, Debug, Default)]
+pub struct Exposition {
+    /// Prometheus text exposition (`GET /metrics`).
+    pub prometheus: String,
+    /// One JSON object, no trailing newline (`GET /events` appends one per
+    /// publish).
+    pub event_json: String,
+}
+
+struct ExporterState {
+    shutdown: AtomicBool,
+    /// Generation counter + the latest snapshot; the generation lets an
+    /// `/events` streamer emit each publish exactly once.
+    exposition: Mutex<(u64, Exposition)>,
+}
+
+/// The background exposition server. Bound at construction (so the port is
+/// known immediately), serving until dropped.
+pub struct Exporter {
+    addr: SocketAddr,
+    state: Arc<ExporterState>,
+    acceptor: Option<JoinHandle<()>>,
+}
+
+impl Exporter {
+    /// Bind `127.0.0.1:port` (0 picks an ephemeral port — read it back via
+    /// [`Exporter::local_addr`]) and start the acceptor thread.
+    pub fn start(port: u16) -> Result<Self, Error> {
+        let listener = TcpListener::bind(("127.0.0.1", port))
+            .map_err(|e| Error::config("Exporter", format!("bind 127.0.0.1:{port}: {e}")))?;
+        let addr = listener
+            .local_addr()
+            .map_err(|e| Error::config("Exporter", format!("local_addr: {e}")))?;
+        listener
+            .set_nonblocking(true)
+            .map_err(|e| Error::config("Exporter", format!("set_nonblocking: {e}")))?;
+        let state = Arc::new(ExporterState {
+            shutdown: AtomicBool::new(false),
+            exposition: Mutex::new((0, Exposition::default())),
+        });
+        let accept_state = state.clone();
+        let acceptor = std::thread::spawn(move || accept_loop(listener, accept_state));
+        Ok(Self {
+            addr,
+            state,
+            acceptor: Some(acceptor),
+        })
+    }
+
+    /// Where the endpoint is listening.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Swap in a freshly rendered snapshot: subsequent `/metrics` scrapes
+    /// serve it, and every open `/events` stream emits its JSON line.
+    pub fn publish(&self, exposition: Exposition) {
+        let mut slot = self
+            .state
+            .exposition
+            .lock()
+            .unwrap_or_else(|p| p.into_inner());
+        slot.0 += 1;
+        slot.1 = exposition;
+    }
+}
+
+impl Drop for Exporter {
+    fn drop(&mut self) {
+        self.state.shutdown.store(true, Ordering::SeqCst);
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+    }
+}
+
+fn accept_loop(listener: TcpListener, state: Arc<ExporterState>) {
+    // Handler threads park here so shutdown can wait for in-flight
+    // responses instead of racing the process teardown.
+    let mut handlers: Vec<JoinHandle<()>> = Vec::new();
+    while !state.shutdown.load(Ordering::SeqCst) {
+        handlers.retain(|h| !h.is_finished());
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let state = state.clone();
+                handlers.push(std::thread::spawn(move || serve_connection(stream, state)));
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => std::thread::sleep(ACCEPT_POLL),
+            Err(_) => std::thread::sleep(ACCEPT_POLL),
+        }
+    }
+    for h in handlers {
+        let _ = h.join();
+    }
+}
+
+fn serve_connection(mut stream: TcpStream, state: Arc<ExporterState>) {
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(250)));
+    let Some(path) = read_request_path(&mut stream) else {
+        return;
+    };
+    match path.as_str() {
+        "/metrics" => {
+            let body = {
+                let slot = state.exposition.lock().unwrap_or_else(|p| p.into_inner());
+                slot.1.prometheus.clone()
+            };
+            let _ = write!(
+                stream,
+                "HTTP/1.0 200 OK\r\nContent-Type: text/plain; version=0.0.4\r\n\
+                 Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+                body.len(),
+            );
+        }
+        "/events" => {
+            if stream
+                .write_all(
+                    b"HTTP/1.0 200 OK\r\nContent-Type: application/x-ndjson\r\n\
+                      Connection: close\r\n\r\n",
+                )
+                .is_err()
+            {
+                return;
+            }
+            let mut seen = 0u64;
+            while !state.shutdown.load(Ordering::SeqCst) {
+                let line = {
+                    let slot = state.exposition.lock().unwrap_or_else(|p| p.into_inner());
+                    (slot.0 > seen).then(|| {
+                        seen = slot.0;
+                        slot.1.event_json.clone()
+                    })
+                };
+                match line {
+                    Some(line) => {
+                        if writeln!(stream, "{line}")
+                            .and_then(|()| stream.flush())
+                            .is_err()
+                        {
+                            return; // client hung up
+                        }
+                    }
+                    None => std::thread::sleep(EVENT_POLL),
+                }
+            }
+        }
+        _ => {
+            let _ = stream.write_all(
+                b"HTTP/1.0 404 Not Found\r\nContent-Length: 0\r\nConnection: close\r\n\r\n",
+            );
+        }
+    }
+}
+
+/// Read the request line (`GET <path> HTTP/1.x`) and return the path.
+/// Anything malformed — wrong method, no path, client timeout — is `None`
+/// and the connection just closes.
+fn read_request_path(stream: &mut TcpStream) -> Option<String> {
+    let mut buf = [0u8; 1024];
+    let mut filled = 0;
+    // Read until the request line is complete (terminated by "\r\n"); the
+    // buffer bounds a hostile or babbling client.
+    while filled < buf.len() {
+        match stream.read(&mut buf[filled..]) {
+            Ok(0) | Err(_) => break,
+            Ok(n) => {
+                filled += n;
+                if buf[..filled].windows(2).any(|w| w == b"\r\n") {
+                    break;
+                }
+            }
+        }
+    }
+    let text = std::str::from_utf8(&buf[..filled]).ok()?;
+    let line = text.lines().next()?;
+    let mut parts = line.split_whitespace();
+    if parts.next()? != "GET" {
+        return None;
+    }
+    parts.next().map(str::to_string)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn http_get(addr: SocketAddr, path: &str) -> String {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        write!(stream, "GET {path} HTTP/1.0\r\n\r\n").unwrap();
+        let mut out = String::new();
+        stream.read_to_string(&mut out).unwrap();
+        out
+    }
+
+    #[test]
+    fn serves_published_prometheus_text_and_404s_elsewhere() {
+        let exporter = Exporter::start(0).unwrap();
+        let addr = exporter.local_addr();
+        exporter.publish(Exposition {
+            prometheus: "darkside_up 1\n".into(),
+            event_json: "{\"up\":true}".into(),
+        });
+        let response = http_get(addr, "/metrics");
+        assert!(response.starts_with("HTTP/1.0 200"), "{response}");
+        assert!(response.contains("darkside_up 1"), "{response}");
+        // Re-publish replaces the body wholesale.
+        exporter.publish(Exposition {
+            prometheus: "darkside_up 2\n".into(),
+            event_json: "{\"up\":2}".into(),
+        });
+        let response = http_get(addr, "/metrics");
+        assert!(response.contains("darkside_up 2"), "{response}");
+        assert!(!response.contains("darkside_up 1"), "{response}");
+        let response = http_get(addr, "/nope");
+        assert!(response.starts_with("HTTP/1.0 404"), "{response}");
+    }
+
+    #[test]
+    fn event_stream_emits_one_line_per_publish() {
+        let exporter = Exporter::start(0).unwrap();
+        let addr = exporter.local_addr();
+        exporter.publish(Exposition {
+            prometheus: String::new(),
+            event_json: "{\"n\":1}".into(),
+        });
+        let mut stream = TcpStream::connect(addr).unwrap();
+        write!(stream, "GET /events HTTP/1.0\r\n\r\n").unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        let mut got = Vec::new();
+        let mut buf = [0u8; 4096];
+        // First line arrives from the snapshot published before connecting.
+        while !String::from_utf8_lossy(&got).contains("{\"n\":1}\n") {
+            let n = stream.read(&mut buf).unwrap();
+            assert!(n > 0, "stream closed early");
+            got.extend_from_slice(&buf[..n]);
+        }
+        // The second only after the next publish.
+        exporter.publish(Exposition {
+            prometheus: String::new(),
+            event_json: "{\"n\":2}".into(),
+        });
+        while !String::from_utf8_lossy(&got).contains("{\"n\":2}\n") {
+            let n = stream.read(&mut buf).unwrap();
+            assert!(n > 0, "stream closed early");
+            got.extend_from_slice(&buf[..n]);
+        }
+        let text = String::from_utf8_lossy(&got);
+        assert_eq!(text.matches("{\"n\":1}").count(), 1, "{text}");
+        drop(exporter); // shutdown closes the stream rather than hanging it
+    }
+
+    #[test]
+    fn exporter_shuts_down_on_drop_and_frees_the_port() {
+        let exporter = Exporter::start(0).unwrap();
+        let addr = exporter.local_addr();
+        drop(exporter);
+        // The acceptor has exited; the port can be rebound.
+        let rebound = TcpListener::bind(addr);
+        assert!(rebound.is_ok(), "{rebound:?}");
+    }
+}

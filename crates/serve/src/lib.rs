@@ -65,6 +65,7 @@
 
 pub mod admission;
 pub mod checkpoint;
+pub mod exporter;
 pub mod session;
 mod shard;
 pub mod sharded;
@@ -72,10 +73,83 @@ pub mod sharded;
 pub use admission::{Admission, AdmissionController};
 pub use checkpoint::SessionCheckpoint;
 pub use darkside_error::RejectReason;
-pub use session::{ServedResult, Session, SessionId};
+pub use exporter::{Exporter, Exposition};
+pub use session::{ServedResult, Session, SessionHealth, SessionId};
 pub use sharded::{EngineStats, ShardedScheduler, StepStats, SubmitResponse};
 
 use darkside_error::Error;
+use darkside_trace::WindowConfig;
+
+/// Per-session dark-side detector knobs (ISSUE 9): when to flag a live
+/// session as exhibiting the paper's pruning pathology — score-margin
+/// collapse and/or hypothesis blowup past a multiple of the dense
+/// baseline. A session is flagged after [`DetectorConfig::window_frames`]
+/// *consecutive* unhealthy frames (a streak, so one noisy frame never
+/// flags), and a flagged session is downgraded to the bounded N-best
+/// degrade tier — counted and typed, never silently.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DetectorConfig {
+    /// Workload check: a frame is unhealthy when its live hypothesis count
+    /// exceeds `hyps_multiple ×` the bundle's dense baseline
+    /// (`ModelBundle::dense_hyps_baseline`; a non-positive baseline
+    /// disables this check). The paper measures 3.63× at 90 % sparsity —
+    /// the default 2.0 sits between healthy dense variance and that.
+    pub hyps_multiple: f64,
+    /// Confidence check: a frame is unhealthy when its best-vs-runner-up
+    /// cost margin falls below this floor (the live analogue of the
+    /// paper's softmax-confidence collapse). 0 disables the check
+    /// (margins are non-negative).
+    pub margin_floor: f32,
+    /// Consecutive unhealthy frames before the session is flagged.
+    pub window_frames: u32,
+}
+
+impl Default for DetectorConfig {
+    fn default() -> Self {
+        Self {
+            hyps_multiple: 2.0,
+            margin_floor: 0.0,
+            window_frames: 8,
+        }
+    }
+}
+
+impl DetectorConfig {
+    pub fn with_hyps_multiple(mut self, hyps_multiple: f64) -> Self {
+        self.hyps_multiple = hyps_multiple;
+        self
+    }
+
+    pub fn with_margin_floor(mut self, margin_floor: f32) -> Self {
+        self.margin_floor = margin_floor;
+        self
+    }
+
+    pub fn with_window_frames(mut self, window_frames: u32) -> Self {
+        self.window_frames = window_frames;
+        self
+    }
+
+    fn validate(&self) -> Result<(), Error> {
+        let fail = |detail: String| Err(Error::config("DetectorConfig", detail));
+        if !(self.hyps_multiple.is_finite() && self.hyps_multiple > 1.0) {
+            return fail(format!(
+                "hyps_multiple {} must exceed 1",
+                self.hyps_multiple
+            ));
+        }
+        if !(self.margin_floor.is_finite() && self.margin_floor >= 0.0) {
+            return fail(format!(
+                "margin_floor {} must be finite ≥ 0",
+                self.margin_floor
+            ));
+        }
+        if self.window_frames == 0 {
+            return fail("zero window_frames".into());
+        }
+        Ok(())
+    }
+}
 
 /// Serving-engine knobs (validated at [`ShardedScheduler::build`], mirror
 /// of the `PipelineConfig` builder idiom): shard/worker topology,
@@ -113,6 +187,23 @@ pub struct ServeConfig {
     /// frames (and ≥ 2 ready sessions, so stealing never ping-pongs a
     /// lone session). 0 disables stealing.
     pub steal_threshold: usize,
+    /// Per-session dark-side detector (ISSUE 9). `None` (the default)
+    /// disables it entirely: sessions carry no health state and decode
+    /// bit-for-bit as before.
+    pub detector: Option<DetectorConfig>,
+    /// Sliding-window telemetry (ISSUE 9). When set, every shard recorder
+    /// (and the scheduler's own) keeps windowed counter/histogram views
+    /// with this geometry alongside the cumulative ones, and
+    /// [`ShardedScheduler::telemetry`] reports live rates over the window.
+    /// `None` (the default) keeps recorders cumulative-only.
+    pub telemetry: Option<WindowConfig>,
+    /// Metrics exposition endpoint (ISSUE 9). When set, the scheduler
+    /// starts a background [`Exporter`] bound to `127.0.0.1:port` (0 picks
+    /// an ephemeral port — read it back via
+    /// [`ShardedScheduler::exporter_addr`]) serving the fleet-wide merged
+    /// snapshot as Prometheus text (`GET /metrics`) and a JSONL event
+    /// stream (`GET /events`).
+    pub exporter_port: Option<u16>,
 }
 
 impl Default for ServeConfig {
@@ -127,6 +218,9 @@ impl Default for ServeConfig {
             degrade_fraction: 0.75,
             slo_p99_ms: None,
             steal_threshold: 32,
+            detector: None,
+            telemetry: None,
+            exporter_port: None,
         }
     }
 }
@@ -172,6 +266,21 @@ impl ServeConfig {
         self
     }
 
+    pub fn with_detector(mut self, detector: DetectorConfig) -> Self {
+        self.detector = Some(detector);
+        self
+    }
+
+    pub fn with_telemetry(mut self, window: WindowConfig) -> Self {
+        self.telemetry = Some(window);
+        self
+    }
+
+    pub fn with_exporter_port(mut self, port: u16) -> Self {
+        self.exporter_port = Some(port);
+        self
+    }
+
     pub(crate) fn validate(&self) -> Result<(), Error> {
         let fail = |detail: String| Err(Error::config("ServeConfig", detail));
         if self.shards == 0 {
@@ -197,6 +306,9 @@ impl ServeConfig {
                 return fail(format!("slo_p99_ms {slo} is not a positive duration"));
             }
         }
+        if let Some(detector) = &self.detector {
+            detector.validate()?;
+        }
         Ok(())
     }
 }
@@ -218,6 +330,13 @@ mod tests {
             ServeConfig::default().with_degrade_fraction(-0.1),
             ServeConfig::default().with_slo_p99_ms(0.0),
             ServeConfig::default().with_slo_p99_ms(f64::NAN),
+            ServeConfig::default().with_detector(DetectorConfig::default().with_hyps_multiple(1.0)),
+            ServeConfig::default()
+                .with_detector(DetectorConfig::default().with_hyps_multiple(f64::NAN)),
+            ServeConfig::default().with_detector(DetectorConfig::default().with_margin_floor(-1.0)),
+            ServeConfig::default()
+                .with_detector(DetectorConfig::default().with_margin_floor(f32::INFINITY)),
+            ServeConfig::default().with_detector(DetectorConfig::default().with_window_frames(0)),
         ] {
             assert!(bad.validate().is_err(), "{bad:?}");
         }
@@ -233,7 +352,15 @@ mod tests {
             .with_max_batch_frames(32)
             .with_degrade_fraction(0.5)
             .with_slo_p99_ms(12.5)
-            .with_steal_threshold(7);
+            .with_steal_threshold(7)
+            .with_detector(
+                DetectorConfig::default()
+                    .with_hyps_multiple(3.0)
+                    .with_margin_floor(0.25)
+                    .with_window_frames(16),
+            )
+            .with_telemetry(WindowConfig::of_seconds(4.0, 8))
+            .with_exporter_port(0);
         assert_eq!(cfg.shards, 3);
         assert_eq!(cfg.workers, 2);
         assert_eq!(cfg.max_sessions, 10);
@@ -242,6 +369,12 @@ mod tests {
         assert_eq!(cfg.degrade_fraction, 0.5);
         assert_eq!(cfg.slo_p99_ms, Some(12.5));
         assert_eq!(cfg.steal_threshold, 7);
+        let detector = cfg.detector.expect("detector set");
+        assert_eq!(detector.hyps_multiple, 3.0);
+        assert_eq!(detector.margin_floor, 0.25);
+        assert_eq!(detector.window_frames, 16);
+        assert_eq!(cfg.telemetry, Some(WindowConfig::of_seconds(4.0, 8)));
+        assert_eq!(cfg.exporter_port, Some(0));
         assert!(cfg.validate().is_ok());
     }
 }

@@ -12,6 +12,7 @@
 //! answers.
 
 use crate::checkpoint::SessionCheckpoint;
+use crate::DetectorConfig;
 use darkside_decoder::{wire, DecodeResult, Error, PartialHypothesis, PruningPolicy, SearchCore};
 use darkside_nn::{Frame, Matrix};
 use darkside_trace as trace;
@@ -45,6 +46,63 @@ pub struct ServedResult {
     /// Submit-to-final wall time, nanoseconds (the served latency the
     /// closed-loop bench reports percentiles of).
     pub latency_ns: u64,
+    /// Frame index at which the dark-side detector flagged this session
+    /// (margin collapse / hypothesis blowup streak), or `None` if it
+    /// stayed healthy or the detector was off. A flagged session keeps
+    /// serving, downgraded to the degraded tier — never silently dropped.
+    pub flagged_at: Option<u32>,
+}
+
+/// Per-session dark-side health (ISSUE 9): watches the live margin and
+/// hypothesis count every frame the decoder advances and latches a flag
+/// after [`DetectorConfig::window_frames`] consecutive unhealthy frames.
+/// Pure observation — it never touches the search itself, so a session
+/// with a health tracker decodes bit-for-bit identically until the
+/// scheduler acts on the flag.
+#[derive(Clone, Copy, Debug)]
+pub struct SessionHealth {
+    cfg: DetectorConfig,
+    /// `hyps_multiple × dense_hyps_baseline`; ≤ 0 disables the workload
+    /// check (no baseline probe data).
+    hyps_threshold: f64,
+    unhealthy_streak: u32,
+    flagged_at: Option<u32>,
+}
+
+impl SessionHealth {
+    pub fn new(cfg: DetectorConfig, dense_hyps_baseline: f64) -> Self {
+        Self {
+            cfg,
+            hyps_threshold: cfg.hyps_multiple * dense_hyps_baseline.max(0.0),
+            unhealthy_streak: 0,
+            flagged_at: None,
+        }
+    }
+
+    /// Fold in one decoded frame. `frame` is the session's frame index
+    /// (1-based count of frames decoded so far), `margin` the
+    /// best-vs-runner-up cost gap (`INFINITY` when fewer than two
+    /// hypotheses survive — trivially healthy), `active` the surviving
+    /// hypothesis count.
+    pub fn observe(&mut self, frame: usize, margin: f32, active: usize) {
+        if self.flagged_at.is_some() {
+            return;
+        }
+        let hyps_bad = self.hyps_threshold > 0.0 && active as f64 > self.hyps_threshold;
+        let margin_bad = margin < self.cfg.margin_floor;
+        if hyps_bad || margin_bad {
+            self.unhealthy_streak += 1;
+            if self.unhealthy_streak >= self.cfg.window_frames {
+                self.flagged_at = Some(frame.min(u32::MAX as usize) as u32);
+            }
+        } else {
+            self.unhealthy_streak = 0;
+        }
+    }
+
+    pub fn flagged_at(&self) -> Option<u32> {
+        self.flagged_at
+    }
 }
 
 /// One live utterance: pending (un-scored) frames in front of an owning
@@ -63,6 +121,12 @@ pub struct Session {
     submitted_ns: u64,
     /// First search error; the session stops advancing once set.
     error: Option<Error>,
+    /// Dark-side health tracker; `None` when the detector is off.
+    /// Deliberately *not* part of the checkpoint wire format — health is
+    /// derived observation, and a restored session restarts its streak
+    /// from scratch (the pathology re-flags within one window if still
+    /// present).
+    health: Option<SessionHealth>,
 }
 
 impl Session {
@@ -84,7 +148,16 @@ impl Session {
             frames_in: 0,
             submitted_ns: trace::now_ns(),
             error: None,
+            health: None,
         })
+    }
+
+    /// Attach a dark-side health tracker (detector on).
+    /// `dense_hyps_baseline` comes from the bundle
+    /// ([`darkside_core::ModelBundle::dense_hyps_baseline`]).
+    pub fn with_detector(mut self, cfg: DetectorConfig, dense_hyps_baseline: f64) -> Self {
+        self.health = Some(SessionHealth::new(cfg, dense_hyps_baseline));
+        self
     }
 
     pub fn id(&self) -> SessionId {
@@ -93,6 +166,27 @@ impl Session {
 
     pub fn is_degraded(&self) -> bool {
         self.degraded
+    }
+
+    /// Frame index at which the detector flagged this session, if it has.
+    pub fn flagged_at(&self) -> Option<u32> {
+        self.health.and_then(|h| h.flagged_at())
+    }
+
+    /// Flagged by the detector and not yet downgraded — the scheduler's
+    /// cue to swap this session onto the degraded tier.
+    pub fn needs_degrade(&self) -> bool {
+        self.flagged_at().is_some() && !self.degraded
+    }
+
+    /// Downgrade a flagged session mid-stream: swap in a fresh policy of
+    /// the degraded tier (policies are per-frame — the new one simply
+    /// takes over at the next `advance`) and mark the session degraded so
+    /// its [`ServedResult`] says so.
+    pub fn degrade(&mut self, policy: Box<dyn PruningPolicy + Send>) {
+        self.policy.end_utterance();
+        self.policy = policy;
+        self.degraded = true;
     }
 
     /// Buffer more feature frames (ignored after [`Session::close_input`]).
@@ -137,6 +231,12 @@ impl Session {
             }
             if let Err(e) = self.core.advance(costs.row(r), self.policy.as_mut()) {
                 self.error = Some(e);
+            } else if let Some(health) = &mut self.health {
+                health.observe(
+                    self.core.frames(),
+                    self.core.frame_margin(),
+                    self.core.active_hypotheses(),
+                );
             }
         }
     }
@@ -240,6 +340,7 @@ impl Session {
             frames_in: ckpt.frames_in,
             submitted_ns: ckpt.submitted_ns,
             error: None,
+            health: None,
         })
     }
 
@@ -258,6 +359,7 @@ impl Session {
             degraded: self.degraded,
             frames: self.frames_in,
             latency_ns,
+            flagged_at: self.health.and_then(|h| h.flagged_at()),
         }
     }
 }
@@ -479,6 +581,49 @@ mod tests {
         let _ = s.take_ready(1);
         s.advance_rows(&costs, 0..1);
         assert!(s.checkpoint().is_err());
+    }
+
+    #[test]
+    fn health_flags_only_after_a_full_unhealthy_streak_and_latches() {
+        let cfg = DetectorConfig::default()
+            .with_hyps_multiple(2.0)
+            .with_window_frames(3);
+        let mut h = SessionHealth::new(cfg, 10.0); // workload threshold: 20 hyps
+        for f in 1..=10 {
+            h.observe(f, f32::INFINITY, 5);
+        }
+        assert_eq!(h.flagged_at(), None);
+        // A broken streak resets the count.
+        h.observe(11, f32::INFINITY, 50);
+        h.observe(12, f32::INFINITY, 50);
+        h.observe(13, f32::INFINITY, 5);
+        assert_eq!(h.flagged_at(), None);
+        // Three consecutive unhealthy frames latch the flag at the third.
+        h.observe(14, f32::INFINITY, 50);
+        h.observe(15, f32::INFINITY, 50);
+        h.observe(16, f32::INFINITY, 50);
+        assert_eq!(h.flagged_at(), Some(16));
+        // Latched: later healthy frames never clear it.
+        h.observe(17, f32::INFINITY, 5);
+        assert_eq!(h.flagged_at(), Some(16));
+    }
+
+    #[test]
+    fn health_margin_floor_catches_confidence_collapse() {
+        let cfg = DetectorConfig::default()
+            .with_margin_floor(0.5)
+            .with_window_frames(2);
+        // Baseline 0 disables the workload check; only the margin matters.
+        let mut h = SessionHealth::new(cfg, 0.0);
+        h.observe(1, 0.1, 1000);
+        h.observe(2, 0.1, 1000);
+        assert_eq!(h.flagged_at(), Some(2));
+        // A lone surviving hypothesis has INFINITE margin — trivially
+        // healthy, not a collapse.
+        let mut h = SessionHealth::new(cfg, 0.0);
+        h.observe(1, f32::INFINITY, 1);
+        h.observe(2, f32::INFINITY, 1);
+        assert_eq!(h.flagged_at(), None);
     }
 
     #[test]

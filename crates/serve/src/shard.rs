@@ -41,6 +41,10 @@ pub(crate) struct ShardStep {
     pub completed: usize,
     /// Of those, sessions that ended in a search error.
     pub failed: usize,
+    /// Of those, sessions the detector flagged in this same step — reaped
+    /// before the scheduler's sweep could downgrade them, so the shard
+    /// counts the flag itself (see [`Shard::reap`]).
+    pub flagged: usize,
     /// Queue budget stranded in reaped sessions (frames that died
     /// un-scored); the engine hands it back to admission.
     pub freed_unscored: usize,
@@ -63,11 +67,16 @@ pub(crate) struct Shard {
 }
 
 impl Shard {
+    /// `recorder` is this shard's private sink — the engine passes a
+    /// windowed one when live telemetry is configured
+    /// ([`crate::ServeConfig::telemetry`]), a plain cumulative one
+    /// otherwise.
     pub(crate) fn new(
         scorer: Arc<dyn FrameScorer + Send + Sync>,
         beam: BeamConfig,
         workers: usize,
         max_batch_frames: usize,
+        recorder: SharedRecorder,
     ) -> Self {
         Self {
             scorer,
@@ -76,7 +85,7 @@ impl Shard {
             max_batch_frames,
             sessions: Vec::new(),
             completed: Vec::new(),
-            recorder: SharedRecorder::new(),
+            recorder,
         }
     }
 
@@ -115,6 +124,10 @@ impl Shard {
 
     pub(crate) fn is_empty(&self) -> bool {
         self.sessions.is_empty()
+    }
+
+    pub(crate) fn sessions(&self) -> impl Iterator<Item = &Session> {
+        self.sessions.iter()
     }
 
     pub(crate) fn sessions_mut(&mut self) -> impl Iterator<Item = &mut Session> {
@@ -267,6 +280,19 @@ impl Shard {
             }
             trace::counter("serve.session.frames", served.frames as u64);
             trace::sample("serve.session.latency_ns", served.latency_ns as f64);
+            // A session can flag and finish inside one step (the whole
+            // utterance fit the batch cap): it is reaped before the
+            // scheduler's flag sweep runs, so the flag is counted here —
+            // there is nothing left to downgrade, but the ledgers must
+            // still see it. Swept sessions are excluded (`degraded` is set
+            // by the sweep that already counted them).
+            if !served.degraded {
+                if let Some(at) = served.flagged_at {
+                    trace::counter("serve.detector.flagged", 1);
+                    trace::sample("serve.detector.frames_to_flag", at as f64);
+                    out.flagged += 1;
+                }
+            }
             // The per-session span: recorded with the session's own
             // submit→final timestamps on the shard sink (the ambient RAII
             // span API cannot backdate an enter).

@@ -32,6 +32,7 @@
 
 use crate::admission::{Admission, AdmissionController};
 use crate::checkpoint::SessionCheckpoint;
+use crate::exporter::{Exporter, Exposition};
 use crate::session::{ServedResult, Session, SessionId};
 use crate::shard::{Shard, ShardStep};
 use crate::ServeConfig;
@@ -39,8 +40,12 @@ use darkside_core::{ModelBundle, PolicyKind};
 use darkside_decoder::{BeamConfig, PartialHypothesis};
 use darkside_error::{Error, RejectReason};
 use darkside_nn::Frame;
-use darkside_trace::{self as trace, LogHistogram, MetricsSnapshot, SharedRecorder};
+use darkside_trace::{
+    self as trace, render_prometheus, Json, LogHistogram, MetricsSnapshot, Recorder as _,
+    SharedRecorder, TelemetrySnapshot,
+};
 use darkside_viterbi_accel::NBestTableConfig;
+use darkside_wfst::MemoStats;
 
 /// The degraded-service table: small enough to bind (cap per-frame work)
 /// even on smoke-scale graphs, 8-way like the paper's Table III.
@@ -55,6 +60,12 @@ const DEGRADED_BEAM_SCALE: f32 = 0.5;
 /// SLO admission holds until this many `serve.frame.ns` samples exist
 /// fleet-wide, so a cold engine's first noisy batches cannot shed traffic.
 const SLO_WARMUP_SAMPLES: u64 = 64;
+
+/// How often (at most) the stepping thread re-renders the fleet snapshot
+/// for the exposition endpoint. Publishing walks every recorder, so it is
+/// throttled off the hot path; scrapes between publishes see the last
+/// rendered snapshot.
+const PUBLISH_INTERVAL_NS: u64 = 50_000_000;
 
 /// The engine's answer to an admitted utterance offer. Rejections are not
 /// a variant: [`ShardedScheduler::offer`] returns them as typed
@@ -92,6 +103,8 @@ pub struct StepStats {
     pub completed: usize,
     /// Sessions moved between shards by work stealing this step.
     pub steals: usize,
+    /// Sessions the dark-side detector flagged (and downgraded) this step.
+    pub flagged: usize,
 }
 
 /// Cumulative engine counters (monotonic over the engine's life).
@@ -113,6 +126,8 @@ pub struct EngineStats {
     pub peak_active_sessions: usize,
     /// Largest single-shard micro-batch.
     pub peak_batch_frames: usize,
+    /// Sessions flagged by the dark-side detector over the engine's life.
+    pub flagged: u64,
 }
 
 /// The sharded streaming inference engine: global admission control in
@@ -127,6 +142,19 @@ pub struct ShardedScheduler {
     next_id: u64,
     completed: Vec<ServedResult>,
     stats: EngineStats,
+    /// The engine's own sink (windowed when telemetry is on): memo-cache
+    /// and detector counters that belong to no single shard. Merged into
+    /// [`ShardedScheduler::metrics`] alongside the shard sinks.
+    recorder: SharedRecorder,
+    /// Memo-cache counters at the last step, for per-step deltas (the
+    /// graph's [`MemoStats`] are cumulative over its lifetime and the
+    /// graph is shared engine-wide, so the delta must be taken once per
+    /// step, never per session).
+    last_memo: MemoStats,
+    /// The exposition endpoint, when [`ServeConfig::exporter_port`] is set.
+    exporter: Option<Exporter>,
+    /// `None` until the first publish (which is never throttled).
+    last_publish_ns: Option<u64>,
 }
 
 impl ShardedScheduler {
@@ -138,6 +166,10 @@ impl ShardedScheduler {
         bundle.build_policy()?;
         let degraded_bundle = degraded(&bundle);
         degraded_bundle.build_policy()?;
+        let make_recorder = || match cfg.telemetry {
+            Some(window) => SharedRecorder::windowed(window),
+            None => SharedRecorder::new(),
+        };
         let shards = (0..cfg.shards)
             .map(|_| {
                 Shard::new(
@@ -145,11 +177,17 @@ impl ShardedScheduler {
                     bundle.beam,
                     cfg.workers,
                     cfg.max_batch_frames,
+                    make_recorder(),
                 )
             })
             .collect();
+        let exporter = match cfg.exporter_port {
+            Some(port) => Some(Exporter::start(port)?),
+            None => None,
+        };
         Ok(Self {
             admission: AdmissionController::new(&cfg),
+            last_memo: bundle.graph.memo_stats().unwrap_or_default(),
             bundle,
             degraded_bundle,
             cfg,
@@ -157,6 +195,9 @@ impl ShardedScheduler {
             next_id: 0,
             completed: Vec::new(),
             stats: EngineStats::default(),
+            recorder: make_recorder(),
+            exporter,
+            last_publish_ns: None,
         })
     }
 
@@ -188,13 +229,16 @@ impl ShardedScheduler {
                     &self.bundle
                 };
                 let id = SessionId(self.next_id);
-                let session = Session::new(
+                let mut session = Session::new(
                     id,
                     bundle.graph.clone(),
                     bundle.graph_kind,
                     bundle.build_policy()?,
                     degraded,
                 )?;
+                if let Some(detector) = self.cfg.detector {
+                    session = session.with_detector(detector, bundle.dense_hyps_baseline);
+                }
                 self.next_id += 1;
                 let home = self.home(id);
                 self.shards[home].adopt(session);
@@ -277,6 +321,10 @@ impl ShardedScheduler {
             agg.scored_frames += st.scored_frames;
             agg.batch_sessions += st.batch_sessions;
             agg.completed += st.completed;
+            // Flags the shards counted at reap time (sessions that flagged
+            // and finished inside this very step); the sweep below adds
+            // the still-live ones it downgrades.
+            agg.flagged += st.flagged;
             self.admission
                 .on_scored(st.scored_frames + st.freed_unscored);
             for _ in 0..st.completed {
@@ -291,11 +339,15 @@ impl ShardedScheduler {
         self.stats.scored_frames += agg.scored_frames as u64;
         self.stats.completed += agg.completed as u64;
         self.stats.steals += steals as u64;
+        agg.flagged += self.sweep_flagged()?;
+        self.stats.flagged += agg.flagged as u64;
+        self.record_memo_delta();
         for shard in &mut self.shards {
             self.completed.append(&mut shard.completed);
         }
         trace::gauge("serve.queue.depth", self.admission.queued_frames() as f64);
         trace::gauge("serve.sessions.active", self.active_sessions() as f64);
+        self.publish_exposition(false);
         Ok(agg)
     }
 
@@ -314,6 +366,9 @@ impl ShardedScheduler {
         while self.active_sessions() > 0 {
             self.step()?;
         }
+        // Scrapers polling through a drain see the final state, not a
+        // snapshot from up to one publish interval earlier.
+        self.publish_exposition(true);
         Ok(self.take_completed())
     }
 
@@ -366,12 +421,18 @@ impl ShardedScheduler {
         } else {
             &self.bundle
         };
-        let session = Session::restore(
+        let mut session = Session::restore(
             ckpt,
             bundle.graph.clone(),
             bundle.graph_kind,
             bundle.build_policy()?,
         )?;
+        // Health is derived observation, not checkpoint state: a restored
+        // session starts a fresh streak (and re-flags within one window if
+        // the pathology persists).
+        if let Some(detector) = self.cfg.detector {
+            session = session.with_detector(detector, bundle.dense_hyps_baseline);
+        }
         if let Err(e) = self.admission.readmit(ckpt.pending_frames()) {
             return Err(self.count_rejection(e));
         }
@@ -420,13 +481,167 @@ impl ShardedScheduler {
     }
 
     /// The union of every shard's metrics (counters add, histograms
-    /// merge) — one fleet-wide snapshot for reports.
+    /// merge) plus the engine's own sink — one fleet-wide snapshot for
+    /// reports.
     pub fn metrics(&self) -> MetricsSnapshot {
-        let union = SharedRecorder::new();
+        self.union_recorder().snapshot()
+    }
+
+    /// The fleet-wide [`TelemetrySnapshot`]: cumulative metrics plus, when
+    /// [`ServeConfig::telemetry`] is set, the live windowed rates (the
+    /// cross-shard window merge is exact — slots align on absolute time).
+    pub fn telemetry(&self) -> TelemetrySnapshot {
+        self.union_recorder().telemetry_snapshot()
+    }
+
+    /// Where the exposition endpoint is listening (`None` when
+    /// [`ServeConfig::exporter_port`] is unset). With port 0 this is how
+    /// the caller learns the ephemeral port.
+    pub fn exporter_addr(&self) -> Option<std::net::SocketAddr> {
+        self.exporter.as_ref().map(Exporter::local_addr)
+    }
+
+    fn union_recorder(&self) -> SharedRecorder {
+        let union = match self.cfg.telemetry {
+            Some(window) => SharedRecorder::windowed(window),
+            None => SharedRecorder::new(),
+        };
+        union.absorb(&self.recorder);
         for shard in &self.shards {
             union.absorb(&shard.recorder);
         }
-        union.snapshot()
+        union
+    }
+
+    /// Detector bookkeeping, after the shards step: every freshly flagged
+    /// session is downgraded to the degraded tier (fresh policy from the
+    /// degraded bundle — policies are per-frame, so the swap takes over at
+    /// the session's next advance), counted on its shard's sink and typed
+    /// in admission. No-op when the detector is off.
+    fn sweep_flagged(&mut self) -> Result<usize, Error> {
+        if self.cfg.detector.is_none() {
+            return Ok(0);
+        }
+        let mut flagged = 0;
+        for shard in &mut self.shards {
+            let recorder = shard.recorder.clone();
+            for s in shard.sessions_mut() {
+                if !s.needs_degrade() {
+                    continue;
+                }
+                s.degrade(self.degraded_bundle.build_policy()?);
+                recorder.counter("serve.detector.flagged", 1);
+                if let Some(at) = s.flagged_at() {
+                    recorder.sample("serve.detector.frames_to_flag", at as f64);
+                }
+                self.admission.on_detector_degrade();
+                flagged += 1;
+            }
+        }
+        Ok(flagged)
+    }
+
+    /// Surface the shared graph's memo-cache counters as per-step deltas
+    /// (satellite of ISSUE 9): the graph is one engine-wide `Arc`, so the
+    /// delta is taken once per step against [`Self::last_memo`] — never
+    /// per session, which would multiply-count the shared cache. Eager
+    /// graphs have no memo and skip this entirely.
+    fn record_memo_delta(&mut self) {
+        let Some(stats) = self.bundle.graph.memo_stats() else {
+            return;
+        };
+        let last = std::mem::replace(&mut self.last_memo, stats);
+        self.recorder
+            .counter("wfst.memo.hits", stats.hits.saturating_sub(last.hits));
+        self.recorder
+            .counter("wfst.memo.misses", stats.misses.saturating_sub(last.misses));
+        self.recorder.counter(
+            "wfst.memo.evictions",
+            stats.evictions.saturating_sub(last.evictions),
+        );
+        self.recorder
+            .gauge("wfst.memo.resident_states", stats.resident as f64);
+    }
+
+    /// Re-render the fleet snapshot for the exposition endpoint, at most
+    /// every [`PUBLISH_INTERVAL_NS`] (`force` skips the throttle — drain
+    /// publishes the final state). No-op without an exporter.
+    fn publish_exposition(&mut self, force: bool) {
+        if self.exporter.is_none() {
+            return;
+        }
+        let now = trace::now_ns();
+        let throttled = self
+            .last_publish_ns
+            .is_some_and(|last| now.saturating_sub(last) < PUBLISH_INTERVAL_NS);
+        if !force && throttled {
+            return;
+        }
+        self.last_publish_ns = Some(now);
+        let exposition = self.render_exposition();
+        if let Some(exporter) = &self.exporter {
+            exporter.publish(exposition);
+        }
+    }
+
+    /// Render the fleet state in both exposition formats: Prometheus text
+    /// (fleet-wide series, per-shard labelled series, and one
+    /// `darkside_serve_session_frames` gauge per live session) and one
+    /// JSONL event carrying the [`TelemetrySnapshot`] plus per-shard and
+    /// per-session tables.
+    fn render_exposition(&self) -> Exposition {
+        use std::fmt::Write as _;
+        let telemetry = self.telemetry();
+        let mut prometheus = telemetry.to_prometheus();
+        let mut shards_json = Vec::new();
+        let mut sessions_json = Vec::new();
+        for (i, shard) in self.shards.iter().enumerate() {
+            let label = i.to_string();
+            render_prometheus(
+                &mut prometheus,
+                &shard.recorder.snapshot(),
+                &[("shard", &label)],
+            );
+            shards_json.push(Json::obj(vec![
+                ("shard", (i as u64).into()),
+                ("sessions", (shard.len() as u64).into()),
+                ("ready_frames", (shard.ready_frames() as u64).into()),
+            ]));
+            for s in shard.sessions() {
+                let _ = writeln!(
+                    prometheus,
+                    "darkside_serve_session_frames{{shard=\"{i}\",session=\"{}\",\
+                     degraded=\"{}\",flagged=\"{}\"}} {}",
+                    s.id(),
+                    s.is_degraded(),
+                    s.flagged_at().is_some(),
+                    s.frames_in(),
+                );
+                sessions_json.push(Json::obj(vec![
+                    ("id", Json::Str(s.id().to_string())),
+                    ("shard", (i as u64).into()),
+                    ("frames_in", (s.frames_in() as u64).into()),
+                    ("ready", (s.ready() as u64).into()),
+                    ("degraded", s.is_degraded().into()),
+                    (
+                        "flagged_at",
+                        match s.flagged_at() {
+                            Some(at) => (at as u64).into(),
+                            None => Json::Null,
+                        },
+                    ),
+                ]));
+            }
+        }
+        let event = Json::obj(vec![
+            ("telemetry", telemetry.to_json()),
+            ("shards", Json::Arr(shards_json)),
+            ("sessions", Json::Arr(sessions_json)),
+        ]);
+        Exposition {
+            prometheus,
+            event_json: event.render(),
+        }
     }
 
     fn home(&self, id: SessionId) -> usize {
@@ -829,6 +1044,51 @@ mod tests {
         let stats = engine.stats();
         assert_eq!(stats.checkpoints, 1);
         assert_eq!(stats.restores, 1);
+    }
+
+    #[test]
+    fn lazy_graph_memo_counters_surface_per_step() {
+        // A lazy-composed graph has a memo; serving must surface its
+        // traffic as engine-level counters (ISSUE 9 satellite). The delta
+        // baseline is taken at build, so the servable-export probe decode
+        // does not leak into serving counters.
+        let config = PipelineConfig::smoke()
+            .with_training(0, 0)
+            .with_lazy_graph(256);
+        let bundle = Pipeline::build(config)
+            .unwrap()
+            .servable(ServableSpec::dense())
+            .unwrap();
+        let mut engine = ShardedScheduler::build(bundle.clone(), test_config()).unwrap();
+        for u in utterances(&bundle, 2, 6, 0x20) {
+            engine.offer(u).unwrap();
+        }
+        engine.drain().unwrap();
+        let metrics = engine.metrics();
+        let hits = metrics.counters.get("wfst.memo.hits").copied().unwrap_or(0);
+        let misses = metrics
+            .counters
+            .get("wfst.memo.misses")
+            .copied()
+            .unwrap_or(0);
+        assert!(
+            hits + misses > 0,
+            "lazy serving must touch the memo: {:?}",
+            metrics.counters
+        );
+        assert!(
+            metrics.gauges.contains_key("wfst.memo.resident_states"),
+            "{:?}",
+            metrics.gauges
+        );
+        // An eager engine surfaces none of this.
+        let eager = test_bundle();
+        let mut engine = ShardedScheduler::build(eager.clone(), test_config()).unwrap();
+        for u in utterances(&eager, 1, 4, 0x21) {
+            engine.offer(u).unwrap();
+        }
+        engine.drain().unwrap();
+        assert!(!engine.metrics().counters.contains_key("wfst.memo.hits"));
     }
 
     #[test]

@@ -103,6 +103,9 @@ pub fn bundle_for(
         label: kind.label().to_string(),
         sparsity: 0.0,
         structure: "unstructured".to_string(),
+        // No probe data for these synthetic bundles: the detector's
+        // workload check stays off unless a test sets one.
+        dense_hyps_baseline: 0.0,
     }
 }
 

@@ -1,0 +1,208 @@
+//! ISSUE 9 satellites: the dark-side detector is decode-neutral while
+//! sessions stay healthy (and when it is off entirely), flags degrade
+//! sessions visibly — counted and typed, never silently — and the
+//! exposition endpoint serves the live fleet state.
+
+mod common;
+
+use common::{assert_bit_identical, policies, random_graph, random_mlp, random_utterance};
+use darkside_decoder::BeamConfig;
+use darkside_nn::check::run_cases;
+use darkside_nn::Frame;
+use darkside_serve::{DetectorConfig, ServeConfig, ShardedScheduler};
+use darkside_trace::WindowConfig;
+use std::io::{Read, Write};
+use std::sync::Arc;
+
+/// Telemetry windows + a detector that can never fire (no margin floor,
+/// astronomically high workload multiple) leave every served decode
+/// bit-for-bit identical to the plain engine's: health tracking is pure
+/// observation until a flag actually lands.
+#[test]
+fn armed_but_untriggered_detector_is_decode_neutral() {
+    let beam = BeamConfig {
+        beam: 6.0,
+        ..BeamConfig::default()
+    };
+    run_cases(0xD7EC_700A, 6, |rng, case| {
+        let graph = Arc::new(random_graph(rng));
+        let mlp = Arc::new(random_mlp(rng));
+        let utts: Vec<Vec<Frame>> = (0..4)
+            .map(|_| {
+                let frames = 1 + rng.below(10);
+                random_utterance(rng, mlp.input_dim(), frames)
+            })
+            .collect();
+        for kind in policies() {
+            let base_cfg = ServeConfig::default()
+                .with_shards(2)
+                .with_max_batch_frames(5)
+                .with_degrade_fraction(1.0);
+            let serve = |cfg: ServeConfig| {
+                let mut bundle = common::bundle_for(&graph, &mlp, beam, kind);
+                bundle.dense_hyps_baseline = 1.0;
+                let mut engine = ShardedScheduler::build(bundle, cfg).unwrap();
+                for u in &utts {
+                    engine.offer(u.clone()).unwrap();
+                }
+                let mut served = engine.drain().unwrap();
+                served.sort_by_key(|r| r.id);
+                served
+            };
+            let plain = serve(base_cfg);
+            let armed = serve(
+                base_cfg
+                    .with_telemetry(WindowConfig::of_seconds(2.0, 4))
+                    .with_detector(
+                        DetectorConfig::default()
+                            .with_hyps_multiple(1e12)
+                            .with_margin_floor(0.0),
+                    ),
+            );
+            for (p, a) in plain.iter().zip(&armed) {
+                assert_eq!(p.id, a.id);
+                assert_eq!(a.flagged_at, None, "case {case}: spurious flag");
+                assert!(!a.degraded, "case {case}: spurious degrade");
+                match (&p.decode, &a.decode) {
+                    (Ok(p), Ok(a)) => assert_bit_identical(
+                        a,
+                        p,
+                        &format!("case {case} policy {} detector-armed", kind.label()),
+                    ),
+                    (Err(_), Err(_)) => {}
+                    (p, a) => panic!(
+                        "case {case} policy {}: plain ok={} vs armed ok={}",
+                        kind.label(),
+                        p.is_ok(),
+                        a.is_ok()
+                    ),
+                }
+            }
+        }
+    });
+}
+
+/// A workload threshold below one hypothesis makes every frame unhealthy:
+/// each session must flag exactly at the streak length, downgrade to the
+/// degraded tier, and show up in every ledger — the result, the engine
+/// stats, the typed admission counter, and the trace metrics.
+#[test]
+fn flagged_sessions_degrade_counted_and_typed() {
+    let beam = BeamConfig {
+        beam: 6.0,
+        ..BeamConfig::default()
+    };
+    let mut rng = darkside_nn::Rng::new(0xD7EC_700B);
+    let graph = Arc::new(random_graph(&mut rng));
+    let mlp = Arc::new(random_mlp(&mut rng));
+    let mut bundle = common::bundle_for(&graph, &mlp, beam, darkside_core::PolicyKind::Beam);
+    // Threshold = 2.0 × 0.01 = 0.02 hypotheses: any live frame breaches it.
+    bundle.dense_hyps_baseline = 0.01;
+    let window_frames = 3;
+    let mut engine = ShardedScheduler::build(
+        bundle,
+        ServeConfig::default()
+            .with_shards(2)
+            .with_max_batch_frames(4)
+            .with_degrade_fraction(1.0)
+            .with_detector(DetectorConfig::default().with_window_frames(window_frames)),
+    )
+    .unwrap();
+    let n = 4;
+    for _ in 0..n {
+        let u = random_utterance(&mut rng, mlp.input_dim(), 10);
+        engine.offer(u).unwrap();
+    }
+    let served = engine.drain().unwrap();
+    assert_eq!(served.len(), n);
+    for r in &served {
+        assert!(r.decode.is_ok(), "{:?}", r.decode);
+        assert_eq!(
+            r.flagged_at,
+            Some(window_frames),
+            "session {} should flag exactly after the streak",
+            r.id
+        );
+        assert!(r.degraded, "flagged session {} must be degraded", r.id);
+    }
+    assert_eq!(engine.stats().flagged, n as u64);
+    assert_eq!(engine.admission().detector_degraded(), n as u64);
+    // Admission-time degrades stayed zero — the two degrade paths are
+    // typed apart.
+    assert_eq!(engine.admission().degraded(), 0);
+    let metrics = engine.metrics();
+    assert_eq!(metrics.counters["serve.detector.flagged"], n as u64);
+    let time_to_flag = &metrics.histograms["serve.detector.frames_to_flag"];
+    assert_eq!(time_to_flag.count, n as u64);
+    assert_eq!(time_to_flag.max, window_frames as f64);
+}
+
+fn http_get(addr: std::net::SocketAddr, path: &str) -> String {
+    let mut stream = std::net::TcpStream::connect(addr).unwrap();
+    write!(stream, "GET {path} HTTP/1.0\r\n\r\n").unwrap();
+    let mut out = String::new();
+    stream.read_to_string(&mut out).unwrap();
+    out
+}
+
+/// End-to-end exposition: a scrape mid-serve sees the fleet series,
+/// per-shard labelled series, and one gauge per live session; a scrape
+/// after drain sees the final counters.
+#[test]
+fn exposition_endpoint_serves_live_fleet_state() {
+    let beam = BeamConfig {
+        beam: 6.0,
+        ..BeamConfig::default()
+    };
+    let mut rng = darkside_nn::Rng::new(0xD7EC_700C);
+    let graph = Arc::new(random_graph(&mut rng));
+    let mlp = Arc::new(random_mlp(&mut rng));
+    let bundle = common::bundle_for(&graph, &mlp, beam, darkside_core::PolicyKind::Beam);
+    let mut engine = ShardedScheduler::build(
+        bundle,
+        ServeConfig::default()
+            .with_shards(2)
+            .with_max_batch_frames(2)
+            .with_degrade_fraction(1.0)
+            .with_telemetry(WindowConfig::of_seconds(2.0, 4))
+            .with_exporter_port(0),
+    )
+    .unwrap();
+    let addr = engine.exporter_addr().expect("exporter configured");
+    for _ in 0..2 {
+        let u = random_utterance(&mut rng, mlp.input_dim(), 12);
+        engine.offer(u).unwrap();
+    }
+    // One step scores 2×2 frames and publishes; both sessions stay live.
+    engine.step().unwrap();
+    let scrape = http_get(addr, "/metrics");
+    assert!(scrape.starts_with("HTTP/1.0 200"), "{scrape}");
+    assert!(
+        scrape.contains("darkside_serve_frame_ns"),
+        "fleet series missing:\n{scrape}"
+    );
+    assert!(
+        scrape.contains("shard=\"0\"") && scrape.contains("shard=\"1\""),
+        "per-shard series missing:\n{scrape}"
+    );
+    assert!(
+        scrape.contains("darkside_serve_session_frames{shard=\"0\",session=\"s0\""),
+        "per-session gauge missing:\n{scrape}"
+    );
+    // Windowed view flows through: the window-scoped series exist.
+    assert!(
+        scrape.contains("_window"),
+        "windowed series missing:\n{scrape}"
+    );
+    engine.drain().unwrap();
+    let scrape = http_get(addr, "/metrics");
+    assert!(
+        scrape.contains("darkside_serve_session_completed_total 2"),
+        "final counters missing:\n{scrape}"
+    );
+    // Sessions are gone; no per-session gauges remain.
+    assert!(
+        !scrape.contains("darkside_serve_session_frames{"),
+        "stale session gauges:\n{scrape}"
+    );
+}

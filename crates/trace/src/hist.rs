@@ -112,6 +112,15 @@ impl LogHistogram {
         self.count
     }
 
+    /// The raw per-bucket counts (fixed geometry, see [`bucket_lower`]).
+    /// Two histograms over the same samples have identical bucket counts
+    /// regardless of recording order — the exactness the windowed-metrics
+    /// oracle tests pin — whereas the float `sum` is order-sensitive in its
+    /// last bits.
+    pub fn bucket_counts(&self) -> &[u64] {
+        &self.counts
+    }
+
     pub fn min(&self) -> f64 {
         if self.count == 0 {
             0.0

@@ -52,12 +52,17 @@ pub mod json;
 pub mod recorder;
 pub mod report;
 pub mod shared;
+pub mod window;
 
 pub use hist::{exact_percentile, HistogramSummary, LogHistogram};
 pub use json::Json;
 pub use recorder::{JsonlRecorder, MemoryRecorder, NullRecorder, Recorder};
 pub use report::{MetricsSnapshot, RunReport, SpanAgg};
 pub use shared::SharedRecorder;
+pub use window::{
+    render_prometheus, TelemetrySnapshot, WindowConfig, WindowRate, WindowedCounter,
+    WindowedHistogram, WindowedView, TELEMETRY_SCHEMA_VERSION,
+};
 
 use std::cell::{Cell, RefCell};
 use std::rc::Rc;

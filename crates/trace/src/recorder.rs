@@ -54,6 +54,14 @@ pub trait Recorder {
     fn snapshot(&self) -> Option<MetricsSnapshot> {
         None
     }
+
+    /// Live telemetry view — cumulative snapshot plus the sliding-window
+    /// side when the sink maintains one (ISSUE 9). Only
+    /// [`crate::SharedRecorder`] built via `SharedRecorder::windowed`
+    /// carries windows; every other sink reports `None`.
+    fn telemetry(&self) -> Option<crate::window::TelemetrySnapshot> {
+        None
+    }
 }
 
 /// The no-op sink: statically does nothing, reports inactive.

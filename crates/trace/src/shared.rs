@@ -27,15 +27,39 @@
 use crate::hist::LogHistogram;
 use crate::recorder::Recorder;
 use crate::report::{MetricsSnapshot, SpanAgg};
+use crate::window::{
+    TelemetrySnapshot, WindowConfig, WindowRate, WindowedCounter, WindowedHistogram, WindowedView,
+};
 use std::collections::BTreeMap;
 use std::rc::Rc;
 use std::sync::{Arc, Mutex};
 
-#[derive(Default)]
+/// One counter: cumulative total plus (when windows are enabled) its
+/// sliding-window ring. Keeping both halves in one cell means the hot path
+/// pays a single map descent per event — and, after the first event under a
+/// name, zero allocations (the `entry(name.to_string())` idiom would
+/// allocate a key per event just to throw it away on the hit path).
+#[derive(Clone)]
+struct CounterCell {
+    total: u64,
+    window: Option<WindowedCounter>,
+}
+
+/// One histogram: cumulative [`LogHistogram`] plus its optional window ring.
+#[derive(Clone)]
+struct HistCell {
+    total: LogHistogram,
+    window: Option<WindowedHistogram>,
+}
+
+#[derive(Clone, Default)]
 struct SharedState {
-    counters: BTreeMap<String, u64>,
+    /// `Some` when this recorder maintains sliding windows (ISSUE 9);
+    /// cells created while it is `Some` carry a window half.
+    window_cfg: Option<WindowConfig>,
+    counters: BTreeMap<String, CounterCell>,
     gauges: BTreeMap<String, f64>,
-    histograms: BTreeMap<String, LogHistogram>,
+    histograms: BTreeMap<String, HistCell>,
     spans: BTreeMap<String, SpanAgg>,
     open_spans: u64,
     unbalanced_closes: u64,
@@ -52,6 +76,36 @@ pub struct SharedRecorder {
 impl SharedRecorder {
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// A recorder whose counters and histograms also maintain a sliding
+    /// window view under `cfg` (ISSUE 9). The windowed path adds one ring
+    /// update per event inside the map cell the cumulative update already
+    /// descended to; recorders built with [`SharedRecorder::new`] pay
+    /// nothing.
+    pub fn windowed(cfg: WindowConfig) -> Self {
+        let recorder = Self::default();
+        recorder.lock().window_cfg = Some(cfg);
+        recorder
+    }
+
+    /// The window geometry, if this recorder was built with
+    /// [`SharedRecorder::windowed`] (or adopted windows via
+    /// [`SharedRecorder::absorb`]).
+    pub fn window_config(&self) -> Option<WindowConfig> {
+        self.lock().window_cfg
+    }
+
+    /// Point-in-time [`TelemetrySnapshot`]: the cumulative aggregate plus
+    /// the live window view (when windows are enabled).
+    pub fn telemetry_snapshot(&self) -> TelemetrySnapshot {
+        let now = crate::now_ns();
+        let s = self.lock();
+        TelemetrySnapshot {
+            at_ns: now,
+            cumulative: s.snapshot(),
+            windowed: s.window_cfg.map(|cfg| s.windowed_view(now, cfg)),
+        }
     }
 
     /// Run `f` on the **current** thread with a clone of this handle
@@ -94,30 +148,61 @@ impl SharedRecorder {
         if n == 0 {
             return;
         }
-        self.lock()
-            .histograms
-            .entry(name.to_string())
-            .or_default()
-            .record_n(value, n);
+        let mut s = self.lock();
+        let s = &mut *s;
+        // The clock read only matters for window-slot placement; plain
+        // recorders skip it.
+        let now = s.window_cfg.is_some().then(crate::now_ns);
+        if let Some(cell) = s.histograms.get_mut(name) {
+            cell.total.record_n(value, n);
+            match (&mut cell.window, now, s.window_cfg) {
+                (Some(w), Some(now), _) => w.record_n(now, value, n),
+                // A cell created before this recorder adopted windows
+                // (plain recorder that absorbed a windowed shard) grows its
+                // ring on the next event.
+                (w @ None, Some(now), Some(cfg)) => {
+                    let mut ring = WindowedHistogram::new(cfg);
+                    ring.record_n(now, value, n);
+                    *w = Some(ring);
+                }
+                _ => {}
+            }
+            return;
+        }
+        let mut total = LogHistogram::new();
+        total.record_n(value, n);
+        let window = s.window_cfg.map(|cfg| {
+            let mut ring = WindowedHistogram::new(cfg);
+            ring.record_n(now.unwrap_or(0), value, n);
+            ring
+        });
+        s.histograms
+            .insert(name.to_string(), HistCell { total, window });
     }
 
     /// A clone of the named histogram, if any samples have been recorded.
     /// Shard histograms are cloned out and [`LogHistogram::merge`]d so the
     /// SLO admission reads one fleet-wide quantile from per-shard sinks.
     pub fn histogram(&self, name: &str) -> Option<LogHistogram> {
-        self.lock().histograms.get(name).cloned()
+        self.lock().histograms.get(name).map(|c| c.total.clone())
     }
 
     /// Samples recorded under `name` so far (0 when absent). Admission uses
     /// this to hold SLO enforcement until a warm-up's worth of evidence.
     pub fn sample_count(&self, name: &str) -> u64 {
-        self.lock().histograms.get(name).map_or(0, |h| h.count())
+        self.lock()
+            .histograms
+            .get(name)
+            .map_or(0, |c| c.total.count())
     }
 
     /// Nearest-rank quantile of the named histogram, `None` until a sample
     /// exists under `name`.
     pub fn quantile(&self, name: &str, q: f64) -> Option<f64> {
-        self.lock().histograms.get(name).map(|h| h.quantile(q))
+        self.lock()
+            .histograms
+            .get(name)
+            .map(|c| c.total.quantile(q))
     }
 
     /// Fold everything `other` has recorded into this aggregate: counters
@@ -126,24 +211,59 @@ impl SharedRecorder {
     /// aggregate locks, so absorbing a shard's recorder can never deadlock
     /// against a worker still recording into either side.
     pub fn absorb(&self, other: &SharedRecorder) {
-        let theirs = {
-            let s = other.lock();
-            SharedState {
-                counters: s.counters.clone(),
-                gauges: s.gauges.clone(),
-                histograms: s.histograms.clone(),
-                spans: s.spans.clone(),
-                open_spans: s.open_spans,
-                unbalanced_closes: s.unbalanced_closes,
-            }
-        };
+        let theirs = other.lock().clone();
         let mut mine = self.lock();
-        for (k, v) in theirs.counters {
-            *mine.counters.entry(k).or_insert(0) += v;
+        // Windows: adopt the geometry on first absorb, merge slot-for-slot
+        // when it matches (mismatched geometry is skipped — merging unequal
+        // slot widths would not be exact).
+        if mine.window_cfg.is_none() {
+            mine.window_cfg = theirs.window_cfg;
+        }
+        let cfg = mine.window_cfg;
+        for (k, c) in theirs.counters {
+            match mine.counters.get_mut(&k) {
+                Some(cell) => {
+                    cell.total += c.total;
+                    match (&mut cell.window, c.window) {
+                        (Some(w), Some(tw)) => w.merge_from(&tw),
+                        (w @ None, Some(tw)) if Some(tw.config()) == cfg => *w = Some(tw),
+                        _ => {}
+                    }
+                }
+                None => {
+                    let keep = c.window.filter(|w| Some(w.config()) == cfg);
+                    mine.counters.insert(
+                        k,
+                        CounterCell {
+                            total: c.total,
+                            window: keep,
+                        },
+                    );
+                }
+            }
         }
         mine.gauges.extend(theirs.gauges);
         for (k, h) in theirs.histograms {
-            mine.histograms.entry(k).or_default().merge(&h);
+            match mine.histograms.get_mut(&k) {
+                Some(cell) => {
+                    cell.total.merge(&h.total);
+                    match (&mut cell.window, h.window) {
+                        (Some(w), Some(tw)) => w.merge_from(&tw),
+                        (w @ None, Some(tw)) if Some(tw.config()) == cfg => *w = Some(tw),
+                        _ => {}
+                    }
+                }
+                None => {
+                    let keep = h.window.filter(|w| Some(w.config()) == cfg);
+                    mine.histograms.insert(
+                        k,
+                        HistCell {
+                            total: h.total,
+                            window: keep,
+                        },
+                    );
+                }
+            }
         }
         for (k, a) in theirs.spans {
             let agg = mine.spans.entry(k).or_default();
@@ -169,7 +289,11 @@ impl SharedRecorder {
 
 impl SharedState {
     fn snapshot(&self) -> MetricsSnapshot {
-        let mut counters = self.counters.clone();
+        let mut counters: BTreeMap<String, u64> = self
+            .counters
+            .iter()
+            .map(|(k, c)| (k.clone(), c.total))
+            .collect();
         if self.unbalanced_closes > 0 {
             counters.insert("trace.unbalanced_closes".into(), self.unbalanced_closes);
         }
@@ -179,9 +303,38 @@ impl SharedState {
             histograms: self
                 .histograms
                 .iter()
-                .map(|(k, h)| (k.clone(), h.summary()))
+                .map(|(k, h)| (k.clone(), h.total.summary()))
                 .collect(),
             spans: self.spans.clone(),
+        }
+    }
+
+    /// The live window view over every cell that carries a ring.
+    fn windowed_view(&self, now_ns: u64, cfg: WindowConfig) -> WindowedView {
+        WindowedView {
+            span_ns: cfg.span_ns(),
+            counters: self
+                .counters
+                .iter()
+                .filter_map(|(k, c)| {
+                    let w = c.window.as_ref()?;
+                    Some((
+                        k.clone(),
+                        WindowRate {
+                            total: w.total(now_ns),
+                            per_sec: w.per_sec(now_ns),
+                        },
+                    ))
+                })
+                .collect(),
+            histograms: self
+                .histograms
+                .iter()
+                .filter_map(|(k, h)| {
+                    let merged = h.window.as_ref()?.merged(now_ns);
+                    (merged.count() > 0).then(|| (k.clone(), merged.summary()))
+                })
+                .collect(),
         }
     }
 }
@@ -189,7 +342,33 @@ impl SharedState {
 impl Recorder for SharedRecorder {
     fn counter(&self, name: &str, delta: u64) {
         let mut s = self.lock();
-        *s.counters.entry(name.to_string()).or_insert(0) += delta;
+        let s = &mut *s;
+        let now = s.window_cfg.is_some().then(crate::now_ns);
+        if let Some(cell) = s.counters.get_mut(name) {
+            cell.total += delta;
+            match (&mut cell.window, now, s.window_cfg) {
+                (Some(w), Some(now), _) => w.add(now, delta),
+                (w @ None, Some(now), Some(cfg)) => {
+                    let mut ring = WindowedCounter::new(cfg);
+                    ring.add(now, delta);
+                    *w = Some(ring);
+                }
+                _ => {}
+            }
+            return;
+        }
+        let window = s.window_cfg.map(|cfg| {
+            let mut ring = WindowedCounter::new(cfg);
+            ring.add(now.unwrap_or(0), delta);
+            ring
+        });
+        s.counters.insert(
+            name.to_string(),
+            CounterCell {
+                total: delta,
+                window,
+            },
+        );
     }
 
     fn gauge(&self, name: &str, value: f64) {
@@ -197,11 +376,7 @@ impl Recorder for SharedRecorder {
     }
 
     fn sample(&self, name: &str, value: f64) {
-        self.lock()
-            .histograms
-            .entry(name.to_string())
-            .or_default()
-            .record(value);
+        self.sample_n(name, value, 1);
     }
 
     fn span_enter(&self, _name: &str, _depth: usize, _start_ns: u64) {
@@ -221,6 +396,10 @@ impl Recorder for SharedRecorder {
 
     fn snapshot(&self) -> Option<MetricsSnapshot> {
         Some(SharedRecorder::snapshot(self))
+    }
+
+    fn telemetry(&self) -> Option<TelemetrySnapshot> {
+        Some(self.telemetry_snapshot())
     }
 }
 
@@ -296,6 +475,35 @@ mod tests {
         assert_eq!(snap.spans["s"].total_ns, 30);
         // The shard's own aggregate is untouched.
         assert_eq!(shard.snapshot().counters["c"], 4);
+    }
+
+    #[test]
+    fn windowed_recorder_tracks_live_and_cumulative_views() {
+        let cfg = WindowConfig::new(u64::MAX / 2, 2); // nothing expires mid-test
+        let windowed = SharedRecorder::windowed(cfg);
+        assert_eq!(windowed.window_config(), Some(cfg));
+        windowed.counter("c", 4);
+        windowed.sample_n("h", 100.0, 3);
+        let t = windowed.telemetry_snapshot();
+        assert_eq!(t.cumulative.counters["c"], 4);
+        let w = t.windowed.expect("windows enabled");
+        assert_eq!(w.counters["c"].total, 4);
+        assert_eq!(w.histograms["h"].count, 3);
+
+        // Plain recorders report no windowed side …
+        let plain = SharedRecorder::new();
+        assert_eq!(plain.window_config(), None);
+        plain.counter("c", 1);
+        assert!(plain.telemetry_snapshot().windowed.is_none());
+        // … but adopt windows from the first windowed shard they absorb,
+        // and slot-merge subsequent ones.
+        plain.absorb(&windowed);
+        let second = SharedRecorder::windowed(cfg);
+        second.counter("c", 5);
+        plain.absorb(&second);
+        let t = plain.telemetry_snapshot();
+        assert_eq!(t.cumulative.counters["c"], 10);
+        assert_eq!(t.windowed.expect("adopted").counters["c"].total, 9);
     }
 
     #[test]

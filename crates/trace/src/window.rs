@@ -1,0 +1,612 @@
+//! Windowed metrics and the live [`TelemetrySnapshot`] (ISSUE 9 tentpole).
+//!
+//! The PR 4 trace layer is cumulative: a counter or [`LogHistogram`] only
+//! ever grows, and the numbers mean something *after* the run, in a
+//! `RunReport`. A serving fleet needs the complementary view — "what
+//! happened in the last N seconds" — cheap enough to sit on the shard hot
+//! path and snapshotable at any instant.
+//!
+//! The mechanism is a **ring of sub-windows**: time (the shared
+//! [`crate::now_ns`] epoch) is cut into fixed `slot_ns`-wide slots, and a
+//! window keeps the most recent `slots` of them in a ring buffer. Recording
+//! indexes the ring by absolute slot number (`now_ns / slot_ns`), lazily
+//! reclaiming whatever expired slot occupied that position; reading merges
+//! the slots that are still live relative to the caller's `now`. Memory is
+//! O(`slots`) per metric regardless of traffic, and because
+//! [`LogHistogram::merge`] is exact, the merged window view is *exactly*
+//! the histogram of every sample recorded in the live slots (pinned against
+//! a brute-force sliding-window oracle in the tests below).
+//!
+//! Two consequences of the slot granularity, by design:
+//! * the merged view covers between `slots-1` and `slots` slot-widths of
+//!   history (the current slot is partially filled) — the standard
+//!   ring-buffer approximation;
+//! * slot numbers are absolute (shared process epoch), so windows recorded
+//!   on different shards merge slot-for-slot ([`WindowedHistogram::merge_from`])
+//!   and the fleet-wide window is exact too.
+
+use crate::hist::{HistogramSummary, LogHistogram};
+use crate::json::Json;
+use crate::report::MetricsSnapshot;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Version stamp written into every [`TelemetrySnapshot::to_json`] (the
+/// `RunReport` convention: consumers check it before trusting field shapes).
+pub const TELEMETRY_SCHEMA_VERSION: u64 = 1;
+
+/// Sentinel slot number for an empty ring position. A real slot at
+/// `u64::MAX` would need a ~584-year uptime at ns resolution.
+const EMPTY: u64 = u64::MAX;
+
+/// Geometry of a sliding window: `slots` ring positions of `slot_ns` each.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WindowConfig {
+    slot_ns: u64,
+    slots: usize,
+}
+
+impl WindowConfig {
+    /// `slots` ring positions of `slot_ns` nanoseconds each (both clamped
+    /// to at least 1).
+    pub fn new(slot_ns: u64, slots: usize) -> Self {
+        Self {
+            slot_ns: slot_ns.max(1),
+            slots: slots.max(1),
+        }
+    }
+
+    /// A window spanning roughly `seconds`, cut into `slots` slots.
+    pub fn of_seconds(seconds: f64, slots: usize) -> Self {
+        let slots = slots.max(1);
+        let span_ns = (seconds.max(1e-9) * 1e9) as u64;
+        Self::new((span_ns / slots as u64).max(1), slots)
+    }
+
+    pub fn slot_ns(&self) -> u64 {
+        self.slot_ns
+    }
+
+    pub fn slots(&self) -> usize {
+        self.slots
+    }
+
+    /// Total history the ring can hold, in nanoseconds.
+    pub fn span_ns(&self) -> u64 {
+        self.slot_ns.saturating_mul(self.slots as u64)
+    }
+
+    fn slot_index(&self, now_ns: u64) -> u64 {
+        now_ns / self.slot_ns
+    }
+
+    /// Is a slot numbered `si` still inside the window at `now_si`?
+    /// Future slots (a merge source slightly ahead of the reader) count as
+    /// live rather than vanishing.
+    fn live(&self, si: u64, now_si: u64) -> bool {
+        si != EMPTY && now_si.saturating_sub(si) < self.slots as u64
+    }
+}
+
+impl Default for WindowConfig {
+    /// 8 × 1 s slots: the merged view covers the last 7–8 seconds.
+    fn default() -> Self {
+        Self::new(1_000_000_000, 8)
+    }
+}
+
+/// A counter with a "last N seconds" view: [`add`](Self::add) deltas land
+/// in the current slot, [`total`](Self::total) sums the live slots.
+#[derive(Clone, Debug)]
+pub struct WindowedCounter {
+    cfg: WindowConfig,
+    slots: Vec<(u64, u64)>,
+}
+
+impl WindowedCounter {
+    pub fn new(cfg: WindowConfig) -> Self {
+        Self {
+            cfg,
+            slots: vec![(EMPTY, 0); cfg.slots],
+        }
+    }
+
+    pub fn config(&self) -> WindowConfig {
+        self.cfg
+    }
+
+    pub fn add(&mut self, now_ns: u64, delta: u64) {
+        let si = self.cfg.slot_index(now_ns);
+        let pos = (si % self.cfg.slots as u64) as usize;
+        let slot = &mut self.slots[pos];
+        if slot.0 != si {
+            *slot = (si, 0);
+        }
+        slot.1 += delta;
+    }
+
+    /// Sum of deltas recorded in slots still live at `now_ns`.
+    pub fn total(&self, now_ns: u64) -> u64 {
+        let now_si = self.cfg.slot_index(now_ns);
+        self.slots
+            .iter()
+            .filter(|(si, _)| self.cfg.live(*si, now_si))
+            .map(|(_, v)| v)
+            .sum()
+    }
+
+    /// Window total normalized by the window span — the live event rate.
+    pub fn per_sec(&self, now_ns: u64) -> f64 {
+        self.total(now_ns) as f64 * 1e9 / self.cfg.span_ns() as f64
+    }
+
+    /// Fold another ring into this one, slot-for-slot (absolute slot
+    /// numbers align because both sides share the process epoch). Rings
+    /// with a different geometry are ignored — merging buckets of unequal
+    /// width would not be exact.
+    pub fn merge_from(&mut self, other: &WindowedCounter) {
+        if other.cfg != self.cfg {
+            return;
+        }
+        for &(si, v) in &other.slots {
+            if si == EMPTY {
+                continue;
+            }
+            let pos = (si % self.cfg.slots as u64) as usize;
+            let slot = &mut self.slots[pos];
+            if slot.0 == si {
+                slot.1 += v;
+            } else if slot.0 == EMPTY || slot.0 < si {
+                // Same ring position, different slot number ⇒ the numbers
+                // differ by ≥ `slots`, so the smaller one is expired
+                // relative to the larger one's time.
+                *slot = (si, v);
+            }
+        }
+    }
+}
+
+/// A [`LogHistogram`] with a "last N seconds" view: samples land in the
+/// current slot's histogram, [`merged`](Self::merged) folds the live slots
+/// into one exact window histogram.
+#[derive(Clone, Debug)]
+pub struct WindowedHistogram {
+    cfg: WindowConfig,
+    slots: Vec<(u64, LogHistogram)>,
+}
+
+impl WindowedHistogram {
+    pub fn new(cfg: WindowConfig) -> Self {
+        Self {
+            cfg,
+            slots: vec![(EMPTY, LogHistogram::new()); cfg.slots],
+        }
+    }
+
+    pub fn config(&self) -> WindowConfig {
+        self.cfg
+    }
+
+    pub fn record(&mut self, now_ns: u64, value: f64) {
+        self.record_n(now_ns, value, 1);
+    }
+
+    pub fn record_n(&mut self, now_ns: u64, value: f64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        let si = self.cfg.slot_index(now_ns);
+        let pos = (si % self.cfg.slots as u64) as usize;
+        let slot = &mut self.slots[pos];
+        if slot.0 != si {
+            *slot = (si, LogHistogram::new());
+        }
+        slot.1.record_n(value, n);
+    }
+
+    /// The exact histogram of every sample recorded in slots still live at
+    /// `now_ns` (an empty histogram once everything has expired).
+    pub fn merged(&self, now_ns: u64) -> LogHistogram {
+        let now_si = self.cfg.slot_index(now_ns);
+        let mut out = LogHistogram::new();
+        for (si, h) in &self.slots {
+            if self.cfg.live(*si, now_si) {
+                out.merge(h);
+            }
+        }
+        out
+    }
+
+    /// Slot-for-slot fold of another ring (see
+    /// [`WindowedCounter::merge_from`] for the alignment argument).
+    pub fn merge_from(&mut self, other: &WindowedHistogram) {
+        if other.cfg != self.cfg {
+            return;
+        }
+        for (si, h) in &other.slots {
+            if *si == EMPTY {
+                continue;
+            }
+            let pos = (*si % self.cfg.slots as u64) as usize;
+            let slot = &mut self.slots[pos];
+            if slot.0 == *si {
+                slot.1.merge(h);
+            } else if slot.0 == EMPTY || slot.0 < *si {
+                *slot = (*si, h.clone());
+            }
+        }
+    }
+}
+
+/// Windowed view of one counter: live total and the implied rate.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct WindowRate {
+    pub total: u64,
+    pub per_sec: f64,
+}
+
+/// The windowed half of a [`TelemetrySnapshot`].
+#[derive(Clone, Debug, Default)]
+pub struct WindowedView {
+    /// History the window spans, in nanoseconds.
+    pub span_ns: u64,
+    pub counters: BTreeMap<String, WindowRate>,
+    pub histograms: BTreeMap<String, HistogramSummary>,
+}
+
+/// A point-in-time view of a recorder: the cumulative
+/// [`MetricsSnapshot`] plus (when windows are enabled) the last-N-seconds
+/// view of every counter and histogram. Schema-versioned like `RunReport`
+/// ([`TELEMETRY_SCHEMA_VERSION`]); rendered as JSON for the JSONL event
+/// stream and as Prometheus-style text for the scrape endpoint.
+#[derive(Clone, Debug)]
+pub struct TelemetrySnapshot {
+    /// [`crate::now_ns`] at snapshot time.
+    pub at_ns: u64,
+    pub cumulative: MetricsSnapshot,
+    pub windowed: Option<WindowedView>,
+}
+
+impl TelemetrySnapshot {
+    pub fn to_json(&self) -> Json {
+        let mut fields = vec![
+            ("schema_version", Json::U64(TELEMETRY_SCHEMA_VERSION)),
+            ("at_ns", self.at_ns.into()),
+            ("cumulative", self.cumulative.to_json()),
+        ];
+        if let Some(w) = &self.windowed {
+            fields.push((
+                "windowed",
+                Json::obj(vec![
+                    ("span_ns", w.span_ns.into()),
+                    (
+                        "counters",
+                        Json::Obj(
+                            w.counters
+                                .iter()
+                                .map(|(k, r)| {
+                                    (
+                                        k.clone(),
+                                        Json::obj(vec![
+                                            ("total", r.total.into()),
+                                            ("per_sec", r.per_sec.into()),
+                                        ]),
+                                    )
+                                })
+                                .collect(),
+                        ),
+                    ),
+                    (
+                        "histograms",
+                        Json::Obj(
+                            w.histograms
+                                .iter()
+                                .map(|(k, h)| (k.clone(), h.to_json()))
+                                .collect(),
+                        ),
+                    ),
+                ]),
+            ));
+        }
+        Json::obj(fields)
+    }
+
+    /// Prometheus text-exposition rendering: cumulative counters as
+    /// `<name>_total`, gauges bare, histogram summaries as
+    /// `quantile`-labelled summary lines, spans as `_span_count` /
+    /// `_span_ns_total`, and the windowed view with a `window="Ns"` label.
+    /// Deterministic (BTreeMap order) — CI pins it against a golden file.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        render_prometheus(&mut out, &self.cumulative, &[]);
+        if let Some(w) = &self.windowed {
+            let secs = w.span_ns as f64 / 1e9;
+            let window = format!("{secs}s");
+            for (name, r) in &w.counters {
+                let n = prom_name(name);
+                let lbl = prom_labels(&[("window", &window)], None);
+                let _ = writeln!(out, "{n}_window_total{lbl} {}", r.total);
+                let _ = writeln!(out, "{n}_window_per_sec{lbl} {}", r.per_sec);
+            }
+            for (name, s) in &w.histograms {
+                let n = prom_name(name);
+                prom_summary(&mut out, &format!("{n}_window"), s, &[("window", &window)]);
+            }
+        }
+        out
+    }
+}
+
+/// Render one [`MetricsSnapshot`] as Prometheus text lines into `out`,
+/// attaching `labels` to every sample. `# TYPE` comments are emitted only
+/// for the unlabelled (fleet-wide) section so a multi-section exposition
+/// (fleet + per-shard) never repeats them.
+pub fn render_prometheus(out: &mut String, snap: &MetricsSnapshot, labels: &[(&str, &str)]) {
+    let lbl = prom_labels(labels, None);
+    for (name, v) in &snap.counters {
+        let n = prom_name(name);
+        if labels.is_empty() {
+            let _ = writeln!(out, "# TYPE {n}_total counter");
+        }
+        let _ = writeln!(out, "{n}_total{lbl} {v}");
+    }
+    for (name, v) in &snap.gauges {
+        let n = prom_name(name);
+        if labels.is_empty() {
+            let _ = writeln!(out, "# TYPE {n} gauge");
+        }
+        let _ = writeln!(out, "{n}{lbl} {v}");
+    }
+    for (name, s) in &snap.histograms {
+        let n = prom_name(name);
+        if labels.is_empty() {
+            let _ = writeln!(out, "# TYPE {n} summary");
+        }
+        prom_summary(out, &n, s, labels);
+    }
+    for (name, a) in &snap.spans {
+        let n = prom_name(name);
+        let _ = writeln!(out, "{n}_span_count{lbl} {}", a.count);
+        let _ = writeln!(out, "{n}_span_ns_total{lbl} {}", a.total_ns);
+    }
+}
+
+fn prom_summary(out: &mut String, base: &str, s: &HistogramSummary, labels: &[(&str, &str)]) {
+    let plain = prom_labels(labels, None);
+    for (q, v) in [("0.5", s.p50), ("0.95", s.p95), ("0.99", s.p99)] {
+        let lbl = prom_labels(labels, Some(("quantile", q)));
+        let _ = writeln!(out, "{base}{lbl} {v}");
+    }
+    let _ = writeln!(out, "{base}_count{plain} {}", s.count);
+    let _ = writeln!(out, "{base}_min{plain} {}", s.min);
+    let _ = writeln!(out, "{base}_max{plain} {}", s.max);
+    let _ = writeln!(out, "{base}_mean{plain} {}", s.mean);
+}
+
+/// Dotted metric names to Prometheus identifiers:
+/// `serve.frame.ns` → `darkside_serve_frame_ns`.
+fn prom_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 9);
+    out.push_str("darkside_");
+    for c in name.chars() {
+        out.push(if c.is_ascii_alphanumeric() { c } else { '_' });
+    }
+    out
+}
+
+fn prom_labels(labels: &[(&str, &str)], extra: Option<(&str, &str)>) -> String {
+    let mut parts: Vec<String> = labels.iter().map(|(k, v)| format!("{k}=\"{v}\"")).collect();
+    if let Some((k, v)) = extra {
+        parts.push(format!("{k}=\"{v}\""));
+    }
+    if parts.is_empty() {
+        String::new()
+    } else {
+        format!("{{{}}}", parts.join(","))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// xorshift64* — tiny deterministic rng for the property tests (the
+    /// trace crate is dependency-free by contract).
+    struct Rng(u64);
+
+    impl Rng {
+        fn next(&mut self) -> u64 {
+            let mut x = self.0;
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            self.0 = x;
+            x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        }
+
+        fn below(&mut self, n: u64) -> u64 {
+            self.next() % n
+        }
+
+        fn value(&mut self) -> f64 {
+            // Log-uniform-ish over ~9 decades, exercising many buckets.
+            (self.below(1_000_000_000) as f64) / 10.0
+        }
+    }
+
+    /// Brute-force oracle: the histogram of exactly those events whose
+    /// slot is live at `now` under the ring's slot arithmetic.
+    fn oracle_hist(cfg: WindowConfig, events: &[(u64, f64)], now_ns: u64) -> LogHistogram {
+        let now_si = cfg.slot_index(now_ns);
+        let mut h = LogHistogram::new();
+        for &(t, v) in events {
+            if cfg.live(cfg.slot_index(t), now_si) {
+                h.record(v);
+            }
+        }
+        h
+    }
+
+    fn assert_hist_eq(a: &LogHistogram, b: &LogHistogram, ctx: &str) {
+        assert_eq!(a.count(), b.count(), "count mismatch: {ctx}");
+        assert_eq!(a.bucket_counts(), b.bucket_counts(), "buckets: {ctx}");
+        if a.count() > 0 {
+            assert_eq!(a.min(), b.min(), "min: {ctx}");
+            assert_eq!(a.max(), b.max(), "max: {ctx}");
+        }
+    }
+
+    #[test]
+    fn windowed_histogram_matches_sliding_window_oracle() {
+        let mut rng = Rng(0x9E37_79B9_7F4A_7C15);
+        for case in 0..200u32 {
+            let cfg = WindowConfig::new(1 + rng.below(40), 1 + rng.below(6) as usize);
+            let mut w = WindowedHistogram::new(cfg);
+            let mut events: Vec<(u64, f64)> = Vec::new();
+            let mut t = rng.below(100);
+            for _ in 0..rng.below(60) {
+                t += rng.below(cfg.slot_ns() * 2);
+                let v = rng.value();
+                w.record(t, v);
+                events.push((t, v));
+                if rng.below(4) == 0 {
+                    // Check mid-stream, sometimes strictly after the last
+                    // event (reader ahead of the writer).
+                    let now = t + rng.below(cfg.span_ns() + 1);
+                    assert_hist_eq(
+                        &w.merged(now),
+                        &oracle_hist(cfg, &events, now),
+                        &format!("case {case} t {t} now {now} cfg {cfg:?}"),
+                    );
+                }
+            }
+            // Far future: everything expired.
+            let far = t + cfg.span_ns() + cfg.slot_ns();
+            assert_eq!(w.merged(far).count(), 0, "case {case}: expiry");
+        }
+    }
+
+    #[test]
+    fn windowed_counter_matches_sliding_window_oracle() {
+        let mut rng = Rng(0x0BAD_5EED_0BAD_5EED);
+        for case in 0..200u32 {
+            let cfg = WindowConfig::new(1 + rng.below(30), 1 + rng.below(5) as usize);
+            let mut w = WindowedCounter::new(cfg);
+            let mut events: Vec<(u64, u64)> = Vec::new();
+            let mut t = 0u64;
+            for _ in 0..rng.below(50) {
+                t += rng.below(cfg.slot_ns() * 3);
+                let d = rng.below(100);
+                w.add(t, d);
+                events.push((t, d));
+                let now = t + rng.below(cfg.span_ns() + 1);
+                let now_si = cfg.slot_index(now);
+                let expect: u64 = events
+                    .iter()
+                    .filter(|(et, _)| cfg.live(cfg.slot_index(*et), now_si))
+                    .map(|(_, d)| d)
+                    .sum();
+                assert_eq!(w.total(now), expect, "case {case} now {now} cfg {cfg:?}");
+            }
+            assert_eq!(w.total(t + cfg.span_ns() + cfg.slot_ns()), 0);
+        }
+    }
+
+    #[test]
+    fn shard_merge_equals_single_recorder() {
+        let mut rng = Rng(0xD15E_A5E0_1234_5678);
+        for case in 0..100u32 {
+            let cfg = WindowConfig::new(1 + rng.below(20), 1 + rng.below(6) as usize);
+            let mut single = WindowedHistogram::new(cfg);
+            let mut a = WindowedHistogram::new(cfg);
+            let mut b = WindowedHistogram::new(cfg);
+            let mut ca = WindowedCounter::new(cfg);
+            let mut cb = WindowedCounter::new(cfg);
+            let mut csingle = WindowedCounter::new(cfg);
+            let mut t = 0u64;
+            for _ in 0..rng.below(80) {
+                t += rng.below(cfg.slot_ns());
+                let v = rng.value();
+                single.record(t, v);
+                csingle.add(t, 1);
+                if rng.below(2) == 0 {
+                    a.record(t, v);
+                    ca.add(t, 1);
+                } else {
+                    b.record(t, v);
+                    cb.add(t, 1);
+                }
+            }
+            a.merge_from(&b);
+            ca.merge_from(&cb);
+            assert_hist_eq(&a.merged(t), &single.merged(t), &format!("case {case}"));
+            assert_eq!(ca.total(t), csingle.total(t), "case {case}");
+        }
+    }
+
+    #[test]
+    fn merge_from_ignores_mismatched_geometry() {
+        let mut a = WindowedCounter::new(WindowConfig::new(10, 4));
+        let mut b = WindowedCounter::new(WindowConfig::new(20, 4));
+        b.add(5, 7);
+        a.merge_from(&b);
+        assert_eq!(a.total(5), 0);
+    }
+
+    #[test]
+    fn prometheus_rendering_is_deterministic_and_labelled() {
+        let mut snap = MetricsSnapshot::default();
+        snap.counters.insert("serve.frames".into(), 42);
+        snap.gauges.insert("serve.queue.depth".into(), 3.0);
+        let mut h = LogHistogram::new();
+        h.record_n(100.0, 10);
+        snap.histograms.insert("serve.frame.ns".into(), h.summary());
+        let telemetry = TelemetrySnapshot {
+            at_ns: 123,
+            cumulative: snap.clone(),
+            windowed: Some(WindowedView {
+                span_ns: 2_000_000_000,
+                counters: BTreeMap::from([(
+                    "serve.frames".to_string(),
+                    WindowRate {
+                        total: 10,
+                        per_sec: 5.0,
+                    },
+                )]),
+                histograms: BTreeMap::from([("serve.frame.ns".to_string(), h.summary())]),
+            }),
+        };
+        let text = telemetry.to_prometheus();
+        assert!(text.contains("# TYPE darkside_serve_frames_total counter"));
+        assert!(text.contains("darkside_serve_frames_total 42"));
+        assert!(text.contains("darkside_serve_queue_depth 3"));
+        assert!(text.contains("darkside_serve_frame_ns{quantile=\"0.99\"}"));
+        assert!(text.contains("darkside_serve_frames_window_total{window=\"2s\"} 10"));
+        assert!(text.contains("darkside_serve_frames_window_per_sec{window=\"2s\"} 5"));
+        assert_eq!(text, telemetry.to_prometheus(), "must be deterministic");
+
+        let mut labelled = String::new();
+        render_prometheus(&mut labelled, &snap, &[("shard", "3")]);
+        assert!(labelled.contains("darkside_serve_frames_total{shard=\"3\"} 42"));
+        assert!(labelled.contains("{shard=\"3\",quantile=\"0.5\"}"));
+        assert!(!labelled.contains("# TYPE"), "labelled sections skip TYPE");
+    }
+
+    #[test]
+    fn telemetry_json_carries_schema_version() {
+        let telemetry = TelemetrySnapshot {
+            at_ns: 7,
+            cumulative: MetricsSnapshot::default(),
+            windowed: None,
+        };
+        let json = telemetry.to_json();
+        assert_eq!(
+            json.get("schema_version").and_then(|j| match j {
+                Json::U64(v) => Some(*v),
+                _ => None,
+            }),
+            Some(TELEMETRY_SCHEMA_VERSION)
+        );
+        assert!(json.get("windowed").is_none());
+    }
+}
