@@ -24,6 +24,13 @@
 //! policy, and gates that the structured 90 % WER stays within +0.5 %
 //! absolute of unstructured 90 % — the accuracy price of tiling must not
 //! eat the serving win `serve_load` measures.
+//!
+//! `--quantized` (ISSUE 10) adds int8-scored ride-along rows (dense and
+//! every level, on the configured structure) at the *same* masked
+//! weights, and gates that the quantized 90 % WER stays within +0.5 %
+//! absolute of f32 per policy — the int8 bandwidth win must not cost
+//! accuracy either. Composes with `--structured` for the serving
+//! deployment's exact recipe (tile-pruned, int8-BSR-served).
 
 use darkside_bench::report::{
     check, json_arg, policy_grid_json, print_policy_grid, print_policy_latency, write_json_file,
@@ -31,33 +38,41 @@ use darkside_bench::report::{
 use darkside_core::trace::{self, MemoryRecorder};
 use darkside_core::viterbi_accel::{NBestTableConfig, UnfoldHashConfig};
 use darkside_core::wfst::GraphSource;
-use darkside_core::{Pipeline, PipelineConfig, PolicyGridReport, PolicyKind, PruneStructure};
+use darkside_core::{
+    Pipeline, PipelineConfig, PolicyGridReport, PolicyKind, Precision, PruneStructure,
+};
 use std::rc::Rc;
 
-/// The (level, structure, policy) cell, panicking on absent cells so a
-/// renamed label fails loudly instead of gating on the wrong row.
+/// The (level, structure, precision, policy) cell, panicking on absent
+/// cells so a renamed label fails loudly instead of gating on the wrong
+/// row. Precision joined the key in ISSUE 10: quantized rows share their
+/// (level, structure) with the f32 rows they ablate.
 fn cell<'r>(
     report: &'r PolicyGridReport,
     level: &str,
     structure: &str,
+    precision: &str,
     policy: &str,
 ) -> &'r darkside_core::LevelReport {
     report
         .levels
         .iter()
-        .find(|l| l.label == level && l.structure == structure)
+        .find(|l| l.label == level && l.structure == structure && l.precision == precision)
         .and_then(|l| l.per_policy.iter().find(|c| c.policy == policy))
-        .unwrap_or_else(|| panic!("no ({level}, {structure}, {policy}) cell in the grid"))
+        .unwrap_or_else(|| {
+            panic!("no ({level}, {structure}, {precision}, {policy}) cell in the grid")
+        })
 }
 
-/// Hypotheses/frame for one unstructured (level, policy) cell.
+/// Hypotheses/frame for one unstructured f32 (level, policy) cell.
 fn hyps(report: &PolicyGridReport, level: &str, policy: &str) -> f64 {
-    cell(report, level, "unstructured", policy).mean_hypotheses
+    cell(report, level, "unstructured", "f32", policy).mean_hypotheses
 }
 
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
     let structured = std::env::args().any(|a| a == "--structured");
+    let quantized = std::env::args().any(|a| a == "--quantized");
     let json_path = json_arg().unwrap_or_else(|e| {
         eprintln!("error: {e}");
         std::process::exit(1);
@@ -113,6 +128,15 @@ fn main() {
     } else {
         (config, nbest)
     };
+    // `--quantized` (ISSUE 10) rides along either mode: every level (and
+    // dense) gains an int8-scored row at the *same* masked weights on the
+    // configured structure, so the grid reads the quantization WER cost at
+    // equal sparsity per policy — and gates it.
+    let config = if quantized {
+        config.with_precision(Precision::Int8)
+    } else {
+        config
+    };
     let policies = [
         PolicyKind::Beam,
         PolicyKind::UnfoldHash(UnfoldHashConfig::scaled()),
@@ -128,8 +152,9 @@ fn main() {
     })
     .expect("policy grid");
     println!(
-        "exp_fig7{}: graph {} states / {} arcs, nbest table {} entries × {} ways",
+        "exp_fig7{}{}: graph {} states / {} arcs, nbest table {} entries × {} ways",
         if smoke { " (smoke)" } else { "" },
+        if quantized { " (quantized)" } else { "" },
         pipeline.graph.num_states(),
         pipeline.graph.num_arcs(),
         nbest.entries,
@@ -181,13 +206,48 @@ fn main() {
     if structured && !smoke {
         let tag = PruneStructure::tile().label();
         for policy in report.policies.clone() {
-            let u = cell(&report, "90%", "unstructured", &policy).wer_percent;
-            let s = cell(&report, "90%", &tag, &policy).wer_percent;
+            let u = cell(&report, "90%", "unstructured", "f32", &policy).wer_percent;
+            let s = cell(&report, "90%", &tag, "f32", &policy).wer_percent;
             ok &= check(
                 &format!("structured 90% WER within +0.5% of unstructured ({policy})"),
                 s <= u + 0.5,
                 format!("{tag} {s:.2}% vs unstructured {u:.2}%"),
             );
+        }
+    }
+    // ISSUE 10: the quantized ride-along rows score the *same* masked
+    // weights through the int8 store, so any WER delta is pure
+    // quantization error. Smoke's toy model decodes at ~100% WER by
+    // design, so smoke only gates row presence; the full run holds the
+    // quantized WER to +0.5% absolute of f32 at 90% for every policy.
+    if quantized {
+        let tag = if structured {
+            PruneStructure::tile().label()
+        } else {
+            "unstructured".to_string()
+        };
+        for policy in report.policies.clone() {
+            let q = cell(&report, "90%", &tag, "int8", &policy);
+            let d = cell(&report, "dense", "unstructured", "int8", &policy);
+            ok &= check(
+                &format!("quantized rows present at dense and 90% ({policy})"),
+                q.mean_hypotheses > 0.0 && d.mean_hypotheses > 0.0,
+                format!(
+                    "int8 90% {:.1} hyps/frame, int8 dense {:.1}",
+                    q.mean_hypotheses, d.mean_hypotheses
+                ),
+            );
+        }
+        if !smoke {
+            for policy in report.policies.clone() {
+                let f = cell(&report, "90%", &tag, "f32", &policy).wer_percent;
+                let q = cell(&report, "90%", &tag, "int8", &policy).wer_percent;
+                ok &= check(
+                    &format!("quantized 90% WER within +0.5% of f32 ({policy})"),
+                    q <= f + 0.5,
+                    format!("int8 {q:.2}% vs f32 {f:.2}% on {tag}"),
+                );
+            }
         }
     }
     std::process::exit(if ok { 0 } else { 1 });

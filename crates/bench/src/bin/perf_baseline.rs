@@ -12,6 +12,9 @@ use darkside_bench::{bench_with, BenchOptions, BenchResult};
 use darkside_nn::check::{assert_matrices_close, assert_slices_close, random_matrix};
 use darkside_nn::{gemm_naive, gemm_with_threads, Frame, FrameScorer, Matrix, Mlp, Rng};
 use darkside_pruning::{prune_to_sparsity, prune_to_sparsity_blocked, Bsr, Csr};
+use darkside_quant::{
+    kpad_for, pack_activations_i8, pack_weights_i8, qgemm, qgemm_ref, quantize_value, QBsr,
+};
 use std::hint::black_box;
 
 const GEMM_SIZE: usize = 512;
@@ -27,6 +30,11 @@ const SPMM_CSR_SPEEDUP_TARGET: f64 = 1.1;
 /// form. ~10 % of the flops at dense-like efficiency leaves huge headroom
 /// above this conservative floor.
 const BSR_VS_DENSE_TARGET: f64 = 2.0;
+/// Quantized BSR SpMM vs the f32 BSR SpMM at the same 90 % structured mask
+/// and batch, in GFLOP/s-equivalent (identical nominal flops, so this is
+/// the wall-clock ratio). int8 weights move 4× fewer bytes and each
+/// `madd` retires 16 MACs vs FMA's 8 — the ISSUE 10 bandwidth-win gate.
+const QBSR_VS_F32_BSR_TARGET: f64 = 1.5;
 
 fn main() {
     let out_path = match parse_out_arg() {
@@ -143,10 +151,16 @@ fn main() {
     let mut bmasked = dense.clone();
     blocked.mask.apply(&mut bmasked);
     let bsr = Bsr::from_dense(&bmasked, 8, 8).expect("masked layer fits BSR");
+    // f32 BSR traffic: 256-byte blocks + u32 indices, f32 activations in,
+    // f32 product out (ideal-cache model, same for every entry below).
+    let bsr_f32_bytes = (bsr.num_blocks() * (64 * 4 + 4)
+        + (GEMM_SIZE / 8 + 1) * 4
+        + 2 * 4 * GEMM_SIZE * SPMM_BATCH) as f64;
     let bsr_spmm = bench_with("bsr_spmm_90_512", BenchOptions::default(), || {
         bsr.spmm(black_box(&xt), &mut yt)
     })
-    .with_flops(2.0 * (bsr.num_blocks() * 64 * SPMM_BATCH) as f64);
+    .with_flops(2.0 * (bsr.num_blocks() * 64 * SPMM_BATCH) as f64)
+    .with_bytes(bsr_f32_bytes);
     println!(
         "{} ({:.2}% sparse, {} blocks)",
         bsr_spmm.summary(),
@@ -165,11 +179,69 @@ fn main() {
             threads,
         )
     })
-    .with_flops(2.0 * (GEMM_SIZE * GEMM_SIZE * SPMM_BATCH) as f64);
+    .with_flops(2.0 * (GEMM_SIZE * GEMM_SIZE * SPMM_BATCH) as f64)
+    .with_bytes((4 * (GEMM_SIZE * GEMM_SIZE + 2 * GEMM_SIZE * SPMM_BATCH)) as f64);
     println!("{}", dense_gemm.summary());
     let spmm_csr_speedup = spmm_csr.speedup_over(&spmm_scalar);
     let bsr_vs_dense = bsr_spmm.speedup_over(&dense_gemm);
     let bsr_vs_csr = bsr_spmm.speedup_over(&spmm_csr);
+
+    // --- int8: quantized GEMM + quantized BSR SpMM (ISSUE 10) -------------
+    // Same serving shapes as the f32 comparators above. Per-row weight
+    // scales, one activation scale; operands are prepacked — weights are
+    // static in serving, and serve_load measures the per-batch activation
+    // quantization end-to-end.
+    let x_scale = activation_scale(&xt);
+    let mut xq = vec![0i8; SPMM_BATCH * GEMM_SIZE];
+    for j in 0..SPMM_BATCH {
+        for p in 0..GEMM_SIZE {
+            xq[j * GEMM_SIZE + p] = quantize_value(xt.get(p, j), x_scale);
+        }
+    }
+    let ws_dense = row_scales(&dense);
+    let mut wq = vec![0i8; GEMM_SIZE * GEMM_SIZE];
+    for o in 0..GEMM_SIZE {
+        for p in 0..GEMM_SIZE {
+            wq[o * GEMM_SIZE + p] = quantize_value(dense.get(o, p), ws_dense[o]);
+        }
+    }
+    let kpad = kpad_for(GEMM_SIZE);
+    let apack = pack_weights_i8(GEMM_SIZE, GEMM_SIZE, &wq, kpad);
+    let bpack = pack_activations_i8(SPMM_BATCH, GEMM_SIZE, &xq, kpad);
+    let mut qout = vec![0i32; GEMM_SIZE * SPMM_BATCH];
+    let qgemm_bench = bench_with("qgemm_512", BenchOptions::default(), || {
+        qgemm(
+            GEMM_SIZE,
+            SPMM_BATCH,
+            GEMM_SIZE,
+            kpad,
+            black_box(&apack),
+            black_box(&bpack),
+            &mut qout,
+        )
+    })
+    .with_flops(2.0 * (GEMM_SIZE * GEMM_SIZE * SPMM_BATCH) as f64)
+    .with_bytes((apack.len() + 2 * bpack.len() + 4 * qout.len()) as f64);
+    println!("{}", qgemm_bench.summary());
+    let ws_blocked = row_scales(&bmasked);
+    let qbsr = QBsr::from_dense_rows(&bmasked, &ws_blocked);
+    let qbsr_bench = bench_with("qbsr_spmm_90_512", BenchOptions::default(), || {
+        qbsr.spmm(SPMM_BATCH, black_box(&bpack), &mut qout)
+    })
+    .with_flops(2.0 * (qbsr.num_blocks() * 64 * SPMM_BATCH) as f64)
+    .with_bytes((qbsr.weight_bytes() + 2 * bpack.len() + 4 * qout.len()) as f64);
+    println!(
+        "{} ({:.2}% sparse, {} blocks, {} weight bytes vs f32 {})",
+        qbsr_bench.summary(),
+        qbsr.sparsity() * 100.0,
+        qbsr.num_blocks(),
+        qbsr.weight_bytes(),
+        bsr.num_blocks() * (64 * 4 + 4) + (GEMM_SIZE / 8 + 1) * 4,
+    );
+    // Identical nominal flops per pair, so the GFLOP/s-equivalent ratio is
+    // the effective-throughput ratio the ISSUE 10 gate asks for.
+    let qgemm_vs_dense = qgemm_bench.gflops().unwrap_or(0.0) / dense_gemm.gflops().unwrap_or(1.0);
+    let qbsr_vs_f32_bsr = qbsr_bench.gflops().unwrap_or(0.0) / bsr_spmm.gflops().unwrap_or(1.0);
 
     // --- batched utterance scoring ----------------------------------------
     let mlp = Mlp::kaldi_style(360, 512, 4, 4, 90, &mut rng);
@@ -198,6 +270,8 @@ fn main() {
         spmm_csr,
         bsr_spmm,
         dense_gemm,
+        qgemm_bench,
+        qbsr_bench,
         per_frame,
         batched,
     ]);
@@ -207,6 +281,7 @@ fn main() {
     let spmv_pass = spmv_speedup >= SPMV_SPEEDUP_TARGET;
     let spmm_csr_pass = spmm_csr_speedup >= SPMM_CSR_SPEEDUP_TARGET;
     let bsr_pass = bsr_vs_dense >= BSR_VS_DENSE_TARGET;
+    let qbsr_pass = qbsr_vs_f32_bsr >= QBSR_VS_F32_BSR_TARGET;
     println!();
     println!(
         "gemm blocked+mt vs naive @512^3 : {gemm_speedup:.2}x (target {GEMM_SPEEDUP_TARGET}x) {}",
@@ -225,6 +300,11 @@ fn main() {
         if bsr_pass { "PASS" } else { "FAIL" }
     );
     println!("bsr spmm vs banded csr @90%/512 : {bsr_vs_csr:.2}x");
+    println!(
+        "qbsr spmm vs f32 bsr @90%/512   : {qbsr_vs_f32_bsr:.2}x (target {QBSR_VS_F32_BSR_TARGET}x) {}",
+        if qbsr_pass { "PASS" } else { "FAIL" }
+    );
+    println!("qgemm vs dense f32 gemm 512x128 : {qgemm_vs_dense:.2}x");
     println!("batched vs per-frame scoring    : {batch_speedup:.2}x");
 
     let benches_json: Vec<String> = results
@@ -232,7 +312,7 @@ fn main() {
         .map(|r| format!("    {}", r.to_json()))
         .collect();
     let json = format!(
-        "{{\n  \"schema_version\": 2,\n  \"generated_by\": \"perf_baseline\",\n  \"host\": {{\"hw_threads\": {threads}, \"arch\": \"{arch}\"}},\n  \"benches\": [\n{benches}\n  ],\n  \"derived\": {{\n    \"gemm_blocked_mt_vs_naive_512\": {{\"speedup\": {gemm_speedup:.3}, \"target\": {GEMM_SPEEDUP_TARGET}, \"pass\": {gemm_pass}}},\n    \"spmv_csr90_vs_gemv_512\": {{\"speedup\": {spmv_speedup:.3}, \"target\": {SPMV_SPEEDUP_TARGET}, \"pass\": {spmv_pass}}},\n    \"spmm_csr90_vs_scalar_512\": {{\"speedup\": {spmm_csr_speedup:.3}, \"target\": {SPMM_CSR_SPEEDUP_TARGET}, \"pass\": {spmm_csr_pass}}},\n    \"bsr_spmm90_vs_dense_gemm_512x128\": {{\"speedup\": {bsr_vs_dense:.3}, \"target\": {BSR_VS_DENSE_TARGET}, \"pass\": {bsr_pass}}},\n    \"bsr_spmm90_vs_csr_spmm90_512\": {{\"speedup\": {bsr_vs_csr:.3}}},\n    \"batched_vs_per_frame_score_128\": {{\"speedup\": {batch_speedup:.3}}}\n  }}\n}}\n",
+        "{{\n  \"schema_version\": 3,\n  \"generated_by\": \"perf_baseline\",\n  \"host\": {{\"hw_threads\": {threads}, \"arch\": \"{arch}\"}},\n  \"benches\": [\n{benches}\n  ],\n  \"derived\": {{\n    \"gemm_blocked_mt_vs_naive_512\": {{\"speedup\": {gemm_speedup:.3}, \"target\": {GEMM_SPEEDUP_TARGET}, \"pass\": {gemm_pass}}},\n    \"spmv_csr90_vs_gemv_512\": {{\"speedup\": {spmv_speedup:.3}, \"target\": {SPMV_SPEEDUP_TARGET}, \"pass\": {spmv_pass}}},\n    \"spmm_csr90_vs_scalar_512\": {{\"speedup\": {spmm_csr_speedup:.3}, \"target\": {SPMM_CSR_SPEEDUP_TARGET}, \"pass\": {spmm_csr_pass}}},\n    \"bsr_spmm90_vs_dense_gemm_512x128\": {{\"speedup\": {bsr_vs_dense:.3}, \"target\": {BSR_VS_DENSE_TARGET}, \"pass\": {bsr_pass}}},\n    \"bsr_spmm90_vs_csr_spmm90_512\": {{\"speedup\": {bsr_vs_csr:.3}}},\n    \"qbsr_spmm90_vs_f32_bsr_spmm90_512\": {{\"speedup\": {qbsr_vs_f32_bsr:.3}, \"target\": {QBSR_VS_F32_BSR_TARGET}, \"pass\": {qbsr_pass}}},\n    \"qgemm_vs_dense_gemm_512x128\": {{\"speedup\": {qgemm_vs_dense:.3}}},\n    \"batched_vs_per_frame_score_128\": {{\"speedup\": {batch_speedup:.3}}}\n  }}\n}}\n",
         arch = std::env::consts::ARCH,
         benches = benches_json.join(",\n"),
     );
@@ -241,6 +321,31 @@ fn main() {
         std::process::exit(1);
     }
     println!("\nrecorded {out_path}");
+}
+
+/// Per-output-row symmetric weight scales (`max|row| / 127`, 1.0 for
+/// all-zero rows) — the same rule `darkside-quant`'s calibration applies.
+fn row_scales(w: &Matrix) -> Vec<f32> {
+    (0..w.rows())
+        .map(|o| {
+            let m = (0..w.cols()).fold(0.0f32, |m, i| m.max(w.get(o, i).abs()));
+            if m > 0.0 {
+                m / 127.0
+            } else {
+                1.0
+            }
+        })
+        .collect()
+}
+
+/// One symmetric activation scale over the whole block.
+fn activation_scale(x: &Matrix) -> f32 {
+    let m = x.as_slice().iter().fold(0.0f32, |m, v| m.max(v.abs()));
+    if m > 0.0 {
+        m / 127.0
+    } else {
+        1.0
+    }
 }
 
 /// The optimized kernels must agree with the naive oracles before any
@@ -297,6 +402,50 @@ fn verify_kernels(rng: &mut Rng, threads: usize) {
     let mut got = Matrix::zeros(64, 33);
     bsr.spmm(&xt, &mut got);
     assert_matrices_close(&got, &want, 1e-4, "bsr spmm vs masked dense gemm");
+
+    // Int8 kernels must match the naive widening oracle *bit-for-bit*
+    // (the ISSUE 10 contract — integer accumulation is exact).
+    let (m, n, k) = (20, 13, 19);
+    let wq: Vec<i8> = (0..m * k)
+        .map(|_| rng.uniform(-127.4, 127.4) as i8)
+        .collect();
+    let xq: Vec<i8> = (0..n * k)
+        .map(|_| rng.uniform(-127.4, 127.4) as i8)
+        .collect();
+    let mut want = vec![0i32; m * n];
+    qgemm_ref(m, n, k, &wq, &xq, &mut want);
+    let kp = kpad_for(k);
+    let mut got = vec![1i32; m * n];
+    qgemm(
+        m,
+        n,
+        k,
+        kp,
+        &pack_weights_i8(m, k, &wq, kp),
+        &pack_activations_i8(n, k, &xq, kp),
+        &mut got,
+    );
+    assert_eq!(got, want, "qgemm vs widening oracle");
+
+    // Quantized BSR over the same blocked mask: dropped tiles are all-zero
+    // in `bmasked`, so elementwise quantization of the masked dense matrix
+    // is an exact oracle for the block store.
+    let scales = row_scales(&bmasked);
+    let qb = QBsr::from_dense_rows(&bmasked, &scales);
+    let xq2: Vec<i8> = (0..33 * 80)
+        .map(|_| rng.uniform(-127.4, 127.4) as i8)
+        .collect();
+    let mut wq2 = vec![0i8; 64 * 80];
+    for o in 0..64 {
+        for i in 0..80 {
+            wq2[o * 80 + i] = quantize_value(bmasked.get(o, i), scales[o]);
+        }
+    }
+    let mut want = vec![0i32; 64 * 33];
+    qgemm_ref(64, 33, 80, &wq2, &xq2, &mut want);
+    let mut got = vec![1i32; 64 * 33];
+    qb.spmm(33, &pack_activations_i8(33, 80, &xq2, qb.kpad()), &mut got);
+    assert_eq!(got, want, "qbsr spmm vs widening oracle");
 }
 
 fn parse_out_arg() -> Result<String, String> {

@@ -3,9 +3,10 @@
 //!
 //! Three measurement families:
 //!
-//! 1. **Policy × sparsity matrix** (single shard, the ISSUE 5/6 cells):
-//!    dense / 90 %-unstructured / 90 %-tiled bundles under all three
-//!    pruning policies, closed loop at fixed concurrency. Per cell:
+//! 1. **Policy × sparsity matrix** (single shard, the ISSUE 5/6 cells,
+//!    precision axis added by ISSUE 10): dense / 90 %-unstructured /
+//!    90 %-tiled / 90 %-tiled-int8 bundles under all three pruning
+//!    policies, closed loop at fixed concurrency. Per cell:
 //!    served throughput (frames/s), submit→final latency percentiles, and
 //!    the same utterances decoded **sequentially** as the baseline the
 //!    micro-batched engine must beat. This is the paper's tail-latency
@@ -27,6 +28,9 @@
 //! * LooseNBest served p99 ≤ Beam served p99 at 90 % sparsity;
 //! * structured (8×8-tiled, BSR-served) 90 % sparsity beats *dense* served
 //!   throughput in every policy cell (paired sign test, ISSUE 6);
+//! * quantized (int8, quantized-BSR-served) 90 % sparsity at least matches
+//!   the f32 BSR path's served throughput in every policy cell (paired
+//!   sign test, ISSUE 10);
 //! * 2 shards beat 1 shard at 64 sessions (paired sign test) — enforced
 //!   only on hosts with ≥ 2 cores; a single-core host (where the win is
 //!   physically impossible) instead checks sharding doesn't collapse
@@ -52,7 +56,7 @@ use darkside_core::nn::{Frame, FrameScorer, Rng, Scores};
 use darkside_core::trace::{exact_percentile, Json, WindowConfig};
 use darkside_core::viterbi_accel::{NBestTableConfig, UnfoldHashConfig};
 use darkside_core::{
-    ModelBundle, Pipeline, PipelineConfig, PolicyKind, PruneStructure, ServableSpec,
+    ModelBundle, Pipeline, PipelineConfig, PolicyKind, Precision, PruneStructure, ServableSpec,
 };
 use darkside_serve::{DetectorConfig, RejectReason, ServeConfig, ShardedScheduler};
 use std::sync::Arc;
@@ -63,6 +67,8 @@ struct LoadCell {
     level: String,
     /// Sparsity structure of the cell's scorer ("unstructured" / "b8x8").
     structure: String,
+    /// Scoring precision of the cell's scorer ("f32" / "int8", ISSUE 10).
+    precision: String,
     sparsity: f64,
     policy: &'static str,
     served_fps: f64,
@@ -189,6 +195,7 @@ impl RawCell {
         LoadCell {
             level: self.bundle.label.clone(),
             structure: self.bundle.structure.clone(),
+            precision: self.bundle.precision.label().to_string(),
             sparsity: self.bundle.sparsity,
             policy: self.policy,
             served_fps,
@@ -519,6 +526,7 @@ fn cell_json(c: &LoadCell) -> Json {
     Json::obj(vec![
         ("level", Json::str(&c.level)),
         ("structure", Json::str(&c.structure)),
+        ("precision", Json::str(&c.precision)),
         ("sparsity", c.sparsity.into()),
         ("policy", c.policy.into()),
         ("served_fps", c.served_fps.into()),
@@ -635,6 +643,16 @@ fn main() {
     let tiled = pipeline
         .servable(ServableSpec::pruned(0.9).with_structure(PruneStructure::tile()))
         .expect("structured prune to 90%");
+    // The ISSUE 10 cells: the *same* tiled 90 % model quantized to int8 and
+    // served through the quantized-BSR store — identical mask, identical
+    // graph/beam/policies, precision the only varying axis.
+    let qtiled = pipeline
+        .servable(
+            ServableSpec::pruned(0.9)
+                .with_structure(PruneStructure::tile())
+                .with_precision(Precision::Int8),
+        )
+        .expect("quantized structured prune to 90%");
     // Fresh load-generator utterances, drawn from the same task the model
     // was trained on (seed disjoint from train/test sampling).
     let utts = pipeline
@@ -687,7 +705,7 @@ fn main() {
     };
 
     let mut raw: Vec<RawCell> = Vec::new();
-    for bundle in [&dense, &pruned, &tiled] {
+    for bundle in [&dense, &pruned, &tiled, &qtiled] {
         for policy in policies {
             raw.push(RawCell {
                 bundle: bundle.with_policy(policy, serving_beam),
@@ -711,9 +729,10 @@ fn main() {
     let cells: Vec<LoadCell> = raw.into_iter().map(RawCell::fold).collect();
 
     println!(
-        "| {:<7} | {:<12} | {:<7} | {:>10} | {:>10} | {:>7} | {:>8} | {:>8} | {:>8} |",
+        "| {:<7} | {:<12} | {:<4} | {:<7} | {:>10} | {:>10} | {:>7} | {:>8} | {:>8} | {:>8} |",
         "level",
         "structure",
+        "prec",
         "policy",
         "served/s",
         "seq/s",
@@ -723,13 +742,14 @@ fn main() {
         "p99-ms"
     );
     println!(
-        "|---------|--------------|---------|------------|------------|---------|----------|----------|----------|"
+        "|---------|--------------|------|---------|------------|------------|---------|----------|----------|----------|"
     );
     for c in &cells {
         println!(
-            "| {:<7} | {:<12} | {:<7} | {:>10.0} | {:>10.0} | {:>6.2}x | {:>8.2} | {:>8.2} | {:>8.2} |",
+            "| {:<7} | {:<12} | {:<4} | {:<7} | {:>10.0} | {:>10.0} | {:>6.2}x | {:>8.2} | {:>8.2} | {:>8.2} |",
             c.level,
             c.structure,
+            c.precision,
             c.policy,
             c.served_fps,
             c.sequential_fps,
@@ -875,14 +895,20 @@ fn main() {
     );
     println!("elapsed: {:.1}s", start.elapsed().as_secs_f64());
 
-    let find = |level: &str, policy: &str, structure: &str| {
+    let find = |level: &str, policy: &str, structure: &str, precision: &str| {
         cells
             .iter()
-            .find(|c| c.level == level && c.policy == policy && c.structure == structure)
-            .unwrap_or_else(|| panic!("no ({level}, {policy}, {structure}) cell"))
+            .find(|c| {
+                c.level == level
+                    && c.policy == policy
+                    && c.structure == structure
+                    && c.precision == precision
+            })
+            .unwrap_or_else(|| panic!("no ({level}, {policy}, {structure}, {precision}) cell"))
     };
-    let beam90 = find(&pruned.label, "beam", &pruned.structure);
-    let nbest90 = find(&pruned.label, "nbest", &pruned.structure);
+    let f32_label = Precision::F32.label();
+    let beam90 = find(&pruned.label, "beam", &pruned.structure, f32_label);
+    let nbest90 = find(&pruned.label, "nbest", &pruned.structure, f32_label);
 
     // "Micro-batching beats sequential" is a property of the engine, not
     // of one policy: pool the paired (served, sequential) reps of every
@@ -935,8 +961,8 @@ fn main() {
     // far more flake-resistant than comparing two best-of-reps throughputs
     // measured seconds apart.
     for policy in ["beam", "unfold", "nbest"] {
-        let d = find(&dense.label, policy, &dense.structure);
-        let s = find(&tiled.label, policy, &tiled.structure);
+        let d = find(&dense.label, policy, &dense.structure, f32_label);
+        let s = find(&tiled.label, policy, &tiled.structure, f32_label);
         let paired = s
             .served_fps_reps
             .iter()
@@ -952,6 +978,39 @@ fn main() {
                 s.served_fps,
                 d.served_fps,
                 s.served_fps / d.served_fps
+            ),
+        );
+    }
+    // The ISSUE 10 gate: int8 quantized-BSR serving must at least match
+    // the f32 BSR path it quantizes, policy by policy — the 4× weight-
+    // bandwidth cut has to survive end-to-end serving (per-batch
+    // activation quantization, dequantize, decode on quantized
+    // posteriors), not just the kernel bench. Same paired sign test as
+    // the gates above; ≥ rather than > because the two cells share every
+    // decode parameter and perfect parity is a legitimate outcome on a
+    // decode-dominated host.
+    for policy in ["beam", "unfold", "nbest"] {
+        let s = find(&tiled.label, policy, &tiled.structure, f32_label);
+        let q = find(
+            &qtiled.label,
+            policy,
+            &qtiled.structure,
+            Precision::Int8.label(),
+        );
+        let paired = q
+            .served_fps_reps
+            .iter()
+            .zip(&s.served_fps_reps)
+            .filter(|(qv, sv)| qv >= sv)
+            .count();
+        ok &= check(
+            &format!("quantized bsr 90% >= f32 bsr serving ({policy})"),
+            2 * paired > reps,
+            format!(
+                "int8 wins {paired}/{reps} paired reps (best: {:.0} fps vs f32 {:.0} fps, {:.2}x)",
+                q.served_fps,
+                s.served_fps,
+                q.served_fps / s.served_fps
             ),
         );
     }
@@ -1045,14 +1104,14 @@ fn main() {
     );
 
     if let Some(path) = &json_path {
-        // schema_version 4: ISSUE 9 — the detector scenario (flag counts,
-        // time-to-detect, margin percentiles, dense false positives) and
-        // the engine's fleet telemetry snapshot. Schema 3 (ISSUE 7) added
-        // host_cores, the sessions × shards scaling sweep + knees, and the
-        // slo_shed / steal_drain scenarios; every schema-3 field is
-        // unchanged.
+        // schema_version 5: ISSUE 10 — every cell carries a "precision"
+        // field ("f32"/"int8") and the matrix adds the quantized-BSR 90 %
+        // cells. Schema 4 (ISSUE 9) added the detector scenario and the
+        // fleet telemetry snapshot; schema 3 (ISSUE 7) host_cores, the
+        // sessions × shards scaling sweep + knees, and the slo_shed /
+        // steal_drain scenarios; every schema-4 field is unchanged.
         let json = Json::obj(vec![
-            ("schema_version", 4u64.into()),
+            ("schema_version", 5u64.into()),
             ("name", Json::str("serve_load")),
             ("smoke", smoke.into()),
             ("host_cores", host_cores.into()),

@@ -52,6 +52,10 @@ pub struct BenchResult {
     pub iters_per_sample: u64,
     /// Arithmetic work per op, set via [`BenchResult::with_flops`].
     pub flops_per_op: Option<f64>,
+    /// Memory traffic per op (operands + result, ideal-cache model), set
+    /// via [`BenchResult::with_bytes`]. Lets bandwidth-bound kernels (the
+    /// int8 paths) report the quantity they actually optimize.
+    pub bytes_per_op: Option<f64>,
 }
 
 impl BenchResult {
@@ -62,8 +66,20 @@ impl BenchResult {
         self
     }
 
+    /// Attach a bytes-moved count so [`BenchResult::gbytes_per_s`] and the
+    /// JSON record can report effective bandwidth.
+    pub fn with_bytes(mut self, bytes: f64) -> Self {
+        self.bytes_per_op = Some(bytes);
+        self
+    }
+
     pub fn gflops(&self) -> Option<f64> {
         self.flops_per_op.map(|f| f / self.median_ns)
+    }
+
+    /// Effective bandwidth in GB/s (bytes-moved over median time).
+    pub fn gbytes_per_s(&self) -> Option<f64> {
+        self.bytes_per_op.map(|b| b / self.median_ns)
     }
 
     /// Median-over-median speedup of `baseline` relative to `self`.
@@ -93,11 +109,20 @@ impl BenchResult {
             .flops_per_op
             .map(|f| format!("{f:.0}"))
             .unwrap_or_else(|| "null".into());
+        let bytes = self
+            .bytes_per_op
+            .map(|b| format!("{b:.0}"))
+            .unwrap_or_else(|| "null".into());
+        let gbps = self
+            .gbytes_per_s()
+            .map(|g| format!("{g:.4}"))
+            .unwrap_or_else(|| "null".into());
         format!(
             concat!(
                 "{{\"name\":\"{}\",\"median_ns\":{:.1},\"min_ns\":{:.1},",
                 "\"mean_ns\":{:.1},\"samples\":{},\"iters_per_sample\":{},",
-                "\"flops_per_op\":{},\"gflops\":{}}}"
+                "\"flops_per_op\":{},\"gflops\":{},",
+                "\"bytes_per_op\":{},\"gbytes_per_s\":{}}}"
             ),
             self.name,
             self.median_ns,
@@ -106,7 +131,9 @@ impl BenchResult {
             self.samples,
             self.iters_per_sample,
             flops,
-            gflops
+            gflops,
+            bytes,
+            gbps
         )
     }
 }
@@ -149,6 +176,7 @@ pub fn bench_with(name: &str, opts: BenchOptions, mut f: impl FnMut()) -> BenchR
         samples: per_op.len(),
         iters_per_sample: iters,
         flops_per_op: None,
+        bytes_per_op: None,
     }
 }
 
@@ -191,9 +219,12 @@ mod tests {
             samples: 3,
             iters_per_sample: 7,
             flops_per_op: Some(20.0),
+            bytes_per_op: Some(30.0),
         }
         .to_json();
         assert!(r.contains("\"name\":\"x\""));
         assert!(r.contains("\"gflops\":2.0000"));
+        assert!(r.contains("\"bytes_per_op\":30"));
+        assert!(r.contains("\"gbytes_per_s\":3.0000"));
     }
 }

@@ -24,14 +24,20 @@ pub fn print_run_header(name: &str, report: &PipelineReport) {
 }
 
 /// Row tag for tables whose levels can repeat at the same pruning target
-/// with different sparsity structures: "90%" for unstructured rows,
-/// "90%+b8x8" for the structured re-run at the same target.
-pub fn level_tag(label: &str, structure: &str) -> String {
-    if structure == "unstructured" {
+/// with different sparsity structures or scoring precisions: "90%" for
+/// unstructured f32 rows, "90%+b8x8" for the structured re-run at the same
+/// target, "90%+b8x8+int8" for its quantized ablation (ISSUE 10).
+pub fn level_tag(label: &str, structure: &str, precision: &str) -> String {
+    let mut tag = if structure == "unstructured" {
         label.to_string()
     } else {
         format!("{label}+{structure}")
+    };
+    if precision != "f32" {
+        tag.push('+');
+        tag.push_str(precision);
     }
+    tag
 }
 
 /// Print the per-level metric table (markdown-ish, pasteable into
@@ -47,7 +53,7 @@ pub fn print_level_table(report: &PipelineReport) {
     for level in &report.levels {
         println!(
             "| {:<9} | {:>7.1}% | {:>10.4} | {:>9.4} | {:>7.2} | {:>10.1} | {:>9.1} |",
-            level_tag(&level.label, &level.structure),
+            level_tag(&level.label, &level.structure, &level.precision),
             level.sparsity * 100.0,
             level.mean_confidence,
             level.frame_accuracy,
@@ -83,7 +89,7 @@ pub fn print_policy_grid(report: &PolicyGridReport) {
         for cell in &level.per_policy {
             println!(
                 "| {:<9} | {:<7} | {:>10.1} | {:>8.0} | {:>8.0} | {:>8.0} | {:>7.2} | {:>9} | {:>9} | {:>9.1} |",
-                level_tag(&level.label, &level.structure),
+                level_tag(&level.label, &level.structure, &level.precision),
                 cell.policy,
                 cell.mean_hypotheses,
                 cell.hyps_p50,
@@ -112,7 +118,7 @@ pub fn print_policy_latency(report: &PolicyGridReport) {
         for cell in &level.per_policy {
             println!(
                 "| {:<9} | {:<7} | {:>11.0} | {:>11.0} | {:>11.0} |",
-                level_tag(&level.label, &level.structure),
+                level_tag(&level.label, &level.structure, &level.precision),
                 cell.policy,
                 cell.frame_ns_p50,
                 cell.frame_ns_p95,
@@ -135,6 +141,7 @@ pub fn level_json(level: &LevelReport) -> Json {
         ("label", Json::str(&level.label)),
         ("policy", Json::str(&level.policy)),
         ("structure", Json::str(&level.structure)),
+        ("precision", Json::str(&level.precision)),
         ("sparsity", level.sparsity.into()),
         ("mean_confidence", level.mean_confidence.into()),
         ("frame_accuracy", level.frame_accuracy.into()),
@@ -161,9 +168,10 @@ pub fn level_json(level: &LevelReport) -> Json {
 
 /// A whole [`PipelineReport`] as JSON — what `exp_fig3`/`exp_fig4`/
 /// `pipeline_smoke --json <path>` write for the CI artifact upload.
+/// Schema 2: level rows carry a "precision" field (ISSUE 10).
 pub fn pipeline_report_json(name: &str, report: &PipelineReport) -> Json {
     Json::obj(vec![
-        ("schema_version", 1u64.into()),
+        ("schema_version", 2u64.into()),
         ("name", Json::str(name)),
         ("graph_kind", Json::str(&report.graph_kind)),
         ("train_frames", report.train_frames.into()),
@@ -181,9 +189,11 @@ pub fn pipeline_report_json(name: &str, report: &PipelineReport) -> Json {
 }
 
 /// A [`PolicyGridReport`] as JSON — what `exp_fig7 --json <path>` writes.
+/// Schema 2: level objects and per-policy rows carry a "precision" field
+/// (ISSUE 10).
 pub fn policy_grid_json(name: &str, report: &PolicyGridReport) -> Json {
     Json::obj(vec![
-        ("schema_version", 1u64.into()),
+        ("schema_version", 2u64.into()),
         ("name", Json::str(name)),
         (
             "policies",
@@ -199,6 +209,7 @@ pub fn policy_grid_json(name: &str, report: &PolicyGridReport) -> Json {
                         Json::obj(vec![
                             ("label", Json::str(&level.label)),
                             ("structure", Json::str(&level.structure)),
+                            ("precision", Json::str(&level.precision)),
                             ("sparsity", level.sparsity.into()),
                             (
                                 "per_policy",

@@ -14,7 +14,7 @@ use crate::pipeline::Pipeline;
 use crate::PolicyKind;
 use darkside_decoder::{BeamConfig, PruningPolicy};
 use darkside_error::Error;
-use darkside_nn::FrameScorer;
+use darkside_nn::{FrameScorer, Precision};
 use darkside_pruning::PruneStructure;
 use darkside_wfst::{GraphKind, SharedGraph};
 use std::sync::Arc;
@@ -42,6 +42,11 @@ pub struct ModelBundle {
     /// Sparsity-structure label of the scorer ("unstructured", "b8x8", …;
     /// dense bundles report "unstructured").
     pub structure: String,
+    /// Scoring precision of the scorer (ISSUE 10); stamped into session
+    /// checkpoints (wire v3) so a blob never restores against a scorer of
+    /// a different precision — quantized and f32 posteriors differ, so
+    /// mixing them mid-utterance would silently corrupt the decode.
+    pub precision: Precision,
     /// Achieved global sparsity of the scorer (0 for dense).
     pub sparsity: f64,
     /// Mean hypotheses/frame of the **dense** model under this bundle's
@@ -95,6 +100,8 @@ pub struct ServableSpec {
     /// Masked-retraining epochs after the prune; `None` defers to the
     /// pipeline's configured budget.
     retrain: Option<usize>,
+    /// Scoring precision of the exported scorer (ISSUE 10).
+    precision: Precision,
 }
 
 impl ServableSpec {
@@ -106,6 +113,7 @@ impl ServableSpec {
             policy: None,
             beam: None,
             retrain: None,
+            precision: Precision::F32,
         }
     }
 
@@ -125,6 +133,16 @@ impl ServableSpec {
     /// bundles from one pipeline). Dense specs reject structure overrides.
     pub fn with_structure(mut self, structure: PruneStructure) -> Self {
         self.structure = Some(structure);
+        self
+    }
+
+    /// Export the scorer at `precision` (ISSUE 10): [`Precision::Int8`]
+    /// calibrates activation scales on the pipeline's training distribution
+    /// and serves int8 weights — quantized BSR when the effective structure
+    /// is the 8×8 serving tile, packed dense i8 otherwise (including dense
+    /// exports).
+    pub fn with_precision(mut self, precision: Precision) -> Self {
+        self.precision = precision;
         self
     }
 
@@ -184,8 +202,12 @@ impl Pipeline {
                         format!("dense export cannot carry a retrain override ({epochs} epochs)"),
                     ));
                 }
+                let scorer: Arc<dyn FrameScorer + Send + Sync> = match spec.precision {
+                    Precision::F32 => Arc::new(self.model.clone()),
+                    Precision::Int8 => Arc::new(self.quantize_dense()?),
+                };
                 (
-                    Arc::new(self.model.clone()),
+                    scorer,
                     "dense".to_string(),
                     PruneStructure::Unstructured.label(),
                     0.0,
@@ -199,10 +221,21 @@ impl Pipeline {
                 }
                 let structure = spec.structure.unwrap_or(self.config.structure);
                 let retrain = spec.retrain.unwrap_or(self.config.retrain_epochs);
-                let (pruned, achieved) =
-                    self.prune_with_retrain(spec.sparsity, structure, retrain)?;
+                let (scorer, achieved): (Arc<dyn FrameScorer + Send + Sync>, f64) =
+                    match spec.precision {
+                        Precision::F32 => {
+                            let (pruned, achieved) =
+                                self.prune_with_retrain(spec.sparsity, structure, retrain)?;
+                            (Arc::new(pruned), achieved)
+                        }
+                        Precision::Int8 => {
+                            let (quantized, achieved) =
+                                self.quantize_pruned(spec.sparsity, structure, retrain)?;
+                            (Arc::new(quantized), achieved)
+                        }
+                    };
                 (
-                    Arc::new(pruned),
+                    scorer,
                     format!("{:.0}%", spec.sparsity * 100.0),
                     structure.label(),
                     achieved,
@@ -216,6 +249,7 @@ impl Pipeline {
             policy,
             label,
             structure,
+            precision: spec.precision,
             sparsity,
             dense_hyps_baseline: self.dense_hyps_baseline(&beam)?,
         })

@@ -17,6 +17,7 @@ pub mod policy;
 
 pub use bundle::{ModelBundle, ServableSpec};
 pub use darkside_error::Error;
+pub use darkside_nn::Precision;
 pub use darkside_pruning::PruneStructure;
 pub use pipeline::{
     DecodingGraph, GraphConfig, LevelReport, Pipeline, PipelineConfig, PipelineReport,
@@ -30,6 +31,7 @@ pub use darkside_dnn_accel as dnn_accel;
 pub use darkside_hwmodel as hwmodel;
 pub use darkside_nn as nn;
 pub use darkside_pruning as pruning;
+pub use darkside_quant as quant;
 pub use darkside_trace as trace;
 pub use darkside_viterbi_accel as viterbi_accel;
 pub use darkside_wfst as wfst;

@@ -9,13 +9,14 @@
 //! through the *same* [`FrameScorer`]-driven decode path — and returns the
 //! per-level [`LevelReport`]s that EXPERIMENTS.md tables are printed from.
 
-use crate::{acoustic, decoder, nn, pruning, wfst, PolicyKind};
+use crate::{acoustic, decoder, nn, pruning, quant, wfst, PolicyKind};
 use acoustic::{training_set, Corpus, CorpusConfig, Utterance};
 use darkside_error::Error;
 use darkside_trace::{self as trace, Json};
 use decoder::{acoustic_costs, decode_with_policy, BeamConfig, WerStats};
-use nn::{evaluate, FrameScorer, Mlp, Rng, SgdConfig, Trainer};
-use pruning::{prune_mlp_to_sparsity_structured, PruneStructure, PrunedMlp};
+use nn::{evaluate, FrameScorer, Matrix, Mlp, Precision, Rng, SgdConfig, Trainer};
+use pruning::{prune_mlp_to_sparsity_structured, ModelPruneResult, PruneStructure, PrunedMlp};
+use quant::{calibrate_mlp, QuantizedMlp};
 use std::rc::Rc;
 use std::sync::Arc;
 use wfst::{
@@ -82,6 +83,13 @@ pub struct PipelineConfig {
     pub structure: PruneStructure,
     /// Decoding-graph mode, lazy-memo budget, and grammar pruning (ISSUE 8).
     pub graph: GraphConfig,
+    /// Scoring precision for the *quantized* comparison rows (ISSUE 10).
+    /// [`Precision::F32`] (the default) reproduces the original study;
+    /// [`Precision::Int8`] makes [`Pipeline::run`] /
+    /// [`Pipeline::run_policy_grid`] emit an extra int8-served row per
+    /// level (and for dense) so quantized-vs-f32 WER is read off at equal
+    /// sparsity — the same ride-along pattern as `structure`.
+    pub precision: Precision,
     /// Seed for model init, training shuffles, and train/test sampling.
     pub seed: u64,
 }
@@ -109,6 +117,7 @@ impl PipelineConfig {
             prune_levels: vec![0.70, 0.80, 0.90],
             structure: PruneStructure::Unstructured,
             graph: GraphConfig::default(),
+            precision: Precision::F32,
             seed: 0xDA_2C,
         }
     }
@@ -146,6 +155,7 @@ impl PipelineConfig {
             prune_levels: vec![0.90],
             structure: PruneStructure::Unstructured,
             graph: GraphConfig::default(),
+            precision: Precision::F32,
             seed: 0x5310,
         }
     }
@@ -199,6 +209,12 @@ impl PipelineConfig {
         self
     }
 
+    /// Add int8-quantized comparison rows to every run (ISSUE 10).
+    pub fn with_precision(mut self, precision: Precision) -> Self {
+        self.precision = precision;
+        self
+    }
+
     pub fn with_graph(mut self, graph: GraphConfig) -> Self {
         self.graph = graph;
         self
@@ -243,6 +259,7 @@ impl PipelineConfig {
             ("acoustic_scale", (self.beam.acoustic_scale as f64).into()),
             ("policy", Json::str(self.policy.label())),
             ("structure", Json::str(self.structure.label())),
+            ("precision", Json::str(self.precision.label())),
             ("graph_mode", Json::str(self.graph.mode.label())),
             ("memo_states", self.graph.memo_states.into()),
             ("grammar_prune", self.graph.grammar_prune.into()),
@@ -300,6 +317,8 @@ pub struct LevelReport {
     /// Sparsity-structure label of the scorer ("unstructured", "b8x8", …;
     /// dense rows report "unstructured" — no structure constraint applies).
     pub structure: String,
+    /// Scoring-precision label of the scorer ("f32" / "int8"; ISSUE 10).
+    pub precision: String,
     /// Achieved global sparsity of the scorer (0 for dense).
     pub sparsity: f64,
     /// Mean top-1 softmax probability over test frames (Fig. 3's y-axis).
@@ -381,6 +400,8 @@ pub struct PolicyGridLevel {
     /// Sparsity-structure label of the row's scorer (see
     /// [`LevelReport::structure`]).
     pub structure: String,
+    /// Scoring-precision label of the row's scorer ("f32" / "int8").
+    pub precision: String,
     /// Achieved global sparsity of the scorer (0 for dense).
     pub sparsity: f64,
     /// One report per swept policy, in [`PolicyGridReport::policies`]
@@ -756,6 +777,7 @@ impl Pipeline {
             label: label.to_string(),
             policy: kind.label().to_string(),
             structure: PruneStructure::Unstructured.label(),
+            precision: Precision::F32.label().to_string(),
             sparsity,
             mean_confidence: confidence / frames as f64,
             frame_accuracy: correct as f64 / frames as f64,
@@ -807,6 +829,22 @@ impl Pipeline {
         structure: PruneStructure,
         retrain_epochs: usize,
     ) -> Result<(PrunedMlp, f64), Error> {
+        let (model, result) = self.prune_model_with_retrain(target, structure, retrain_epochs)?;
+        let pruned = PrunedMlp::from_prune_result_structured(&model, &result, structure);
+        Ok((pruned, result.sparsity))
+    }
+
+    /// The prune + masked-retrain core, returning the *masked dense* model
+    /// alongside the prune result instead of compressing it straight to a
+    /// sparse scorer — int8 quantization (ISSUE 10) reads the masked dense
+    /// weights, so both the sparse and the quantized exports build from
+    /// this one artifact and stay weight-identical.
+    pub(crate) fn prune_model_with_retrain(
+        &self,
+        target: f64,
+        structure: PruneStructure,
+        retrain_epochs: usize,
+    ) -> Result<(Mlp, ModelPruneResult), Error> {
         let mut model = self.model.clone();
         let result = {
             let _s = trace::span!("prune");
@@ -842,8 +880,48 @@ impl Pipeline {
                 trainer.end_epoch();
             }
         }
-        let pruned = PrunedMlp::from_prune_result_structured(&model, &result, structure);
-        Ok((pruned, result.sparsity))
+        Ok((model, result))
+    }
+
+    /// Features for activation-scale calibration (ISSUE 10): a small fixed
+    /// seeded sample of the training distribution, independent of the
+    /// train/test draws so quantization never peeks at held-out data. Same
+    /// config ⇒ bit-identical features ⇒ bit-identical scales.
+    fn calibration_features(&self) -> Matrix {
+        const CALIB_UTTERANCES: usize = 8;
+        let mut rng = Rng::new(self.config.seed ^ 0xCA1B);
+        let sample = self
+            .corpus
+            .sample_set(CALIB_UTTERANCES.min(self.config.train_utterances), &mut rng);
+        let (features, _) = training_set(&sample);
+        features
+    }
+
+    /// Quantize the dense model to int8 (ISSUE 10): calibrate activation
+    /// scales on the training distribution, then store every affine layer
+    /// as packed dense i8.
+    pub fn quantize_dense(&self) -> Result<QuantizedMlp, Error> {
+        let _s = trace::span!("quantize");
+        let calib = calibrate_mlp(&self.model, &self.calibration_features());
+        QuantizedMlp::quantize(&self.model, &calib, PruneStructure::Unstructured)
+    }
+
+    /// Prune to `target` under `structure` (with masked retraining), then
+    /// quantize the masked dense model to int8 — tile structures come back
+    /// served from quantized BSR, everything else from packed dense i8.
+    /// Calibration runs on the *pruned* model, so activation scales match
+    /// the activations int8 serving will actually see.
+    pub fn quantize_pruned(
+        &self,
+        target: f64,
+        structure: PruneStructure,
+        retrain_epochs: usize,
+    ) -> Result<(QuantizedMlp, f64), Error> {
+        let (model, result) = self.prune_model_with_retrain(target, structure, retrain_epochs)?;
+        let _s = trace::span!("quantize");
+        let calib = calibrate_mlp(&model, &self.calibration_features());
+        let quantized = QuantizedMlp::quantize(&model, &calib, structure)?;
+        Ok((quantized, result.sparsity))
     }
 
     /// The one-call study: dense evaluation, then every configured pruning
@@ -852,7 +930,14 @@ impl Pipeline {
     /// gets a structured (BSR-served) row at the same target, so the
     /// structured-vs-unstructured WER gap is read off the report directly.
     pub fn run(&self) -> Result<PipelineReport, Error> {
+        let quantized = self.config.precision == Precision::Int8;
         let mut levels = vec![self.evaluate_scorer("dense", 0.0, &self.model)?];
+        if quantized {
+            let q = self.quantize_dense()?;
+            let mut row = self.evaluate_scorer("dense", 0.0, &q)?;
+            row.precision = Precision::Int8.label().to_string();
+            levels.push(row);
+        }
         for &target in &self.config.prune_levels {
             let (pruned, sparsity) = self.prune_to(target)?;
             let label = format!("{:.0}%", target * 100.0);
@@ -861,6 +946,20 @@ impl Pipeline {
                 let (pruned, sparsity) = self.prune_to_structured(target, self.config.structure)?;
                 let mut row = self.evaluate_scorer(&label, sparsity, &pruned)?;
                 row.structure = self.config.structure.label();
+                levels.push(row);
+            }
+            if quantized {
+                // Quantize on the configured structure, so the int8 row is
+                // the direct precision ablation of the structure row above
+                // it (same masked weights, same sparsity).
+                let (q, sparsity) = self.quantize_pruned(
+                    target,
+                    self.config.structure,
+                    self.config.retrain_epochs,
+                )?;
+                let mut row = self.evaluate_scorer(&label, sparsity, &q)?;
+                row.structure = self.config.structure.label();
+                row.precision = Precision::Int8.label().to_string();
                 levels.push(row);
             }
         }
@@ -915,19 +1014,62 @@ impl Pipeline {
     /// policy column at once.
     pub fn run_policy_grid(&self, policies: &[PolicyKind]) -> Result<PolicyGridReport, Error> {
         let unstructured = PruneStructure::Unstructured;
-        let mut levels =
-            vec![self.grid_level("dense", unstructured, 0.0, &self.model, policies)?];
+        let quantized = self.config.precision == Precision::Int8;
+        let mut levels = vec![self.grid_level(
+            "dense",
+            unstructured,
+            Precision::F32,
+            0.0,
+            &self.model,
+            policies,
+        )?];
+        if quantized {
+            let q = self.quantize_dense()?;
+            levels.push(self.grid_level(
+                "dense",
+                unstructured,
+                Precision::Int8,
+                0.0,
+                &q,
+                policies,
+            )?);
+        }
         for &target in &self.config.prune_levels {
             let (pruned, sparsity) = self.prune_to(target)?;
             let label = format!("{:.0}%", target * 100.0);
-            levels.push(self.grid_level(&label, unstructured, sparsity, &pruned, policies)?);
+            levels.push(self.grid_level(
+                &label,
+                unstructured,
+                Precision::F32,
+                sparsity,
+                &pruned,
+                policies,
+            )?);
             if self.config.structure != unstructured {
                 let (pruned, sparsity) = self.prune_to_structured(target, self.config.structure)?;
                 levels.push(self.grid_level(
                     &label,
                     self.config.structure,
+                    Precision::F32,
                     sparsity,
                     &pruned,
+                    policies,
+                )?);
+            }
+            if quantized {
+                // Equal-sparsity precision ablation: same masked weights as
+                // the f32 row on the configured structure, stored int8.
+                let (q, sparsity) = self.quantize_pruned(
+                    target,
+                    self.config.structure,
+                    self.config.retrain_epochs,
+                )?;
+                levels.push(self.grid_level(
+                    &label,
+                    self.config.structure,
+                    Precision::Int8,
+                    sparsity,
+                    &q,
                     policies,
                 )?);
             }
@@ -942,6 +1084,7 @@ impl Pipeline {
         &self,
         label: &str,
         structure: PruneStructure,
+        precision: Precision,
         sparsity: f64,
         scorer: &dyn FrameScorer,
         policies: &[PolicyKind],
@@ -951,12 +1094,14 @@ impl Pipeline {
             .map(|kind| {
                 let mut row = self.evaluate_scorer_with_policy(label, sparsity, scorer, kind)?;
                 row.structure = structure.label();
+                row.precision = precision.label().to_string();
                 Ok::<_, Error>(row)
             })
             .collect::<Result<Vec<_>, _>>()?;
         Ok(PolicyGridLevel {
             label: label.to_string(),
             structure: structure.label(),
+            precision: precision.label().to_string(),
             sparsity,
             per_policy,
         })
@@ -1003,6 +1148,35 @@ mod tests {
         assert_eq!(grid.levels.len(), 3);
         assert_eq!(grid.levels[2].structure, "b8x8");
         assert_eq!(grid.levels[2].per_policy[0].structure, "b8x8");
+    }
+
+    #[test]
+    fn quantized_rows_ride_along_when_configured() {
+        // Shape-only check: Int8 precision adds a quantized dense row and
+        // one quantized row per pruning level, on the configured structure,
+        // distinguished by the precision field (ISSUE 10).
+        let config = PipelineConfig::smoke()
+            .with_training(1, 0)
+            .with_structure(PruneStructure::tile())
+            .with_precision(Precision::Int8);
+        let pipeline = Pipeline::build(config).unwrap();
+        let report = pipeline.run().unwrap();
+        // dense f32, dense int8, 90% unstructured f32, 90% b8x8 f32,
+        // 90% b8x8 int8.
+        assert_eq!(report.levels.len(), 5);
+        let precisions: Vec<&str> = report.levels.iter().map(|l| l.precision.as_str()).collect();
+        assert_eq!(precisions, ["f32", "int8", "f32", "f32", "int8"]);
+        assert_eq!(report.levels[1].label, "dense");
+        assert_eq!(report.levels[4].structure, "b8x8");
+        assert_eq!(report.levels[4].label, report.levels[3].label);
+        // Equal-sparsity ablation: the int8 row matches the f32 b8x8 row's
+        // achieved sparsity exactly (same masked weights).
+        assert_eq!(report.levels[4].sparsity, report.levels[3].sparsity);
+        let grid = pipeline.run_policy_grid(&[PolicyKind::Beam]).unwrap();
+        assert_eq!(grid.levels.len(), 5);
+        assert_eq!(grid.levels[1].precision, "int8");
+        assert_eq!(grid.levels[4].precision, "int8");
+        assert_eq!(grid.levels[4].per_policy[0].precision, "int8");
     }
 
     #[test]

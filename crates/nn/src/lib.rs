@@ -32,6 +32,6 @@ pub use layers::{renormalize_in_place, softmax_in_place, Affine, Layer, PNorm};
 pub use matrix::Matrix;
 pub use model::{Frame, Mlp, Scores};
 pub use rng::Rng;
-pub use scorer::{stack_frames, traced_score_frames, FrameScorer};
+pub use scorer::{stack_frames, traced_score_frames, FrameScorer, Precision};
 pub use sparse::{bsr_spmm, csr_spmm};
 pub use train::{evaluate, SgdConfig, TrainStats, Trainer};

@@ -10,7 +10,57 @@
 
 use crate::matrix::Matrix;
 use crate::model::{Frame, Mlp, Scores};
+use darkside_error::Error;
 use darkside_trace as trace;
+
+/// Numeric precision a [`FrameScorer`] backend computes in (ISSUE 10).
+///
+/// Defined here, next to the trait it qualifies, because every layer of the
+/// stack needs it: `darkside-quant` implements the `Int8` backend, the core
+/// pipeline and servable specs select it, and serving checkpoints stamp it
+/// so a session is never restored onto a scorer of a different precision
+/// (quantized and f32 scorers produce different posteriors, so mixing them
+/// mid-utterance would silently corrupt the decode).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum Precision {
+    /// Full-precision f32 scoring (every backend before ISSUE 10).
+    #[default]
+    F32,
+    /// Symmetric int8 scoring with per-row weight scales
+    /// (`darkside-quant`).
+    Int8,
+}
+
+impl Precision {
+    /// Stable wire tag (checkpoint codec).
+    pub fn tag(self) -> u32 {
+        match self {
+            Precision::F32 => 0,
+            Precision::Int8 => 1,
+        }
+    }
+
+    /// Inverse of [`Precision::tag`]; unknown tags are an error, never a
+    /// default.
+    pub fn from_tag(tag: u32) -> Result<Self, Error> {
+        match tag {
+            0 => Ok(Precision::F32),
+            1 => Ok(Precision::Int8),
+            other => Err(Error::shape(
+                "Precision",
+                format!("unknown precision tag {other}"),
+            )),
+        }
+    }
+
+    /// Report/bench label ("f32" / "int8").
+    pub fn label(self) -> &'static str {
+        match self {
+            Precision::F32 => "f32",
+            Precision::Int8 => "int8",
+        }
+    }
+}
 
 /// An acoustic model that maps feature frames to per-class posteriors.
 pub trait FrameScorer {
@@ -89,6 +139,17 @@ impl FrameScorer for Mlp {
 mod tests {
     use super::*;
     use crate::rng::Rng;
+
+    #[test]
+    fn precision_tags_round_trip() {
+        for p in [Precision::F32, Precision::Int8] {
+            assert_eq!(Precision::from_tag(p.tag()).unwrap(), p);
+        }
+        assert!(Precision::from_tag(7).is_err());
+        assert_eq!(Precision::F32.label(), "f32");
+        assert_eq!(Precision::Int8.label(), "int8");
+        assert_eq!(Precision::default(), Precision::F32);
+    }
 
     #[test]
     fn mlp_scores_through_the_trait_object() {

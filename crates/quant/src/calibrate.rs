@@ -1,0 +1,108 @@
+//! Symmetric scale calibration (ISSUE 10): one forward pass over a
+//! calibration set, recording the max-abs input activation of every
+//! affine layer.
+//!
+//! Symmetric int8 quantization needs exactly one statistic per tensor:
+//! the clip range. Weights are static, so their per-row ranges are read
+//! straight off the matrix at quantization time; activations are dynamic,
+//! so their per-layer range is *calibrated* — measured over representative
+//! data (the pipeline feeds a seeded training-set sample) and frozen into
+//! the quantized model. Activations beyond the calibrated range at serving
+//! time saturate at ±127 instead of wrapping.
+//!
+//! Determinism: the walk below is a pure fold of `f32::max` over the same
+//! dense forward pass the f32 scorer runs — same model + same calibration
+//! features ⇒ bit-identical scales, which `tests/qprop.rs` pins.
+
+use darkside_nn::{Layer, Matrix, Mlp};
+
+/// Per-layer activation ranges observed on a calibration set.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Calibration {
+    /// Aligned with `Mlp::layers`: `Some(max_abs_input)` for every
+    /// quantizable (`Layer::Affine`) layer, `None` elsewhere. The LDA
+    /// front-end and the nonlinearities stay f32, mirroring what pruning
+    /// leaves dense.
+    pub layer_max: Vec<Option<f32>>,
+}
+
+impl Calibration {
+    /// Number of layers this calibration covers.
+    pub fn num_layers(&self) -> usize {
+        self.layer_max.len()
+    }
+
+    /// Number of quantizable layers observed.
+    pub fn num_quantizable(&self) -> usize {
+        self.layer_max.iter().flatten().count()
+    }
+}
+
+/// Largest `|v|` in a matrix (0.0 for an empty one).
+fn max_abs(x: &Matrix) -> f32 {
+    x.as_slice().iter().fold(0.0f32, |m, v| m.max(v.abs()))
+}
+
+/// Run `features` (`batch × input_dim`) through `mlp`, recording the
+/// max-abs *input* seen by each `Layer::Affine`. The forward pass is the
+/// model's own — calibration observes exactly the activations scoring
+/// produces.
+pub fn calibrate_mlp(mlp: &Mlp, features: &Matrix) -> Calibration {
+    assert_eq!(
+        features.cols(),
+        mlp.input_dim(),
+        "calibrate_mlp: features are {}-dim, model wants {}",
+        features.cols(),
+        mlp.input_dim()
+    );
+    let mut layer_max = Vec::with_capacity(mlp.layers.len());
+    let mut x = features.clone();
+    for layer in &mlp.layers {
+        layer_max.push(match layer {
+            Layer::Affine(_) => Some(max_abs(&x)),
+            _ => None,
+        });
+        x = layer.forward(x);
+    }
+    Calibration { layer_max }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use darkside_nn::Rng;
+
+    #[test]
+    fn calibration_covers_exactly_the_affine_layers() {
+        let mut rng = Rng::new(11);
+        let mlp = Mlp::kaldi_style(20, 32, 4, 2, 9, &mut rng);
+        let feats = darkside_nn::check::random_matrix(&mut rng, 6, 20, 1.0);
+        let calib = calibrate_mlp(&mlp, &feats);
+        assert_eq!(calib.num_layers(), mlp.layers.len());
+        // kaldi_style: Lda, then per block Affine+PNorm+Renormalize, then
+        // Affine+Softmax — 3 quantizable affines for 2 blocks.
+        assert_eq!(calib.num_quantizable(), 3);
+        for (layer, m) in mlp.layers.iter().zip(&calib.layer_max) {
+            assert_eq!(m.is_some(), matches!(layer, Layer::Affine(_)));
+            if let Some(m) = m {
+                assert!(*m > 0.0 && m.is_finite());
+            }
+        }
+    }
+
+    #[test]
+    fn calibration_is_deterministic_to_the_bit() {
+        let mut rng = Rng::new(0xCA_11B);
+        let mlp = Mlp::kaldi_style(16, 24, 4, 1, 5, &mut rng);
+        let feats = darkside_nn::check::random_matrix(&mut rng, 8, 16, 2.0);
+        let a = calibrate_mlp(&mlp, &feats);
+        let b = calibrate_mlp(&mlp, &feats);
+        for (x, y) in a.layer_max.iter().zip(&b.layer_max) {
+            match (x, y) {
+                (Some(x), Some(y)) => assert_eq!(x.to_bits(), y.to_bits()),
+                (None, None) => {}
+                _ => panic!("layer coverage mismatch"),
+            }
+        }
+    }
+}

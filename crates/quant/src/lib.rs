@@ -1,0 +1,39 @@
+//! # darkside-quant — int8 quantized scoring (ISSUE 10)
+//!
+//! The second-ever [`FrameScorer`](darkside_nn::FrameScorer) backend: a
+//! trained `Mlp`/`PrunedMlp` quantized to symmetric int8 and served behind
+//! the unchanged trait, so the decoder, the pipeline, and the sharded
+//! server score through it with zero call-site changes — the proof that
+//! the scoring trait is a real seam.
+//!
+//! Pieces:
+//! * [`calibrate`] — one forward pass over a calibration set records each
+//!   affine layer's max-abs input activation (the symmetric clip range).
+//! * [`qgemm`] — int8 dense GEMM: i8 weights packed in `k`-major strips,
+//!   activations sign-extended to i16 `madd` pairs, widening MAC into i32
+//!   accumulators; scalar oracle + AVX2 runtime dispatch, **bit-exact**
+//!   against each other, `nn.qgemm.*` trace counters.
+//! * [`qbsr`] — quantized BSR: kept 8×8 tiles stored as 64-byte int8
+//!   packed-A strips, reusing the same micro-kernel per block
+//!   (`nn.qbsr_spmm.*` counters). 4× the f32 BSR's weight bandwidth.
+//! * [`qmlp`] — [`QuantizedMlp`]: per-output-row weight scales, calibrated
+//!   per-layer activation scales, dequantize once per output row; LDA and
+//!   nonlinearities stay f32 dense, mirroring what pruning leaves dense.
+//!
+//! The accuracy cost is gated, not assumed away: `exp_fig7 --quantized`
+//! holds quantized-vs-f32 WER to ≤ +0.5% absolute at 90% sparsity, and
+//! `serve_load` sign-tests that the bandwidth win is a *throughput* win
+//! over the f32 BSR path at equal sparsity.
+
+pub mod calibrate;
+pub mod qbsr;
+pub mod qgemm;
+pub mod qmlp;
+
+pub use calibrate::{calibrate_mlp, Calibration};
+pub use qbsr::QBsr;
+pub use qgemm::{
+    kpad_for, pack_activations_i8, pack_weights_i8, qgemm, qgemm_dequant, qgemm_ref,
+    quantize_activations_i16, quantize_pack_activations, quantize_value, MAX_K, QMR, QNR,
+};
+pub use qmlp::{QWeights, QuantizedAffine, QuantizedMlp};

@@ -1,0 +1,479 @@
+//! Quantized block-sparse weights: kept 8×8 tiles stored as int8 packed-A
+//! strips (ISSUE 10).
+//!
+//! A [`QBsr`] block is 64 **bytes** where the f32 `Bsr` block is 256 — the
+//! 4× weight-bandwidth cut that compounds with block sparsity's index
+//! compression. The in-block layout is `k`-major (`blocks[bi*64 + p*QMR +
+//! r]`), i.e. each block *is* one [`crate::qgemm`] packed-A strip segment,
+//! so the SpMM reuses the dense int8 `madd` sequence per block with zero
+//! repacking — the same trick the f32 BSR plays with the f32 GEMM tile.
+//! The row kernel keeps all eight accumulator vectors register-resident
+//! across every kept block of a block-row: at 4 `k`-pairs per 64-byte
+//! block, spilling the 256-byte accumulator tile per block would move
+//! more bytes than the weights it saves.
+//!
+//! Keep/drop is decided on the **f32** values (any nonzero entry keeps the
+//! tile — the `Bsr::from_dense` rule), not on the quantized bytes: a tiny
+//! weight that rounds to zero must not change the block topology, or the
+//! quantized and f32 serving paths would disagree about sparsity.
+
+use crate::qgemm::{dequant_spill_avx2, spill_tile, spill_tile_dequant, timed, QMR, QNR};
+use darkside_nn::Matrix;
+
+/// Block edge — fixed at the register tile, like the f32 `Bsr`.
+const BLOCK: usize = 8;
+/// i8 bytes per block (`BLOCK × BLOCK`).
+const BLOCK_BYTES: usize = BLOCK * BLOCK;
+/// `madd` k-pairs per block.
+const BLOCK_KPAIRS: usize = BLOCK / 2;
+
+/// Spawn threads only above this many multiply-adds (matches the f32
+/// kernels' spawn-amortization threshold).
+const PARALLEL_FLOP_THRESHOLD: usize = 64 * 64 * 64;
+
+/// `kernel(blocks, col_idx, bstrip, acc)`: accumulate every kept block of
+/// one block-row into `acc` (adds — the caller zeroes). `blocks` holds the
+/// row's kept blocks back to back, `col_idx[bi]` the block-column of
+/// `blocks[bi*64..]`, `bstrip` one QNR-column activation strip.
+type QRowKernel = unsafe fn(&[i8], &[u32], &[i16], &mut [[i32; QNR]; QMR]);
+
+unsafe fn qrow_generic(
+    blocks: &[i8],
+    col_idx: &[u32],
+    bstrip: &[i16],
+    acc: &mut [[i32; QNR]; QMR],
+) {
+    for (bi, &jb) in col_idx.iter().enumerate() {
+        let ap = &blocks[bi * BLOCK_BYTES..][..BLOCK_BYTES];
+        let bp = &bstrip[jb as usize * BLOCK * QNR..][..BLOCK * QNR];
+        crate::qgemm::qtile_body(BLOCK_KPAIRS, ap, bp, acc);
+    }
+}
+
+/// AVX2 row kernel: the accumulators stay in registers across **all** kept
+/// blocks of the row — at 4 `k`-pairs per 64-byte block, spilling the 8
+/// accumulator vectors per block would move more bytes than the weights
+/// themselves. Same `madd` sequence as the dense tile, so still bit-exact.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn qrow_avx2(blocks: &[i8], col_idx: &[u32], bstrip: &[i16], acc: &mut [[i32; QNR]; QMR]) {
+    use crate::qgemm::avx2;
+    debug_assert!(blocks.len() >= col_idx.len() * BLOCK_BYTES);
+    let mut vacc = avx2::load_acc(acc);
+    for (bi, &jb) in col_idx.iter().enumerate() {
+        debug_assert!(bstrip.len() >= (jb as usize + 1) * BLOCK * QNR);
+        let ap = blocks.as_ptr().add(bi * BLOCK_BYTES);
+        let bp = bstrip.as_ptr().add(jb as usize * BLOCK * QNR);
+        for p2 in 0..BLOCK_KPAIRS {
+            avx2::madd_kpair(ap.add(p2 * 2 * QMR), bp.add(p2 * 2 * QNR), &mut vacc);
+        }
+    }
+    avx2::store_acc(&vacc, acc);
+}
+
+/// AVX-VNNI row kernel: same block walk, fused multiply-accumulate.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,avxvnni")]
+unsafe fn qrow_vnni(blocks: &[i8], col_idx: &[u32], bstrip: &[i16], acc: &mut [[i32; QNR]; QMR]) {
+    use crate::qgemm::avx2;
+    debug_assert!(blocks.len() >= col_idx.len() * BLOCK_BYTES);
+    let mut vacc = avx2::load_acc(acc);
+    for (bi, &jb) in col_idx.iter().enumerate() {
+        debug_assert!(bstrip.len() >= (jb as usize + 1) * BLOCK * QNR);
+        let ap = blocks.as_ptr().add(bi * BLOCK_BYTES);
+        let bp = bstrip.as_ptr().add(jb as usize * BLOCK * QNR);
+        for p2 in 0..BLOCK_KPAIRS {
+            avx2::madd_kpair_vnni(ap.add(p2 * 2 * QMR), bp.add(p2 * 2 * QNR), &mut vacc);
+        }
+    }
+    avx2::store_acc(&vacc, acc);
+}
+
+fn select_qrow_kernel() -> QRowKernel {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("avxvnni")
+            && std::arch::is_x86_feature_detected!("avx2")
+        {
+            return qrow_vnni;
+        }
+        if std::arch::is_x86_feature_detected!("avx2") {
+            return qrow_avx2;
+        }
+    }
+    qrow_generic
+}
+
+/// Int8 block-sparse row storage, serving orientation (`out × in`),
+/// fixed 8×8 blocks in packed-A strip layout.
+#[derive(Clone, Debug)]
+pub struct QBsr {
+    rows: usize,
+    cols: usize,
+    /// `block_rows + 1` offsets into `col_idx`/`blocks`.
+    row_ptr: Vec<u32>,
+    /// Block-column index per kept block.
+    col_idx: Vec<u32>,
+    /// 64 bytes per kept block: `blocks[bi*64 + p*8 + r]` (k-major).
+    blocks: Vec<i8>,
+    /// Real (unpadded) weights covered by kept blocks.
+    nnz: usize,
+}
+
+impl QBsr {
+    /// Compress a masked dense matrix in serving orientation (`out × in`,
+    /// zeros where pruned) to quantized BSR: tile `(ib, jb)` is kept iff
+    /// any covered f32 entry is nonzero, and each kept entry `(o, i)` is
+    /// quantized symmetrically with its output row's scale `w_scale[o]`.
+    /// Edge blocks are zero-padded, exactly like `Bsr::from_dense`.
+    pub fn from_dense_rows(wt: &Matrix, w_scale: &[f32]) -> Self {
+        let (rows, cols) = (wt.rows(), wt.cols());
+        assert_eq!(w_scale.len(), rows, "QBsr: one scale per output row");
+        let brows = rows.div_ceil(BLOCK);
+        let bcols = cols.div_ceil(BLOCK);
+        let mut row_ptr = Vec::with_capacity(brows + 1);
+        let mut col_idx = Vec::new();
+        let mut blocks = Vec::new();
+        let mut nnz = 0usize;
+        row_ptr.push(0u32);
+        for ib in 0..brows {
+            for jb in 0..bcols {
+                let mut keep = false;
+                let mut real = 0usize;
+                for r in 0..BLOCK.min(rows - ib * BLOCK) {
+                    for p in 0..BLOCK.min(cols - jb * BLOCK) {
+                        real += 1;
+                        if wt.get(ib * BLOCK + r, jb * BLOCK + p) != 0.0 {
+                            keep = true;
+                        }
+                    }
+                }
+                if !keep {
+                    continue;
+                }
+                nnz += real;
+                col_idx.push(jb as u32);
+                let base = blocks.len();
+                blocks.resize(base + BLOCK_BYTES, 0i8);
+                for r in 0..BLOCK.min(rows - ib * BLOCK) {
+                    let o = ib * BLOCK + r;
+                    for p in 0..BLOCK.min(cols - jb * BLOCK) {
+                        blocks[base + p * QMR + r] =
+                            crate::qgemm::quantize_value(wt.get(o, jb * BLOCK + p), w_scale[o]);
+                    }
+                }
+            }
+            row_ptr.push(col_idx.len() as u32);
+        }
+        Self {
+            rows,
+            cols,
+            row_ptr,
+            col_idx,
+            blocks,
+            nnz,
+        }
+    }
+
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Kept blocks.
+    pub fn num_blocks(&self) -> usize {
+        self.col_idx.len()
+    }
+
+    /// Real weights covered by kept blocks (element-mask notion, matching
+    /// `Bsr::nnz`).
+    pub fn nnz(&self) -> usize {
+        self.nnz
+    }
+
+    /// Fraction of real weights *not* covered by kept blocks.
+    pub fn sparsity(&self) -> f64 {
+        let total = self.rows * self.cols;
+        if total == 0 {
+            return 0.0;
+        }
+        1.0 - self.nnz as f64 / total as f64
+    }
+
+    /// Weight-store footprint in bytes (blocks + block indices) — the
+    /// quantity the bandwidth benches compare against the f32 BSR.
+    pub fn weight_bytes(&self) -> usize {
+        self.blocks.len()
+            + self.col_idx.len() * std::mem::size_of::<u32>()
+            + self.row_ptr.len() * std::mem::size_of::<u32>()
+    }
+
+    /// The `kpad` the activation pack must be padded to: whole blocks.
+    pub fn kpad(&self) -> usize {
+        self.cols.div_ceil(BLOCK) * BLOCK
+    }
+
+    /// `C_i32 = W_i8 · Xᵀ_i8` over kept blocks: `bpack` is
+    /// [`crate::qgemm::pack_activations_i8`] output for the `n × cols`
+    /// quantized activations at `kpad = self.kpad()`, `out` is `rows × n`
+    /// row-major i32. Empty block-rows leave their output band zero. Block
+    /// rows are dealt round-robin to scoped threads above the
+    /// spawn-amortization threshold; i32 accumulation is exact, so neither
+    /// threading nor the AVX2/scalar dispatch changes a bit.
+    pub fn spmm(&self, n: usize, bpack: &[i16], out: &mut [i32]) {
+        let kpad = self.kpad();
+        assert_eq!(
+            bpack.len(),
+            n.div_ceil(QNR) * kpad * QNR,
+            "QBsr::spmm: activation pack length"
+        );
+        assert_eq!(out.len(), self.rows * n, "QBsr::spmm: C shape");
+        let flops = 2usize
+            .saturating_mul(self.num_blocks())
+            .saturating_mul(BLOCK_BYTES)
+            .saturating_mul(n);
+        timed("qbsr_spmm", flops as u64, || {
+            out.fill(0);
+            if n == 0 || self.num_blocks() == 0 {
+                return;
+            }
+            let kernel = select_qrow_kernel();
+            let col_strips = n.div_ceil(QNR);
+            let run_block_row = |ib: usize, band: &mut [i32]| {
+                let mr_eff = band.len() / n;
+                let (lo, hi) = (self.row_ptr[ib] as usize, self.row_ptr[ib + 1] as usize);
+                if lo == hi {
+                    return; // empty block-row: band stays zero
+                }
+                let blocks = &self.blocks[lo * BLOCK_BYTES..hi * BLOCK_BYTES];
+                let cols = &self.col_idx[lo..hi];
+                for js in 0..col_strips {
+                    let col0 = js * QNR;
+                    let nr_eff = QNR.min(n - col0);
+                    let bstrip = &bpack[js * kpad * QNR..][..kpad * QNR];
+                    let mut acc = [[0i32; QNR]; QMR];
+                    // SAFETY: AVX2 variant only dispatched after runtime
+                    // feature detection (select_qrow_kernel); every
+                    // col_idx entry indexes a whole block inside bstrip.
+                    unsafe { kernel(blocks, cols, bstrip, &mut acc) };
+                    spill_tile(&acc, band, n, 0, col0, mr_eff, nr_eff);
+                }
+            };
+            let brows = self.rows.div_ceil(BLOCK);
+            let threads = if flops >= PARALLEL_FLOP_THRESHOLD {
+                std::thread::available_parallelism()
+                    .map_or(1, |p| p.get())
+                    .clamp(1, brows)
+            } else {
+                1
+            };
+            if threads == 1 {
+                for (ib, band) in out.chunks_mut(BLOCK * n).enumerate() {
+                    run_block_row(ib, band);
+                }
+            } else {
+                let mut assignments: Vec<Vec<(usize, &mut [i32])>> =
+                    (0..threads).map(|_| Vec::new()).collect();
+                for (ib, band) in out.chunks_mut(BLOCK * n).enumerate() {
+                    assignments[ib % threads].push((ib, band));
+                }
+                std::thread::scope(|scope| {
+                    for bands in assignments {
+                        scope.spawn(|| {
+                            for (ib, band) in bands {
+                                run_block_row(ib, band);
+                            }
+                        });
+                    }
+                });
+            }
+        });
+    }
+
+    /// [`Self::spmm`] fused with dequantization: same row kernel, but each
+    /// accumulator tile is transposed and dequantized straight into the
+    /// **batch-major** f32 output (`out[j·rows + i] = acc[i][j] ·
+    /// dq_scale[i] + bias[i]`) — no intermediate i32 matrix. The output is
+    /// prefilled with the bias so empty block-rows read as pure bias, the
+    /// exact value the two-pass path produced for their zero accumulators.
+    /// Single-threaded, like [`crate::qgemm::qgemm_dequant`]: the
+    /// transposed spill interleaves row bands in the output.
+    pub fn spmm_dequant(
+        &self,
+        n: usize,
+        bpack: &[i16],
+        dq_scale: &[f32],
+        bias: &[f32],
+        out: &mut [f32],
+    ) {
+        let kpad = self.kpad();
+        assert_eq!(
+            bpack.len(),
+            n.div_ceil(QNR) * kpad * QNR,
+            "QBsr::spmm_dequant: activation pack length"
+        );
+        assert_eq!(out.len(), self.rows * n, "QBsr::spmm_dequant: C shape");
+        assert_eq!(
+            dq_scale.len(),
+            self.rows,
+            "QBsr::spmm_dequant: one scale per output row"
+        );
+        assert_eq!(
+            bias.len(),
+            self.rows,
+            "QBsr::spmm_dequant: one bias per output row"
+        );
+        let flops = 2usize
+            .saturating_mul(self.num_blocks())
+            .saturating_mul(BLOCK_BYTES)
+            .saturating_mul(n);
+        timed("qbsr_spmm", flops as u64, || {
+            if n == 0 || self.rows == 0 {
+                return;
+            }
+            for batch_row in out.chunks_exact_mut(self.rows) {
+                batch_row.copy_from_slice(bias);
+            }
+            if self.num_blocks() == 0 {
+                return;
+            }
+            let kernel = select_qrow_kernel();
+            let fast_spill = dequant_spill_avx2();
+            #[cfg(not(target_arch = "x86_64"))]
+            let _ = fast_spill;
+            let col_strips = n.div_ceil(QNR);
+            for ib in 0..self.rows.div_ceil(BLOCK) {
+                let (lo, hi) = (self.row_ptr[ib] as usize, self.row_ptr[ib + 1] as usize);
+                if lo == hi {
+                    continue; // empty block-row: stays at the bias prefill
+                }
+                let row0 = ib * BLOCK;
+                let mr_eff = BLOCK.min(self.rows - row0);
+                let blocks = &self.blocks[lo * BLOCK_BYTES..hi * BLOCK_BYTES];
+                let cols = &self.col_idx[lo..hi];
+                for js in 0..col_strips {
+                    let col0 = js * QNR;
+                    let nr_eff = QNR.min(n - col0);
+                    let bstrip = &bpack[js * kpad * QNR..][..kpad * QNR];
+                    let mut acc = [[0i32; QNR]; QMR];
+                    // SAFETY: AVX2/VNNI variants only dispatched after
+                    // runtime feature detection; every col_idx entry
+                    // indexes a whole block inside bstrip.
+                    unsafe { kernel(blocks, cols, bstrip, &mut acc) };
+                    #[cfg(target_arch = "x86_64")]
+                    if fast_spill && mr_eff == QMR && nr_eff == QNR {
+                        // SAFETY: AVX2 detected; full tile, so writes stay
+                        // inside `out` and the 8-row scale/bias loads
+                        // inside their slices.
+                        unsafe {
+                            crate::qgemm::avx2::spill_dequant_full(
+                                &acc,
+                                out.as_mut_ptr(),
+                                self.rows,
+                                row0,
+                                col0,
+                                dq_scale.as_ptr().add(row0),
+                                bias.as_ptr().add(row0),
+                            )
+                        };
+                        continue;
+                    }
+                    spill_tile_dequant(
+                        &acc, out, self.rows, row0, col0, mr_eff, nr_eff, dq_scale, bias,
+                    );
+                }
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::qgemm::{kpad_for, pack_activations_i8, qgemm_ref, quantize_value};
+    use darkside_nn::Rng;
+
+    /// Reference: quantize the dense matrix elementwise with the same
+    /// per-row scales and run the naive oracle — but zero out dropped
+    /// blocks first, since QBsr only stores kept tiles.
+    fn qbsr_ref(wt: &Matrix, w_scale: &[f32], xq: &[i8], n: usize) -> Vec<i32> {
+        let (rows, cols) = (wt.rows(), wt.cols());
+        let mut wq = vec![0i8; rows * cols];
+        for ib in 0..rows.div_ceil(BLOCK) {
+            for jb in 0..cols.div_ceil(BLOCK) {
+                let keep = (0..BLOCK.min(rows - ib * BLOCK)).any(|r| {
+                    (0..BLOCK.min(cols - jb * BLOCK))
+                        .any(|p| wt.get(ib * BLOCK + r, jb * BLOCK + p) != 0.0)
+                });
+                if !keep {
+                    continue;
+                }
+                for r in 0..BLOCK.min(rows - ib * BLOCK) {
+                    let o = ib * BLOCK + r;
+                    for p in 0..BLOCK.min(cols - jb * BLOCK) {
+                        let i = jb * BLOCK + p;
+                        wq[o * cols + i] = quantize_value(wt.get(o, i), w_scale[o]);
+                    }
+                }
+            }
+        }
+        let mut want = vec![0i32; rows * n];
+        qgemm_ref(rows, n, cols, &wq, xq, &mut want);
+        want
+    }
+
+    fn block_sparse_matrix(rng: &mut Rng, rows: usize, cols: usize, keep: f64) -> Matrix {
+        let brows = rows.div_ceil(BLOCK);
+        let bcols = cols.div_ceil(BLOCK);
+        let kept: Vec<bool> = (0..brows * bcols).map(|_| rng.next_f64() < keep).collect();
+        Matrix::from_fn(rows, cols, |o, i| {
+            if kept[(o / BLOCK) * bcols + i / BLOCK] {
+                rng.uniform(-2.0, 2.0)
+            } else {
+                0.0
+            }
+        })
+    }
+
+    #[test]
+    fn qbsr_spmm_matches_quantized_oracle_bitwise() {
+        let mut rng = Rng::new(0xB5_10);
+        for (rows, cols, n, keep) in [
+            (16, 16, 8, 0.5),
+            (24, 40, 13, 0.3),
+            (17, 23, 5, 0.6), // ragged edge blocks
+            (32, 32, 1, 0.1),
+            (8, 8, 8, 0.0), // fully empty
+        ] {
+            let wt = block_sparse_matrix(&mut rng, rows, cols, keep);
+            let w_scale: Vec<f32> = (0..rows).map(|_| rng.uniform(0.01, 0.05)).collect();
+            let xq: Vec<i8> = (0..n * cols)
+                .map(|_| rng.uniform(-127.4, 127.4) as i8)
+                .collect();
+            let q = QBsr::from_dense_rows(&wt, &w_scale);
+            assert_eq!(q.kpad(), kpad_for(cols.div_ceil(BLOCK) * BLOCK));
+            let bpack = pack_activations_i8(n, cols, &xq, q.kpad());
+            let mut got = vec![9i32; rows * n];
+            q.spmm(n, &bpack, &mut got);
+            let want = qbsr_ref(&wt, &w_scale, &xq, n);
+            assert_eq!(got, want, "qbsr {rows}x{cols} n={n} keep={keep}");
+        }
+    }
+
+    #[test]
+    fn empty_and_zero_batch_are_clean() {
+        let wt = Matrix::zeros(16, 16);
+        let q = QBsr::from_dense_rows(&wt, &[1.0; 16]);
+        assert_eq!(q.num_blocks(), 0);
+        assert_eq!(q.nnz(), 0);
+        assert_eq!(q.sparsity(), 1.0);
+        let mut out = vec![5i32; 16 * 4];
+        let bpack = pack_activations_i8(4, 16, &[0i8; 64], q.kpad());
+        q.spmm(4, &bpack, &mut out);
+        assert_eq!(out, vec![0i32; 64]);
+        q.spmm(0, &[], &mut []);
+    }
+}

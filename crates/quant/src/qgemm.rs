@@ -1,0 +1,807 @@
+//! Int8 GEMM kernels (ISSUE 10 tentpole): widening multiply-accumulate
+//! into i32, `madd`-style, with a scalar oracle and AVX2 runtime dispatch.
+//!
+//! The layouts deliberately mirror the f32 substrate (`darkside_nn::gemm`
+//! / `darkside_nn::sparse`):
+//!
+//! * **A (weights)** stays `i8` in memory — the 4× weight-bandwidth win —
+//!   packed into [`QMR`]-row, `k`-major strips exactly like `pack_a`, so a
+//!   quantized BSR block *is* a packed-A strip (see `crate::qbsr`).
+//! * **B (activations)** is transient per call, so it is sign-extended to
+//!   `i16` at pack time and interleaved in `k`-pairs: one 256-bit lane
+//!   group holds `(b[2p][j], b[2p+1][j])` for eight output columns — the
+//!   exact operand shape `_mm256_madd_epi16` consumes.
+//!
+//! Per `k`-pair the AVX2 tile converts 16 weight bytes to `i16`
+//! (`_mm256_cvtepi8_epi16`), interleaves the two `k` rows, and issues one
+//! `madd` + `add` per output row: each `madd` performs 8 × 2 widening
+//! multiplies and a pairwise add straight into i32 lanes. On AVX-VNNI
+//! hosts dispatch upgrades the pair to one fused `vpdpwssd` per row —
+//! identical (non-saturating) arithmetic, half the accumulate ops.
+//!
+//! **Bit-exactness.** Saturation is confined to quantization
+//! ([`quantize_value`] clamps to ±127, shared by every path); inside the
+//! kernel the arithmetic is exact — `i16 × i16` products of i8-range
+//! inputs are ≤ 16129, a `madd` pair sum is ≤ 32258, and i32 accumulation
+//! of ≤ `2^15` such terms cannot wrap (guarded by [`MAX_K`]). Integer
+//! addition is associative, so the AVX2 tile, the scalar tile, and the
+//! naive oracle [`qgemm_ref`] agree **bit-for-bit** on every shape — the
+//! property `tests/qprop.rs` pins, and a strictly stronger guarantee than
+//! the f32 kernels' ascending-`k` rounding contract.
+
+use darkside_trace as trace;
+
+/// Micro-tile rows — matches the f32 GEMM's `MR`, so BSR tiles serve both.
+pub const QMR: usize = 8;
+/// Micro-tile columns (one AVX2 vector of i32 accumulators).
+pub const QNR: usize = 8;
+
+/// Largest supported reduction depth. `k` terms of ≤ 32258 each must fit
+/// an i32 accumulator: `2^31 / 32258 > 66000`, bounded here at a round
+/// power of two far above any model dimension in this workspace.
+pub const MAX_K: usize = 1 << 16;
+
+/// Work (in multiply-adds) below which spawning threads costs more than it
+/// buys — the same constant the f32 kernels use.
+const PARALLEL_FLOP_THRESHOLD: usize = 64 * 64 * 64;
+
+/// Kernel-timing hook: same protocol as the f32 kernels' `timed_kernel`
+/// (`nn.<kernel>.{ns,calls,flops}`), so quantized and f32 scoring cost land
+/// in comparable trace metrics. Inactive trace costs one flag read.
+#[inline]
+pub(crate) fn timed<T>(kernel: &str, flops: u64, f: impl FnOnce() -> T) -> T {
+    if !trace::active() {
+        return f();
+    }
+    let t0 = trace::now_ns();
+    let out = f();
+    let ns = trace::now_ns().saturating_sub(t0);
+    let mut name = String::with_capacity(3 + kernel.len() + 6);
+    name.push_str("nn.");
+    name.push_str(kernel);
+    let base = name.len();
+    name.push_str(".ns");
+    trace::sample(&name, ns as f64);
+    name.truncate(base);
+    name.push_str(".calls");
+    trace::counter(&name, 1);
+    if flops > 0 {
+        name.truncate(base);
+        name.push_str(".flops");
+        trace::counter(&name, flops);
+    }
+    out
+}
+
+/// Symmetric saturating quantization: `round(v / scale)` clamped to ±127.
+/// This is the **only** place saturation happens — weights at ±max map to
+/// ±127 exactly, activations beyond the calibrated clip range saturate
+/// instead of wrapping. `scale` must be positive and finite.
+#[inline]
+pub fn quantize_value(v: f32, scale: f32) -> i8 {
+    debug_assert!(scale > 0.0 && scale.is_finite());
+    (v / scale).round().clamp(-127.0, 127.0) as i8
+}
+
+/// `k` rounded up to a whole number of `madd` pairs.
+#[inline]
+pub fn kpad_for(k: usize) -> usize {
+    k.next_multiple_of(2)
+}
+
+/// Pack a row-major `m×k` i8 matrix into [`QMR`]-row, `k`-major strips
+/// (the `pack_a` layout, full-`k`, zero-padded to `kpad` rows and whole
+/// strips): strip `ir` element `(row, p)` lives at
+/// `(ir/QMR)*kpad*QMR + p*QMR + row`. `kpad` must be even and `>= k`.
+pub fn pack_weights_i8(m: usize, k: usize, w: &[i8], kpad: usize) -> Vec<i8> {
+    assert_eq!(w.len(), m * k, "pack_weights_i8: W is not {m}x{k}");
+    assert!(kpad >= k && kpad.is_multiple_of(2), "pack_weights_i8: kpad");
+    let strips = m.div_ceil(QMR);
+    let mut pack = vec![0i8; strips * kpad * QMR];
+    for i in 0..m {
+        let strip = (i / QMR) * kpad * QMR;
+        let row = i % QMR;
+        for p in 0..k {
+            pack[strip + p * QMR + row] = w[i * k + p];
+        }
+    }
+    pack
+}
+
+/// Pack quantized activations `xq` (`n×k` row-major — batch rows, which is
+/// `Bᵀ`) into [`QNR`]-column, `k`-pair-interleaved `i16` strips: strip `js`
+/// pair `p2` holds `(xq[j][2p2], xq[j][2p2+1])` for the eight columns
+/// `j = js*QNR ..`, at `js*kpad*QNR + p2*2*QNR + 2*jl + s` (`i16` units).
+/// Zero-padded past `n`, `k`, up to `kpad` (even, `>= k`).
+pub fn pack_activations_i8(n: usize, k: usize, xq: &[i8], kpad: usize) -> Vec<i16> {
+    assert_eq!(xq.len(), n * k, "pack_activations_i8: X is not {n}x{k}");
+    assert!(
+        kpad >= k && kpad.is_multiple_of(2),
+        "pack_activations_i8: kpad"
+    );
+    let strips = n.div_ceil(QNR);
+    let mut pack = vec![0i16; strips * kpad * QNR];
+    for j in 0..n {
+        let strip = (j / QNR) * kpad * QNR;
+        let jl = j % QNR;
+        for p in 0..k {
+            pack[strip + (p / 2) * 2 * QNR + 2 * jl + (p % 2)] = xq[j * k + p] as i16;
+        }
+    }
+    pack
+}
+
+/// Elementwise [`quantize_value`] over a slice, widened to the `i16` the
+/// madd pairs consume — AVX2 when available (bit-identical for finite
+/// inputs), scalar otherwise. This is the serving hot path: scoring
+/// quantizes `batch × in_dim` activations per affine layer, and a scalar
+/// divide per element costs more than the integer GEMM it feeds.
+pub fn quantize_activations_i16(x: &[f32], scale: f32, out: &mut [i16]) {
+    assert_eq!(x.len(), out.len(), "quantize_activations_i16: lengths");
+    debug_assert!(scale > 0.0 && scale.is_finite());
+    #[cfg(target_arch = "x86_64")]
+    if std::arch::is_x86_feature_detected!("avx2") {
+        // SAFETY: AVX2 support checked; lengths asserted equal above.
+        unsafe { avx2::quantize_i16(x, scale, out) };
+        return;
+    }
+    for (q, &v) in out.iter_mut().zip(x) {
+        *q = quantize_value(v, scale) as i16;
+    }
+}
+
+/// Fused quantize-and-pack for the activation operand: one pass over the
+/// f32 batch (`n×k` row-major) producing the [`pack_activations_i8`]
+/// strip layout directly — vectorized quantization per row, then pure
+/// `i16` moves with a sequential destination walk. Equivalent to
+/// `pack_activations_i8(n, k, quantize_value(x), kpad)` but without the
+/// intermediate i8 matrix or the second scalar pass.
+pub fn quantize_pack_activations(
+    n: usize,
+    k: usize,
+    x: &[f32],
+    scale: f32,
+    kpad: usize,
+) -> Vec<i16> {
+    assert_eq!(
+        x.len(),
+        n * k,
+        "quantize_pack_activations: X is not {n}x{k}"
+    );
+    assert!(
+        kpad >= k && kpad.is_multiple_of(2),
+        "quantize_pack_activations: kpad"
+    );
+    let strips = n.div_ceil(QNR);
+    let mut pack = vec![0i16; strips * kpad * QNR];
+    let mut rowq = vec![0i16; k];
+    for j in 0..n {
+        quantize_activations_i16(&x[j * k..][..k], scale, &mut rowq);
+        let strip = (j / QNR) * kpad * QNR;
+        let jl = j % QNR;
+        let dst = &mut pack[strip..strip + kpad * QNR];
+        for (pair, group) in rowq.chunks_exact(2).zip(dst.chunks_exact_mut(2 * QNR)) {
+            group[2 * jl] = pair[0];
+            group[2 * jl + 1] = pair[1];
+        }
+        if !k.is_multiple_of(2) {
+            // Odd k: the last element pairs with the zero pad.
+            dst[(k / 2) * 2 * QNR + 2 * jl] = rowq[k - 1];
+        }
+    }
+    pack
+}
+
+/// Naive oracle: `out[i*n + j] = Σ_p a[i*k+p] · bt[j*k+p]` widened to i32.
+/// `a` is `m×k` row-major (weights), `bt` is `n×k` row-major (activations,
+/// batch-major — `Bᵀ`). Integer accumulation is exact, so the packed
+/// kernels must match this **bit-for-bit**. Do not "optimize" this.
+pub fn qgemm_ref(m: usize, n: usize, k: usize, a: &[i8], bt: &[i8], out: &mut [i32]) {
+    assert_eq!(a.len(), m * k, "qgemm_ref: A is not {m}x{k}");
+    assert_eq!(bt.len(), n * k, "qgemm_ref: Bt is not {n}x{k}");
+    assert_eq!(out.len(), m * n, "qgemm_ref: C is not {m}x{n}");
+    assert!(k <= MAX_K, "qgemm_ref: k {k} exceeds MAX_K");
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0i32;
+            for p in 0..k {
+                acc += a[i * k + p] as i32 * bt[j * k + p] as i32;
+            }
+            out[i * n + j] = acc;
+        }
+    }
+}
+
+/// `kernel(kpairs, a_strip, b_strip, acc)`: accumulate `kpairs` `k`-pairs
+/// of one QMR-row × QNR-column tile into `acc` (adds — the caller zeroes).
+pub(crate) type QTileKernel = unsafe fn(usize, &[i8], &[i16], &mut [[i32; QNR]; QMR]);
+
+/// Portable tile body — the shape the AVX2 instantiation mirrors
+/// instruction-for-instruction. Exact i32 arithmetic, so the match is
+/// bitwise, not approximate.
+#[inline(always)]
+pub(crate) fn qtile_body(kpairs: usize, ap: &[i8], bp: &[i16], acc: &mut [[i32; QNR]; QMR]) {
+    debug_assert!(ap.len() >= kpairs * 2 * QMR);
+    debug_assert!(bp.len() >= kpairs * 2 * QNR);
+    for p2 in 0..kpairs {
+        let a = &ap[p2 * 2 * QMR..][..2 * QMR];
+        let b = &bp[p2 * 2 * QNR..][..2 * QNR];
+        for (r, accr) in acc.iter_mut().enumerate() {
+            let w0 = a[r] as i32;
+            let w1 = a[QMR + r] as i32;
+            for (j, accv) in accr.iter_mut().enumerate() {
+                *accv += w0 * b[2 * j] as i32 + w1 * b[2 * j + 1] as i32;
+            }
+        }
+    }
+}
+
+unsafe fn qtile_generic(kpairs: usize, ap: &[i8], bp: &[i16], acc: &mut [[i32; QNR]; QMR]) {
+    qtile_body(kpairs, ap, bp, acc);
+}
+
+/// AVX2 building blocks, shared by the dense tile kernel here and the
+/// block-sparse row kernel in `crate::qbsr` (which keeps the accumulators
+/// register-resident across every kept block of a block-row).
+#[cfg(target_arch = "x86_64")]
+pub(crate) mod avx2 {
+    use super::{QMR, QNR};
+    use core::arch::x86_64::*;
+
+    /// Expand one `k`-pair's operands: 16 weight bytes at `ap` (rows 0..7
+    /// at `2p`, then rows 0..7 at `2p+1`) sign-extended to `i16`
+    /// (`cvtepi8_epi16`) and interleaved into per-row `(w[2p], w[2p+1])`
+    /// i32 lanes (`unpacklo/hi` + broadcast), plus the interleaved B
+    /// lane-group at `bp`.
+    ///
+    /// # Safety
+    /// `ap` must be readable for 16 bytes, `bp` for 16 i16, and the CPU
+    /// must support AVX2.
+    #[target_feature(enable = "avx2")]
+    #[inline]
+    unsafe fn expand_kpair(ap: *const i8, bp: *const i16) -> ([__m256i; QMR], __m256i) {
+        const { assert!(QMR == 8 && QNR == 8) };
+        // [r0@2p .. r7@2p, r0@2p+1 .. r7@2p+1] sign-extended to i16.
+        let bytes = _mm_loadu_si128(ap as *const __m128i);
+        let w16 = _mm256_cvtepi8_epi16(bytes);
+        let lo = _mm256_castsi256_si128(w16);
+        let hi = _mm256_extracti128_si256::<1>(w16);
+        // Interleave into per-row (w[2p], w[2p+1]) i32 lanes.
+        let il_lo = _mm_unpacklo_epi16(lo, hi); // rows 0..3
+        let il_hi = _mm_unpackhi_epi16(lo, hi); // rows 4..7
+        let bv = _mm256_loadu_si256(bp as *const __m256i);
+        let w = [
+            _mm256_broadcastd_epi32(il_lo),
+            _mm256_broadcastd_epi32(_mm_shuffle_epi32::<0x55>(il_lo)),
+            _mm256_broadcastd_epi32(_mm_shuffle_epi32::<0xAA>(il_lo)),
+            _mm256_broadcastd_epi32(_mm_shuffle_epi32::<0xFF>(il_lo)),
+            _mm256_broadcastd_epi32(il_hi),
+            _mm256_broadcastd_epi32(_mm_shuffle_epi32::<0x55>(il_hi)),
+            _mm256_broadcastd_epi32(_mm_shuffle_epi32::<0xAA>(il_hi)),
+            _mm256_broadcastd_epi32(_mm_shuffle_epi32::<0xFF>(il_hi)),
+        ];
+        (w, bv)
+    }
+
+    /// One `madd` `k`-pair: [`expand_kpair`], then per output row one
+    /// `_mm256_madd_epi16` + `_mm256_add_epi32` — 16 widening MACs per
+    /// madd. All arithmetic exact (module docs).
+    ///
+    /// # Safety
+    /// Same contract as [`expand_kpair`].
+    #[target_feature(enable = "avx2")]
+    #[inline]
+    pub(crate) unsafe fn madd_kpair(ap: *const i8, bp: *const i16, vacc: &mut [__m256i; QMR]) {
+        let (w, bv) = expand_kpair(ap, bp);
+        for (acc, wr) in vacc.iter_mut().zip(w) {
+            *acc = _mm256_add_epi32(*acc, _mm256_madd_epi16(wr, bv));
+        }
+    }
+
+    /// One `k`-pair, AVX-VNNI form: `vpdpwssd` fuses the widening multiply,
+    /// pair-add, and i32 accumulate of `madd` + `add` into one instruction
+    /// per output row. `vpdpwssd` does **not** saturate (unlike
+    /// `vpdpwssds`), so the arithmetic — and therefore every output bit —
+    /// is identical to the madd path and the scalar oracle.
+    ///
+    /// # Safety
+    /// Same contract as [`expand_kpair`], plus AVX-VNNI support.
+    #[target_feature(enable = "avx2,avxvnni")]
+    #[inline]
+    pub(crate) unsafe fn madd_kpair_vnni(ap: *const i8, bp: *const i16, vacc: &mut [__m256i; QMR]) {
+        let (w, bv) = expand_kpair(ap, bp);
+        for (acc, wr) in vacc.iter_mut().zip(w) {
+            *acc = _mm256_dpwssd_avx_epi32(*acc, wr, bv);
+        }
+    }
+
+    /// `round(t)` with halves away from zero — the `f32::round` /
+    /// [`super::quantize_value`] convention, which `vroundps`'s
+    /// nearest-even mode does *not* match on exact `.5` fractions.
+    /// Truncate, recover the (exact, for `|t| < 2²⁴`) fractional part,
+    /// and bump magnitudes whose fraction reaches `0.5` by a signed one.
+    ///
+    /// # Safety
+    /// Requires AVX2.
+    #[target_feature(enable = "avx2")]
+    #[inline]
+    unsafe fn round_half_away(t: __m256) -> __m256 {
+        let sign = _mm256_set1_ps(-0.0);
+        let tr = _mm256_round_ps(t, _MM_FROUND_TO_ZERO | _MM_FROUND_NO_EXC);
+        let fr = _mm256_sub_ps(t, tr);
+        let bump = _mm256_cmp_ps(_mm256_andnot_ps(sign, fr), _mm256_set1_ps(0.5), _CMP_GE_OQ);
+        let sone = _mm256_or_ps(_mm256_and_ps(t, sign), _mm256_set1_ps(1.0));
+        _mm256_add_ps(tr, _mm256_and_ps(bump, sone))
+    }
+
+    /// Vectorized [`super::quantize_value`], widened to the `i16` the madd
+    /// pairs consume: divide, round half-away, clamp to ±127, convert.
+    /// Bit-identical to the scalar path for finite inputs (NaN activations
+    /// are unspecified — the scalar maps them to 0, this path to ±127).
+    ///
+    /// # Safety
+    /// Requires AVX2; `x` and `out` must be the same length.
+    #[target_feature(enable = "avx2")]
+    pub(crate) unsafe fn quantize_i16(x: &[f32], scale: f32, out: &mut [i16]) {
+        debug_assert_eq!(x.len(), out.len());
+        let vscale = _mm256_set1_ps(scale);
+        let vmax = _mm256_set1_ps(127.0);
+        let vmin = _mm256_set1_ps(-127.0);
+        let n = x.len();
+        let mut i = 0;
+        while i + 16 <= n {
+            let t0 = _mm256_div_ps(_mm256_loadu_ps(x.as_ptr().add(i)), vscale);
+            let t1 = _mm256_div_ps(_mm256_loadu_ps(x.as_ptr().add(i + 8)), vscale);
+            let c0 = _mm256_max_ps(_mm256_min_ps(round_half_away(t0), vmax), vmin);
+            let c1 = _mm256_max_ps(_mm256_min_ps(round_half_away(t1), vmax), vmin);
+            // Integral and within ±127 by now: both conversions are exact.
+            let pk = _mm256_packs_epi32(_mm256_cvtps_epi32(c0), _mm256_cvtps_epi32(c1));
+            // packs interleaves 128-bit lanes: [a0..3 b0..3 | a4..7 b4..7].
+            let fixed = _mm256_permute4x64_epi64(pk, 0b1101_1000);
+            _mm256_storeu_si256(out.as_mut_ptr().add(i) as *mut __m256i, fixed);
+            i += 16;
+        }
+        for j in i..n {
+            *out.get_unchecked_mut(j) = super::quantize_value(*x.get_unchecked(j), scale) as i16;
+        }
+    }
+
+    /// Transpose-and-dequantize one **full** 8×8 accumulator tile straight
+    /// into the batch-major f32 output: classic 8×8 register transpose
+    /// (unpack/shuffle/permute network), then per batch column
+    /// `cvtdq2ps · scale + bias` with separate mul/add (no FMA contraction
+    /// — the scalar spill compiles to mul+add, and the two must stay
+    /// bit-identical). `out[(col0+c)·m + row0 + r]` gets row `r`'s value.
+    ///
+    /// # Safety
+    /// Requires AVX2; the tile must be full (`mr_eff == nr_eff == 8`),
+    /// `out` must cover `(col0+8)·m`, and `scale`/`bias` must have 8
+    /// elements from `row0`.
+    #[target_feature(enable = "avx2")]
+    pub(crate) unsafe fn spill_dequant_full(
+        acc: &[[i32; QNR]; QMR],
+        out: *mut f32,
+        m: usize,
+        row0: usize,
+        col0: usize,
+        scale: *const f32,
+        bias: *const f32,
+    ) {
+        const { assert!(QMR == 8 && QNR == 8) };
+        let r =
+            |i: usize| _mm256_castsi256_ps(_mm256_loadu_si256(acc[i].as_ptr() as *const __m256i));
+        let (r0, r1, r2, r3) = (r(0), r(1), r(2), r(3));
+        let (r4, r5, r6, r7) = (r(4), r(5), r(6), r(7));
+        let t0 = _mm256_unpacklo_ps(r0, r1);
+        let t1 = _mm256_unpackhi_ps(r0, r1);
+        let t2 = _mm256_unpacklo_ps(r2, r3);
+        let t3 = _mm256_unpackhi_ps(r2, r3);
+        let t4 = _mm256_unpacklo_ps(r4, r5);
+        let t5 = _mm256_unpackhi_ps(r4, r5);
+        let t6 = _mm256_unpacklo_ps(r6, r7);
+        let t7 = _mm256_unpackhi_ps(r6, r7);
+        let s0 = _mm256_shuffle_ps::<0x44>(t0, t2);
+        let s1 = _mm256_shuffle_ps::<0xEE>(t0, t2);
+        let s2 = _mm256_shuffle_ps::<0x44>(t1, t3);
+        let s3 = _mm256_shuffle_ps::<0xEE>(t1, t3);
+        let s4 = _mm256_shuffle_ps::<0x44>(t4, t6);
+        let s5 = _mm256_shuffle_ps::<0xEE>(t4, t6);
+        let s6 = _mm256_shuffle_ps::<0x44>(t5, t7);
+        let s7 = _mm256_shuffle_ps::<0xEE>(t5, t7);
+        let cols = [
+            _mm256_permute2f128_ps::<0x20>(s0, s4),
+            _mm256_permute2f128_ps::<0x20>(s1, s5),
+            _mm256_permute2f128_ps::<0x20>(s2, s6),
+            _mm256_permute2f128_ps::<0x20>(s3, s7),
+            _mm256_permute2f128_ps::<0x31>(s0, s4),
+            _mm256_permute2f128_ps::<0x31>(s1, s5),
+            _mm256_permute2f128_ps::<0x31>(s2, s6),
+            _mm256_permute2f128_ps::<0x31>(s3, s7),
+        ];
+        let vscale = _mm256_loadu_ps(scale);
+        let vbias = _mm256_loadu_ps(bias);
+        for (c, col) in cols.into_iter().enumerate() {
+            let acc_f = _mm256_cvtepi32_ps(_mm256_castps_si256(col));
+            let y = _mm256_add_ps(_mm256_mul_ps(acc_f, vscale), vbias);
+            _mm256_storeu_ps(out.add((col0 + c) * m + row0), y);
+        }
+    }
+
+    /// Load a scalar accumulator tile into registers.
+    ///
+    /// # Safety
+    /// Requires AVX2.
+    #[target_feature(enable = "avx2")]
+    #[inline]
+    pub(crate) unsafe fn load_acc(acc: &[[i32; QNR]; QMR]) -> [__m256i; QMR] {
+        let mut vacc = [_mm256_setzero_si256(); QMR];
+        for (row, accr) in acc.iter().enumerate() {
+            vacc[row] = _mm256_loadu_si256(accr.as_ptr() as *const __m256i);
+        }
+        vacc
+    }
+
+    /// Spill the register accumulators back to the scalar tile.
+    ///
+    /// # Safety
+    /// Requires AVX2.
+    #[target_feature(enable = "avx2")]
+    #[inline]
+    pub(crate) unsafe fn store_acc(vacc: &[__m256i; QMR], acc: &mut [[i32; QNR]; QMR]) {
+        for (row, accr) in acc.iter_mut().enumerate() {
+            _mm256_storeu_si256(accr.as_mut_ptr() as *mut __m256i, vacc[row]);
+        }
+    }
+}
+
+/// AVX2 tile instantiation: register-load the accumulators, run
+/// [`avx2::madd_kpair`] per `k`-pair, spill once. Matches the scalar body
+/// bit-for-bit (see module docs).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn qtile_avx2(kpairs: usize, ap: &[i8], bp: &[i16], acc: &mut [[i32; QNR]; QMR]) {
+    debug_assert!(ap.len() >= kpairs * 2 * QMR);
+    debug_assert!(bp.len() >= kpairs * 2 * QNR);
+    let mut vacc = avx2::load_acc(acc);
+    for p2 in 0..kpairs {
+        avx2::madd_kpair(
+            ap.as_ptr().add(p2 * 2 * QMR),
+            bp.as_ptr().add(p2 * 2 * QNR),
+            &mut vacc,
+        );
+    }
+    avx2::store_acc(&vacc, acc);
+}
+
+/// AVX-VNNI tile instantiation: same shape, fused multiply-accumulate.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,avxvnni")]
+unsafe fn qtile_vnni(kpairs: usize, ap: &[i8], bp: &[i16], acc: &mut [[i32; QNR]; QMR]) {
+    debug_assert!(ap.len() >= kpairs * 2 * QMR);
+    debug_assert!(bp.len() >= kpairs * 2 * QNR);
+    let mut vacc = avx2::load_acc(acc);
+    for p2 in 0..kpairs {
+        avx2::madd_kpair_vnni(
+            ap.as_ptr().add(p2 * 2 * QMR),
+            bp.as_ptr().add(p2 * 2 * QNR),
+            &mut vacc,
+        );
+    }
+    avx2::store_acc(&vacc, acc);
+}
+
+pub(crate) fn select_qtile_kernel() -> QTileKernel {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("avxvnni")
+            && std::arch::is_x86_feature_detected!("avx2")
+        {
+            return qtile_vnni;
+        }
+        if std::arch::is_x86_feature_detected!("avx2") {
+            return qtile_avx2;
+        }
+    }
+    qtile_generic
+}
+
+/// Spill one accumulated tile into the `m×n` i32 output at `(row0, col0)`.
+#[inline]
+pub(crate) fn spill_tile(
+    acc: &[[i32; QNR]; QMR],
+    out: &mut [i32],
+    n: usize,
+    row0: usize,
+    col0: usize,
+    mr_eff: usize,
+    nr_eff: usize,
+) {
+    for (r, accr) in acc.iter().enumerate().take(mr_eff) {
+        let crow = &mut out[(row0 + r) * n + col0..][..nr_eff];
+        crow.copy_from_slice(&accr[..nr_eff]);
+    }
+}
+
+/// Transpose-and-dequantize one accumulated tile into the **batch-major**
+/// f32 output: `out[(col0+c)·m + row0+r] = acc[r][c]·scale[row0+r] +
+/// bias[row0+r]`. Scalar form — the AVX2 full-tile instantiation
+/// ([`avx2::spill_dequant_full`]) must match it bit-for-bit (same
+/// round-to-nearest i32→f32 conversion, same mul-then-add).
+#[inline]
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn spill_tile_dequant(
+    acc: &[[i32; QNR]; QMR],
+    out: &mut [f32],
+    m: usize,
+    row0: usize,
+    col0: usize,
+    mr_eff: usize,
+    nr_eff: usize,
+    scale: &[f32],
+    bias: &[f32],
+) {
+    let scale = &scale[row0..row0 + mr_eff];
+    let bias = &bias[row0..row0 + mr_eff];
+    for c in 0..nr_eff {
+        let orow = &mut out[(col0 + c) * m + row0..][..mr_eff];
+        for (r, dst) in orow.iter_mut().enumerate() {
+            *dst = acc[r][c] as f32 * scale[r] + bias[r];
+        }
+    }
+}
+
+/// Returns whether the AVX2 full-tile dequantizing spill is usable on this
+/// host (checked once per GEMM/SpMM call, not per tile).
+#[inline]
+pub(crate) fn dequant_spill_avx2() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        std::arch::is_x86_feature_detected!("avx2")
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+/// [`qgemm`] fused with dequantization: the same integer tile kernel, but
+/// every accumulator tile is transposed and dequantized straight out of
+/// registers into a **batch-major** f32 output (`out[j·m + i] =
+/// acc_i32[i][j] · dq_scale[i] + bias[i]`) — no intermediate i32 matrix
+/// and no second strided pass, which is what the serving forward needs
+/// (scoring consumes batch rows, and the dequantize multiply has to
+/// happen anyway). Single-threaded: the transposed spill interleaves row
+/// bands in the output, and the serving hot path is the one-core case.
+#[allow(clippy::too_many_arguments)]
+pub fn qgemm_dequant(
+    m: usize,
+    n: usize,
+    k: usize,
+    kpad: usize,
+    apack: &[i8],
+    bpack: &[i16],
+    dq_scale: &[f32],
+    bias: &[f32],
+    out: &mut [f32],
+) {
+    assert!(kpad >= k && kpad.is_multiple_of(2), "qgemm_dequant: kpad");
+    assert!(k <= MAX_K, "qgemm_dequant: k {k} exceeds MAX_K");
+    let row_strips = m.div_ceil(QMR);
+    let col_strips = n.div_ceil(QNR);
+    assert_eq!(
+        apack.len(),
+        row_strips * kpad * QMR,
+        "qgemm_dequant: A pack length"
+    );
+    assert_eq!(
+        bpack.len(),
+        col_strips * kpad * QNR,
+        "qgemm_dequant: B pack length"
+    );
+    assert_eq!(out.len(), m * n, "qgemm_dequant: C is not {n}x{m}");
+    assert_eq!(dq_scale.len(), m, "qgemm_dequant: one scale per output row");
+    assert_eq!(bias.len(), m, "qgemm_dequant: one bias per output row");
+    let flops = 2usize.saturating_mul(m).saturating_mul(n).saturating_mul(k);
+    timed("qgemm", flops as u64, || {
+        if m == 0 || n == 0 {
+            return;
+        }
+        let kernel = select_qtile_kernel();
+        let fast_spill = dequant_spill_avx2();
+        #[cfg(not(target_arch = "x86_64"))]
+        let _ = fast_spill;
+        let kpairs = kpad / 2;
+        for ir in 0..row_strips {
+            let row0 = ir * QMR;
+            let mr_eff = QMR.min(m - row0);
+            let ap = &apack[ir * kpad * QMR..][..kpad * QMR];
+            for js in 0..col_strips {
+                let col0 = js * QNR;
+                let nr_eff = QNR.min(n - col0);
+                let bp = &bpack[js * kpad * QNR..][..kpad * QNR];
+                let mut acc = [[0i32; QNR]; QMR];
+                // SAFETY: AVX2/VNNI variants are only dispatched after
+                // runtime feature detection succeeded.
+                unsafe { kernel(kpairs, ap, bp, &mut acc) };
+                #[cfg(target_arch = "x86_64")]
+                if fast_spill && mr_eff == QMR && nr_eff == QNR {
+                    // SAFETY: AVX2 detected; the tile is full, so the
+                    // writes stay inside `out` and the 8-row scale/bias
+                    // loads inside their slices.
+                    unsafe {
+                        avx2::spill_dequant_full(
+                            &acc,
+                            out.as_mut_ptr(),
+                            m,
+                            row0,
+                            col0,
+                            dq_scale.as_ptr().add(row0),
+                            bias.as_ptr().add(row0),
+                        )
+                    };
+                    continue;
+                }
+                spill_tile_dequant(&acc, out, m, row0, col0, mr_eff, nr_eff, dq_scale, bias);
+            }
+        }
+    });
+}
+
+/// Packed int8 GEMM: `C_i32 = A_i8 · B_i8ᵀ` where `apack` is
+/// [`pack_weights_i8`] output (`m×k` weights), `bpack` is
+/// [`pack_activations_i8`] output (`n×k` activations), both padded to the
+/// same even `kpad`, and `out` is `m×n` row-major i32. Row strips are
+/// dealt to `std::thread::scope` workers above the spawn-amortization
+/// threshold — rows are independent and integer accumulation is exact, so
+/// threading cannot change a single bit.
+pub fn qgemm(
+    m: usize,
+    n: usize,
+    k: usize,
+    kpad: usize,
+    apack: &[i8],
+    bpack: &[i16],
+    out: &mut [i32],
+) {
+    assert!(kpad >= k && kpad.is_multiple_of(2), "qgemm: kpad");
+    assert!(k <= MAX_K, "qgemm: k {k} exceeds MAX_K");
+    let row_strips = m.div_ceil(QMR);
+    let col_strips = n.div_ceil(QNR);
+    assert_eq!(apack.len(), row_strips * kpad * QMR, "qgemm: A pack length");
+    assert_eq!(bpack.len(), col_strips * kpad * QNR, "qgemm: B pack length");
+    assert_eq!(out.len(), m * n, "qgemm: C is not {m}x{n}");
+    let flops = 2usize.saturating_mul(m).saturating_mul(n).saturating_mul(k);
+    timed("qgemm", flops as u64, || {
+        out.fill(0);
+        if m == 0 || n == 0 || k == 0 {
+            return;
+        }
+        let kernel = select_qtile_kernel();
+        let kpairs = kpad / 2;
+        let run_strip = |ir: usize, band: &mut [i32]| {
+            let mr_eff = band.len() / n;
+            let ap = &apack[ir * kpad * QMR..][..kpad * QMR];
+            for js in 0..col_strips {
+                let col0 = js * QNR;
+                let nr_eff = QNR.min(n - col0);
+                let bp = &bpack[js * kpad * QNR..][..kpad * QNR];
+                let mut acc = [[0i32; QNR]; QMR];
+                // SAFETY: the kernel only requires its target features when
+                // it is the AVX2 instantiation, which select_qtile_kernel()
+                // only returns after runtime detection succeeded.
+                unsafe { kernel(kpairs, ap, bp, &mut acc) };
+                spill_tile(&acc, band, n, 0, col0, mr_eff, nr_eff);
+            }
+        };
+        let threads = if flops >= PARALLEL_FLOP_THRESHOLD {
+            std::thread::available_parallelism()
+                .map_or(1, |p| p.get())
+                .clamp(1, row_strips)
+        } else {
+            1
+        };
+        if threads == 1 {
+            for (ir, band) in out.chunks_mut(QMR * n).enumerate() {
+                run_strip(ir, band);
+            }
+        } else {
+            let mut assignments: Vec<Vec<(usize, &mut [i32])>> =
+                (0..threads).map(|_| Vec::new()).collect();
+            for (ir, band) in out.chunks_mut(QMR * n).enumerate() {
+                assignments[ir % threads].push((ir, band));
+            }
+            std::thread::scope(|scope| {
+                for bands in assignments {
+                    scope.spawn(|| {
+                        for (ir, band) in bands {
+                            run_strip(ir, band);
+                        }
+                    });
+                }
+            });
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use darkside_nn::Rng;
+
+    fn random_i8(rng: &mut Rng, len: usize) -> Vec<i8> {
+        (0..len)
+            .map(|_| (rng.uniform(-127.4, 127.4)) as i8)
+            .collect()
+    }
+
+    #[test]
+    fn packed_qgemm_matches_oracle_bitwise() {
+        let mut rng = Rng::new(0x0108);
+        for (m, n, k) in [(8, 8, 8), (16, 24, 32), (17, 9, 13), (1, 1, 1), (5, 3, 7)] {
+            let a = random_i8(&mut rng, m * k);
+            let bt = random_i8(&mut rng, n * k);
+            let kpad = kpad_for(k);
+            let apack = pack_weights_i8(m, k, &a, kpad);
+            let bpack = pack_activations_i8(n, k, &bt, kpad);
+            let mut want = vec![0i32; m * n];
+            qgemm_ref(m, n, k, &a, &bt, &mut want);
+            let mut got = vec![7i32; m * n];
+            qgemm(m, n, k, kpad, &apack, &bpack, &mut got);
+            assert_eq!(got, want, "qgemm {m}x{k}x{n}");
+        }
+    }
+
+    /// Every compiled-in tile tier must match the oracle — not just the
+    /// one dispatch would pick, so the madd tier stays pinned on VNNI
+    /// hosts and vice versa.
+    #[test]
+    fn all_available_tile_kernels_match_bitwise() {
+        let mut rng = Rng::new(0x0109);
+        let mut kernels: Vec<(&str, QTileKernel)> = vec![("generic", qtile_generic)];
+        #[cfg(target_arch = "x86_64")]
+        {
+            if std::arch::is_x86_feature_detected!("avx2") {
+                kernels.push(("avx2", qtile_avx2));
+            }
+            if std::arch::is_x86_feature_detected!("avxvnni")
+                && std::arch::is_x86_feature_detected!("avx2")
+            {
+                kernels.push(("vnni", qtile_vnni));
+            }
+        }
+        let k = 14;
+        let kpad = kpad_for(k);
+        let a = random_i8(&mut rng, QMR * k);
+        let bt = random_i8(&mut rng, QNR * k);
+        let apack = pack_weights_i8(QMR, k, &a, kpad);
+        let bpack = pack_activations_i8(QNR, k, &bt, kpad);
+        let mut want = vec![0i32; QMR * QNR];
+        qgemm_ref(QMR, QNR, k, &a, &bt, &mut want);
+        for (name, kernel) in kernels {
+            let mut acc = [[0i32; QNR]; QMR];
+            // SAFETY: each variant is only pushed after its feature check.
+            unsafe { kernel(kpad / 2, &apack, &bpack, &mut acc) };
+            let got: Vec<i32> = acc.iter().flatten().copied().collect();
+            assert_eq!(got, want, "{name} tile vs oracle");
+        }
+    }
+
+    #[test]
+    fn zero_dimensions_are_noops() {
+        let mut out = vec![3i32; 6];
+        qgemm(2, 3, 0, 0, &[], &[], &mut out);
+        assert_eq!(out, vec![0; 6]); // k = 0 means C = 0, not "untouched"
+        qgemm(0, 0, 4, 4, &[], &[], &mut []);
+    }
+
+    #[test]
+    fn quantize_saturates_at_clip() {
+        assert_eq!(quantize_value(0.0, 1.0), 0);
+        assert_eq!(quantize_value(127.0, 1.0), 127);
+        assert_eq!(quantize_value(-127.0, 1.0), -127);
+        assert_eq!(quantize_value(1e9, 1.0), 127); // saturate, never wrap
+        assert_eq!(quantize_value(-1e9, 1.0), -127);
+        assert_eq!(quantize_value(0.5, 1.0), 1); // round half away from zero
+        assert_eq!(quantize_value(-0.5, 1.0), -1);
+    }
+}

@@ -1,0 +1,358 @@
+//! Int8 quantized models behind the unchanged [`FrameScorer`] trait
+//! (ISSUE 10 tentpole).
+//!
+//! [`QuantizedMlp`] mirrors `darkside_pruning::PrunedMlp` structurally:
+//! affine layers are swapped for [`QuantizedAffine`] (int8 store, i32
+//! accumulate, dequantize once per output row), everything else — LDA,
+//! p-norm, renormalize, softmax — runs f32 dense, exactly the layers
+//! pruning leaves dense. Quantizing an already-*masked* dense model (zeros
+//! in place) yields the quantized-BSR serving path: dropped tiles are
+//! all-zero in f32, so they are dropped from the [`QBsr`] topology too.
+//!
+//! Scale scheme (symmetric, zero-point-free):
+//! * weights: per **output row** `w_scale[o] = max|w[o,·]| / 127` — rows
+//!   are the natural grain in serving orientation, and per-row scales are
+//!   what balanced block-rows need to not let one hot row flatten the rest;
+//! * activations: per layer `x_scale = calibrated max / 127`
+//!   ([`crate::calibrate`]); out-of-range serving activations saturate.
+//!
+//! The affine output is then `y = acc_i32 · (w_scale[o] · x_scale) + b[o]`
+//! — one multiply-add per output element, after the integer GEMM.
+
+use crate::calibrate::Calibration;
+use crate::qbsr::QBsr;
+use crate::qgemm::{
+    kpad_for, pack_weights_i8, qgemm_dequant, quantize_pack_activations, quantize_value,
+};
+use darkside_error::Error;
+use darkside_nn::{
+    stack_frames, traced_score_frames, Affine, Frame, FrameScorer, Layer, Matrix, Mlp, Scores,
+};
+use darkside_pruning::PruneStructure;
+
+/// The int8 weight store behind a [`QuantizedAffine`], serving orientation
+/// (`out_dim × in_dim`).
+#[derive(Clone, Debug)]
+pub enum QWeights {
+    /// Packed-strip dense i8 (unstructured or dense models).
+    Dense { pack: Vec<i8>, kpad: usize },
+    /// Kept 8×8 tiles as int8 packed-A strips (block-structured models).
+    Bsr(QBsr),
+}
+
+impl QWeights {
+    /// Bench/report label of the store in play.
+    pub fn backend(&self) -> &'static str {
+        match self {
+            Self::Dense { .. } => "qdense",
+            Self::Bsr(_) => "qbsr",
+        }
+    }
+
+    /// Weight-store footprint in bytes (i8 payload + block indices).
+    pub fn weight_bytes(&self) -> usize {
+        match self {
+            Self::Dense { pack, .. } => pack.len(),
+            Self::Bsr(q) => q.weight_bytes(),
+        }
+    }
+}
+
+/// `Y = X · Wᵀ + b` computed in int8 with i32 accumulation.
+#[derive(Clone, Debug)]
+pub struct QuantizedAffine {
+    in_dim: usize,
+    out_dim: usize,
+    store: QWeights,
+    /// Calibrated activation scale for this layer's input.
+    x_scale: f32,
+    /// Precomputed `w_scale[o] · x_scale` (per-output-row symmetric weight
+    /// scale `max|row| / 127`, 1.0 for all-zero rows, times the activation
+    /// scale) — the one multiply per output element at dequantization.
+    dq_scale: Vec<f32>,
+    /// Bias stays f32 — it is added after dequantization.
+    b: Vec<f32>,
+}
+
+impl QuantizedAffine {
+    /// Quantize a dense layer (`dense.w` is `in_dim × out_dim`; apply any
+    /// pruning mask *before* calling, zeros in place). `x_max` is the
+    /// calibrated max-abs input activation; `tiled` selects the quantized
+    /// BSR store (block-structured masks) over packed dense i8.
+    pub fn from_affine(dense: &Affine, x_max: f32, tiled: bool) -> Self {
+        let (in_dim, out_dim) = (dense.w.rows(), dense.w.cols());
+        // Transpose while reading: serving wants output units on rows.
+        let wt = Matrix::from_fn(out_dim, in_dim, |o, i| dense.w.get(i, o));
+        let w_scale: Vec<f32> = (0..out_dim)
+            .map(|o| {
+                let m = wt.row(o).iter().fold(0.0f32, |m, v| m.max(v.abs()));
+                if m > 0.0 {
+                    m / 127.0
+                } else {
+                    1.0
+                }
+            })
+            .collect();
+        let x_scale = if x_max > 0.0 { x_max / 127.0 } else { 1.0 };
+        let store = if tiled {
+            QWeights::Bsr(QBsr::from_dense_rows(&wt, &w_scale))
+        } else {
+            let kpad = kpad_for(in_dim);
+            let mut wq = vec![0i8; out_dim * in_dim];
+            for o in 0..out_dim {
+                for (i, q) in wq[o * in_dim..][..in_dim].iter_mut().enumerate() {
+                    *q = quantize_value(wt.get(o, i), w_scale[o]);
+                }
+            }
+            QWeights::Dense {
+                pack: pack_weights_i8(out_dim, in_dim, &wq, kpad),
+                kpad,
+            }
+        };
+        let dq_scale = w_scale.iter().map(|ws| ws * x_scale).collect();
+        Self {
+            in_dim,
+            out_dim,
+            store,
+            x_scale,
+            dq_scale,
+            b: dense.b.clone(),
+        }
+    }
+
+    pub fn in_dim(&self) -> usize {
+        self.in_dim
+    }
+
+    pub fn out_dim(&self) -> usize {
+        self.out_dim
+    }
+
+    pub fn store(&self) -> &QWeights {
+        &self.store
+    }
+
+    /// Batched forward: fused quantize-and-pack over the activations (one
+    /// vectorized pass), then the integer GEMM/SpMM on `Yᵀ = W · Xᵀ` with
+    /// dequantization fused into the tile spill — each accumulator tile is
+    /// transposed out of registers into the batch-major f32 output with
+    /// the precomputed per-row scale and the bias applied. Everything
+    /// around the kernel is one streaming pass — it has to stay cheap or
+    /// it eats the int8 kernel's win (it did, before the fusion).
+    pub fn forward(&self, x: &Matrix) -> Matrix {
+        assert_eq!(x.cols(), self.in_dim, "QuantizedAffine: input dim");
+        let batch = x.rows();
+        let kpad = match &self.store {
+            QWeights::Dense { kpad, .. } => *kpad,
+            QWeights::Bsr(q) => q.kpad(),
+        };
+        let bpack = quantize_pack_activations(batch, self.in_dim, x.as_slice(), self.x_scale, kpad);
+        let mut y = Matrix::zeros(batch, self.out_dim);
+        match &self.store {
+            QWeights::Dense { pack, kpad } => qgemm_dequant(
+                self.out_dim,
+                batch,
+                self.in_dim,
+                *kpad,
+                pack,
+                &bpack,
+                &self.dq_scale,
+                &self.b,
+                y.as_mut_slice(),
+            ),
+            QWeights::Bsr(q) => {
+                q.spmm_dequant(batch, &bpack, &self.dq_scale, &self.b, y.as_mut_slice())
+            }
+        }
+        y
+    }
+}
+
+/// One scoring layer of a [`QuantizedMlp`].
+#[derive(Clone, Debug)]
+enum QLayer {
+    /// Kept f32 dense (LDA, nonlinearities, normalization).
+    Dense(Layer),
+    /// Int8-quantized affine.
+    Quant(QuantizedAffine),
+}
+
+/// An [`Mlp`] with every affine layer quantized to int8 — the second-ever
+/// [`FrameScorer`] backend.
+#[derive(Clone, Debug)]
+pub struct QuantizedMlp {
+    layers: Vec<QLayer>,
+    input_dim: usize,
+    classes: usize,
+}
+
+impl QuantizedMlp {
+    /// Quantize `mlp` with the activation ranges in `calib` (from
+    /// [`crate::calibrate::calibrate_mlp`] on the *same* model). If
+    /// `structure` is the 8×8 serving tile, affine weights go to quantized
+    /// BSR — pass the already-masked model so dropped tiles are all-zero;
+    /// any other structure (including unstructured masks and dense models)
+    /// uses the packed dense i8 store.
+    pub fn quantize(
+        mlp: &Mlp,
+        calib: &Calibration,
+        structure: PruneStructure,
+    ) -> Result<Self, Error> {
+        if calib.num_layers() != mlp.layers.len() {
+            return Err(Error::shape(
+                "QuantizedMlp::quantize",
+                format!(
+                    "calibration covers {} layers, model has {}",
+                    calib.num_layers(),
+                    mlp.layers.len()
+                ),
+            ));
+        }
+        let tiled = structure.block_dims() == Some((8, 8));
+        let mut layers = Vec::with_capacity(mlp.layers.len());
+        for (idx, (layer, x_max)) in mlp.layers.iter().zip(&calib.layer_max).enumerate() {
+            layers.push(match (layer, x_max) {
+                (Layer::Affine(a), Some(x_max)) => {
+                    QLayer::Quant(QuantizedAffine::from_affine(a, *x_max, tiled))
+                }
+                (Layer::Affine(_), None) => {
+                    return Err(Error::shape(
+                        "QuantizedMlp::quantize",
+                        format!("layer {idx} is affine but has no calibrated range"),
+                    ));
+                }
+                (other, _) => QLayer::Dense(other.clone()),
+            });
+        }
+        Ok(Self {
+            layers,
+            input_dim: mlp.input_dim(),
+            classes: mlp.output_dim(),
+        })
+    }
+
+    /// Label of the quantized weight store in play (`qbsr` if any layer is
+    /// block-sparse, else `qdense`).
+    pub fn backend(&self) -> &'static str {
+        for layer in &self.layers {
+            if let QLayer::Quant(q) = layer {
+                if matches!(q.store(), QWeights::Bsr(_)) {
+                    return "qbsr";
+                }
+            }
+        }
+        "qdense"
+    }
+
+    /// Quantized affine layers.
+    pub fn num_quantized(&self) -> usize {
+        self.layers
+            .iter()
+            .filter(|l| matches!(l, QLayer::Quant(_)))
+            .count()
+    }
+
+    /// Total int8 weight-store footprint across quantized layers — 4× less
+    /// than the f32 equivalent, the bandwidth win the benches measure.
+    pub fn weight_bytes(&self) -> usize {
+        self.layers
+            .iter()
+            .map(|l| match l {
+                QLayer::Quant(q) => q.store().weight_bytes(),
+                QLayer::Dense(_) => 0,
+            })
+            .sum()
+    }
+
+    fn forward(&self, mut x: Matrix) -> Matrix {
+        for layer in &self.layers {
+            x = match layer {
+                QLayer::Dense(l) => l.forward(x),
+                QLayer::Quant(q) => q.forward(&x),
+            };
+        }
+        x
+    }
+}
+
+impl FrameScorer for QuantizedMlp {
+    fn input_dim(&self) -> usize {
+        self.input_dim
+    }
+
+    fn num_classes(&self) -> usize {
+        self.classes
+    }
+
+    /// Batched scoring: one integer GEMM per affine for the whole
+    /// utterance, under the shared `nn.score_frames.*` timing hook.
+    fn score_frames(&self, frames: &[Frame]) -> Scores {
+        traced_score_frames(frames.len(), || Scores {
+            probs: self.forward(stack_frames(frames, self.input_dim)),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::calibrate::calibrate_mlp;
+    use darkside_nn::check::random_matrix;
+    use darkside_nn::Rng;
+
+    fn quantized_pair(seed: u64, structure: PruneStructure) -> (Mlp, QuantizedMlp, Matrix) {
+        let mut rng = Rng::new(seed);
+        let mlp = Mlp::kaldi_style(24, 32, 4, 2, 9, &mut rng);
+        let feats = random_matrix(&mut rng, 12, 24, 1.0);
+        let calib = calibrate_mlp(&mlp, &feats);
+        let q = QuantizedMlp::quantize(&mlp, &calib, structure).unwrap();
+        (mlp, q, feats)
+    }
+
+    #[test]
+    fn quantized_scoring_tracks_f32_scoring() {
+        let (mlp, q, feats) = quantized_pair(0x51, PruneStructure::Unstructured);
+        assert_eq!(q.backend(), "qdense");
+        assert_eq!(q.num_quantized(), 3);
+        assert_eq!(FrameScorer::input_dim(&q), 24);
+        assert_eq!(q.num_classes(), 9);
+        let frames: Vec<Frame> = (0..feats.rows())
+            .map(|i| Frame(feats.row(i).to_vec()))
+            .collect();
+        let fs = mlp.score_frames(&frames);
+        let qs = q.score_frames(&frames);
+        // Softmax rows stay distributions and stay close to f32: int8 with
+        // calibrated clips is a small perturbation, not a different model.
+        for i in 0..frames.len() {
+            let (fr, qr) = (fs.probs.row(i), qs.probs.row(i));
+            let sum: f32 = qr.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-4, "row {i} sums to {sum}");
+            let linf = fr
+                .iter()
+                .zip(qr)
+                .fold(0.0f32, |m, (a, b)| m.max((a - b).abs()));
+            assert!(linf < 0.05, "row {i} drifted by {linf}");
+        }
+    }
+
+    #[test]
+    fn tiled_quantization_uses_the_bsr_store() {
+        let (_, q, _) = quantized_pair(0x52, PruneStructure::tile());
+        assert_eq!(q.backend(), "qbsr");
+        assert!(q.weight_bytes() > 0);
+    }
+
+    #[test]
+    fn calibration_shape_mismatch_is_rejected() {
+        let mut rng = Rng::new(3);
+        let mlp = Mlp::kaldi_style(16, 24, 4, 1, 5, &mut rng);
+        let calib = Calibration {
+            layer_max: vec![None; 2],
+        };
+        assert!(QuantizedMlp::quantize(&mlp, &calib, PruneStructure::Unstructured).is_err());
+        let bad = Calibration {
+            layer_max: vec![None; mlp.layers.len()],
+        };
+        assert!(QuantizedMlp::quantize(&mlp, &bad, PruneStructure::Unstructured).is_err());
+    }
+}

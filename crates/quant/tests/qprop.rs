@@ -1,0 +1,335 @@
+//! Property tests (ISSUE 10): the packed int8 kernels are **bit-exact**
+//! against the scalar fixed-point oracle — not close, equal — over random
+//! shapes (including `n = 0`, non-multiple-of-8 dims, and empty
+//! block-rows), at the saturation edges (weights at ±127, activations at
+//! the clip boundaries), and calibration is deterministic to the bit.
+
+use darkside_nn::check::{random_matrix, run_cases};
+use darkside_nn::{Matrix, Mlp, Rng};
+use darkside_quant::{
+    calibrate_mlp, kpad_for, pack_activations_i8, pack_weights_i8, qgemm, qgemm_dequant, qgemm_ref,
+    quantize_activations_i16, quantize_pack_activations, quantize_value, QBsr,
+};
+
+fn random_i8(rng: &mut Rng, len: usize) -> Vec<i8> {
+    (0..len).map(|_| rng.uniform(-127.4, 127.4) as i8).collect()
+}
+
+/// Oracle for the quantized-BSR path: quantize kept tiles elementwise with
+/// the same per-row scales (any-f32-nonzero keep rule), then run the naive
+/// i32 reference.
+fn qbsr_oracle(wt: &Matrix, w_scale: &[f32], xq: &[i8], n: usize) -> Vec<i32> {
+    let (rows, cols) = (wt.rows(), wt.cols());
+    let mut wq = vec![0i8; rows * cols];
+    for ib in 0..rows.div_ceil(8) {
+        for jb in 0..cols.div_ceil(8) {
+            let rs = ib * 8..rows.min(ib * 8 + 8);
+            let cs = jb * 8..cols.min(jb * 8 + 8);
+            let keep = rs.clone().any(|o| cs.clone().any(|i| wt.get(o, i) != 0.0));
+            if !keep {
+                continue;
+            }
+            for o in rs {
+                for i in cs.clone() {
+                    wq[o * cols + i] = quantize_value(wt.get(o, i), w_scale[o]);
+                }
+            }
+        }
+    }
+    let mut want = vec![0i32; rows * n];
+    qgemm_ref(rows, n, cols, &wq, xq, &mut want);
+    want
+}
+
+#[test]
+fn qgemm_is_bit_exact_over_random_shapes() {
+    run_cases(0xDA2C_0010, 60, |rng, case| {
+        // Deliberately off-tile shapes most of the time; every ~8th case
+        // degenerates (n = 0, or single row/col).
+        let (m, n, k) = if case % 8 == 7 {
+            (1 + rng.below(16), 0, 1 + rng.below(16))
+        } else {
+            (1 + rng.below(40), 1 + rng.below(24), 1 + rng.below(70))
+        };
+        let a = random_i8(rng, m * k);
+        let bt = random_i8(rng, n * k);
+        let kpad = kpad_for(k);
+        let apack = pack_weights_i8(m, k, &a, kpad);
+        let bpack = pack_activations_i8(n, k, &bt, kpad);
+        let mut want = vec![0i32; m * n];
+        qgemm_ref(m, n, k, &a, &bt, &mut want);
+        let mut got = vec![-1i32; m * n];
+        qgemm(m, n, k, kpad, &apack, &bpack, &mut got);
+        assert_eq!(got, want, "qgemm {m}x{k}x{n}");
+    });
+}
+
+#[test]
+fn qgemm_is_bit_exact_at_saturation_edges() {
+    // All-extreme operands: every product is ±16129, every madd pair sum
+    // ±32258 — the worst case for any i16 intermediate. Bit-equality here
+    // proves the widening happens before accumulation on every path.
+    run_cases(0xDA2C_0011, 20, |rng, _| {
+        let (m, n, k) = (1 + rng.below(24), 1 + rng.below(16), 1 + rng.below(64));
+        let edge = |rng: &mut Rng| -> i8 {
+            match rng.below(4) {
+                0 => 127,
+                1 => -127,
+                2 => 126,
+                _ => -126,
+            }
+        };
+        let a: Vec<i8> = (0..m * k).map(|_| edge(rng)).collect();
+        let bt: Vec<i8> = (0..n * k).map(|_| edge(rng)).collect();
+        let kpad = kpad_for(k);
+        let apack = pack_weights_i8(m, k, &a, kpad);
+        let bpack = pack_activations_i8(n, k, &bt, kpad);
+        let mut want = vec![0i32; m * n];
+        qgemm_ref(m, n, k, &a, &bt, &mut want);
+        let mut got = vec![0i32; m * n];
+        qgemm(m, n, k, kpad, &apack, &bpack, &mut got);
+        assert_eq!(got, want, "saturated qgemm {m}x{k}x{n}");
+    });
+}
+
+#[test]
+fn activation_quantization_saturates_at_clip_boundaries() {
+    // Values at, just inside, and far beyond the calibrated clip range.
+    let scale = 0.25f32; // clip range ±31.75
+    for (v, want) in [
+        (31.75, 127),
+        (-31.75, -127),
+        (31.74, 127), // rounds to 127, still in range
+        (1e6, 127),   // saturate, never wrap
+        (-1e6, -127),
+        (0.0, 0),
+        (0.124, 0),
+        (0.126, 1),
+    ] {
+        assert_eq!(quantize_value(v, scale), want, "quantize({v})");
+    }
+}
+
+#[test]
+fn vectorized_quantization_matches_the_scalar_path_bitwise() {
+    // The fused serving path quantizes with the AVX2 kernel (where
+    // available); it must agree with `quantize_value` on every finite
+    // input — including exact `.5` fractions, where nearest-even rounding
+    // (the naive `vroundps` mode) would diverge from `f32::round`.
+    run_cases(0xDA2C_0015, 30, |rng, case| {
+        let len = rng.below(200); // exercises the 16-lane body and tails
+        let scale = [0.25f32, 1.0, 0.037][case % 3];
+        let x: Vec<f32> = (0..len)
+            .map(|i| match i % 5 {
+                // Exact half fractions, both signs, at and past the clip.
+                0 => (rng.below(600) as f32 - 300.0 + 0.5) * scale,
+                1 => -(rng.below(300) as f32 + 0.5) * scale,
+                _ => rng.uniform(-200.0, 200.0) * scale,
+            })
+            .collect();
+        let mut got = vec![0i16; len];
+        quantize_activations_i16(&x, scale, &mut got);
+        for (i, (&g, &v)) in got.iter().zip(&x).enumerate() {
+            assert_eq!(g, quantize_value(v, scale) as i16, "elem {i} of {v}");
+        }
+    });
+}
+
+#[test]
+fn fused_quantize_pack_matches_the_two_pass_reference() {
+    // quantize_pack_activations must produce exactly the
+    // pack_activations_i8 layout of the elementwise-quantized batch —
+    // same strips, same pair interleave, same zero padding — over odd
+    // k, non-multiple-of-8 n, and empty batches.
+    run_cases(0xDA2C_0016, 30, |rng, case| {
+        let n = if case % 9 == 8 { 0 } else { rng.below(20) };
+        let k = 1 + rng.below(70);
+        let kpad = kpad_for(k);
+        let scale = 0.125f32;
+        let x: Vec<f32> = (0..n * k).map(|_| rng.uniform(-20.0, 20.0)).collect();
+        let xq: Vec<i8> = x.iter().map(|&v| quantize_value(v, scale)).collect();
+        let want = pack_activations_i8(n, k, &xq, kpad);
+        let got = quantize_pack_activations(n, k, &x, scale, kpad);
+        assert_eq!(got, want, "fused pack {n}x{k}");
+    });
+}
+
+#[test]
+fn fused_dequant_gemm_matches_the_two_pass_path_bitwise() {
+    // qgemm_dequant (transpose + dequantize in the tile spill, AVX2 fast
+    // path on full tiles) must equal qgemm followed by the scalar
+    // `acc as f32 * scale + bias` — the same f32 operations in the same
+    // order, so to the bit, across full, ragged, and sub-tile shapes.
+    run_cases(0xDA2C_0017, 30, |rng, case| {
+        let (m, n, k) = if case % 4 == 0 {
+            (16, 24, 32) // tile-aligned: exercises the AVX2 spill
+        } else {
+            (1 + rng.below(30), 1 + rng.below(20), 1 + rng.below(50))
+        };
+        let a = random_i8(rng, m * k);
+        let bt = random_i8(rng, n * k);
+        let kpad = kpad_for(k);
+        let apack = pack_weights_i8(m, k, &a, kpad);
+        let bpack = pack_activations_i8(n, k, &bt, kpad);
+        let scale: Vec<f32> = (0..m).map(|_| rng.uniform(0.001, 0.2)).collect();
+        let bias: Vec<f32> = (0..m).map(|_| rng.uniform(-2.0, 2.0)).collect();
+        let mut acc = vec![0i32; m * n];
+        qgemm(m, n, k, kpad, &apack, &bpack, &mut acc);
+        let mut want = vec![0f32; m * n];
+        for j in 0..n {
+            for i in 0..m {
+                want[j * m + i] = acc[i * n + j] as f32 * scale[i] + bias[i];
+            }
+        }
+        let mut got = vec![-1f32; m * n];
+        qgemm_dequant(m, n, k, kpad, &apack, &bpack, &scale, &bias, &mut got);
+        let (gb, wb): (Vec<u32>, Vec<u32>) = (
+            got.iter().map(|v| v.to_bits()).collect(),
+            want.iter().map(|v| v.to_bits()).collect(),
+        );
+        assert_eq!(gb, wb, "qgemm_dequant {m}x{k}x{n}");
+    });
+}
+
+#[test]
+fn fused_dequant_spmm_matches_and_empty_rows_read_as_bias() {
+    run_cases(0xDA2C_0018, 20, |rng, _| {
+        let rows = 8 * (1 + rng.below(5));
+        let cols = 8 * (1 + rng.below(5));
+        let n = 1 + rng.below(18);
+        let bcols = cols / 8;
+        // Low keep rate so empty block-rows occur often.
+        let kept: Vec<bool> = (0..(rows / 8) * bcols)
+            .map(|_| rng.next_f64() < 0.3)
+            .collect();
+        let wt = Matrix::from_fn(rows, cols, |o, i| {
+            if kept[(o / 8) * bcols + i / 8] {
+                rng.uniform(-2.0, 2.0)
+            } else {
+                0.0
+            }
+        });
+        let w_scale: Vec<f32> = (0..rows).map(|_| rng.uniform(0.005, 0.05)).collect();
+        let bias: Vec<f32> = (0..rows).map(|_| rng.uniform(-1.0, 1.0)).collect();
+        let xq = random_i8(rng, n * cols);
+        let q = QBsr::from_dense_rows(&wt, &w_scale);
+        let bpack = pack_activations_i8(n, cols, &xq, q.kpad());
+        let mut acc = vec![0i32; rows * n];
+        q.spmm(n, &bpack, &mut acc);
+        let mut want = vec![0f32; rows * n];
+        for j in 0..n {
+            for i in 0..rows {
+                want[j * rows + i] = acc[i * n + j] as f32 * w_scale[i] + bias[i];
+            }
+        }
+        let mut got = vec![-9f32; rows * n];
+        q.spmm_dequant(n, &bpack, &w_scale, &bias, &mut got);
+        let (gb, wb): (Vec<u32>, Vec<u32>) = (
+            got.iter().map(|v| v.to_bits()).collect(),
+            want.iter().map(|v| v.to_bits()).collect(),
+        );
+        assert_eq!(gb, wb, "spmm_dequant {rows}x{cols} n={n}");
+    });
+}
+
+#[test]
+fn qbsr_spmm_is_bit_exact_over_random_topologies() {
+    run_cases(0xDA2C_0012, 50, |rng, case| {
+        let rows = 1 + rng.below(48);
+        let cols = 1 + rng.below(48);
+        let n = if case % 7 == 6 { 0 } else { 1 + rng.below(20) };
+        // keep = 0 forces fully empty matrices; low keeps force empty
+        // block-rows with high probability.
+        let keep = [0.0, 0.1, 0.3, 0.7][case % 4];
+        let bcols = cols.div_ceil(8);
+        let kept: Vec<bool> = (0..rows.div_ceil(8) * bcols)
+            .map(|_| rng.next_f64() < keep)
+            .collect();
+        let wt = Matrix::from_fn(rows, cols, |o, i| {
+            if kept[(o / 8) * bcols + i / 8] {
+                rng.uniform(-3.0, 3.0)
+            } else {
+                0.0
+            }
+        });
+        let w_scale: Vec<f32> = (0..rows).map(|_| rng.uniform(0.005, 0.05)).collect();
+        let xq = random_i8(rng, n * cols);
+        let q = QBsr::from_dense_rows(&wt, &w_scale);
+        let bpack = pack_activations_i8(n, cols, &xq, q.kpad());
+        let mut got = vec![-1i32; rows * n];
+        q.spmm(n, &bpack, &mut got);
+        let want = qbsr_oracle(&wt, &w_scale, &xq, n);
+        assert_eq!(got, want, "qbsr {rows}x{cols} n={n} keep={keep}");
+    });
+}
+
+#[test]
+fn qbsr_handles_empty_block_rows_exactly() {
+    // Construct a matrix whose middle block-row is entirely dropped; its
+    // output band must be exactly zero, and the bands around it exact.
+    let mut rng = Rng::new(0xDA2C_0013);
+    let (rows, cols, n) = (24, 16, 5);
+    let wt = Matrix::from_fn(rows, cols, |o, _| {
+        if (8..16).contains(&o) {
+            0.0
+        } else {
+            rng.uniform(-1.0, 1.0)
+        }
+    });
+    let w_scale = vec![0.01f32; rows];
+    let xq = random_i8(&mut rng, n * cols);
+    let q = QBsr::from_dense_rows(&wt, &w_scale);
+    let bpack = pack_activations_i8(n, cols, &xq, q.kpad());
+    let mut got = vec![-1i32; rows * n];
+    q.spmm(n, &bpack, &mut got);
+    assert_eq!(&got[8 * n..16 * n], &vec![0i32; 8 * n][..]);
+    let want = qbsr_oracle(&wt, &w_scale, &xq, n);
+    assert_eq!(got, want);
+}
+
+#[test]
+fn weights_at_extremes_round_trip_through_qbsr() {
+    // A block of all ±max weights quantizes to exactly ±127 and the SpMM
+    // stays bit-exact — the weight-side saturation edge.
+    let (rows, cols, n) = (8, 8, 3);
+    let wt = Matrix::from_fn(rows, cols, |o, i| if (o + i) % 2 == 0 { 2.0 } else { -2.0 });
+    let w_scale: Vec<f32> = (0..rows).map(|_| 2.0 / 127.0).collect();
+    let mut rng = Rng::new(7);
+    let xq = random_i8(&mut rng, n * cols);
+    let q = QBsr::from_dense_rows(&wt, &w_scale);
+    let bpack = pack_activations_i8(n, cols, &xq, q.kpad());
+    let mut got = vec![0i32; rows * n];
+    q.spmm(n, &bpack, &mut got);
+    let want = qbsr_oracle(&wt, &w_scale, &xq, n);
+    assert_eq!(got, want);
+    // And the quantized weights really are at the rails.
+    let mut hit_rail = false;
+    for &v in &want {
+        hit_rail |= v != 0;
+    }
+    assert!(hit_rail);
+}
+
+#[test]
+fn calibration_same_seed_means_identical_scales_to_the_bit() {
+    run_cases(0xDA2C_0014, 8, |rng, _| {
+        let seed = rng.next_u64();
+        let build = |seed: u64| {
+            let mut rng = Rng::new(seed);
+            let mlp = Mlp::kaldi_style(20, 24, 4, 2, 7, &mut rng);
+            let feats = random_matrix(&mut rng, 10, 20, 1.5);
+            calibrate_mlp(&mlp, &feats)
+        };
+        let (a, b) = (build(seed), build(seed));
+        assert_eq!(a.num_layers(), b.num_layers());
+        for (x, y) in a.layer_max.iter().zip(&b.layer_max) {
+            match (x, y) {
+                (Some(x), Some(y)) => {
+                    assert_eq!(x.to_bits(), y.to_bits(), "scale drifted between runs")
+                }
+                (None, None) => {}
+                _ => panic!("layer coverage differs between runs"),
+            }
+        }
+    });
+}

@@ -21,16 +21,19 @@
 use crate::session::SessionId;
 use darkside_decoder::wire;
 use darkside_error::Error;
-use darkside_nn::Frame;
+use darkside_nn::{Frame, Precision};
 use darkside_wfst::GraphKind;
 
 /// `"DSCK"` — darkside checkpoint.
 const MAGIC: u32 = u32::from_le_bytes(*b"DSCK");
-/// v2 (ISSUE 8): a graph-kind tag follows the session id, so a blob saved
-/// against a lazy graph is never restored into an engine serving an eager
-/// one (or vice versa). v1 blobs predate the field and are rejected —
-/// checkpoints are short-lived migration artifacts, not archives.
-const VERSION: u32 = 2;
+/// v2 (ISSUE 8) added a graph-kind tag after the session id, so a blob
+/// saved against a lazy graph is never restored into an engine serving an
+/// eager one. v3 (ISSUE 10) adds a scoring-precision tag after it, so a
+/// blob saved against an f32 scorer is never restored onto an int8 one
+/// (different posteriors ⇒ a silently corrupted decode). Older blobs are
+/// rejected — checkpoints are short-lived migration artifacts, not
+/// archives.
+const VERSION: u32 = 3;
 
 /// A serialized mid-utterance session (see module docs). Obtain one from
 /// [`crate::ShardedScheduler::checkpoint`] (or [`crate::Session::checkpoint`]
@@ -41,6 +44,8 @@ pub struct SessionCheckpoint {
     pub(crate) id: SessionId,
     /// Which graph representation the session was decoding against.
     pub(crate) graph_kind: GraphKind,
+    /// Which scoring precision the session was decoded under.
+    pub(crate) precision: Precision,
     pub(crate) degraded: bool,
     pub(crate) input_closed: bool,
     pub(crate) frames_in: usize,
@@ -68,6 +73,12 @@ impl SessionCheckpoint {
         self.graph_kind
     }
 
+    /// Which scoring precision (f32 / int8) the session was decoded under;
+    /// restore requires the target engine's bundle to match.
+    pub fn precision(&self) -> Precision {
+        self.precision
+    }
+
     /// Un-scored frames the checkpoint carries — the queue budget a
     /// restore must re-reserve.
     pub fn pending_frames(&self) -> usize {
@@ -81,6 +92,7 @@ impl SessionCheckpoint {
         wire::put_u32(&mut out, VERSION);
         wire::put_u64(&mut out, self.id.0);
         wire::put_u32(&mut out, self.graph_kind.tag());
+        wire::put_u32(&mut out, self.precision.tag());
         wire::put_bool(&mut out, self.degraded);
         wire::put_bool(&mut out, self.input_closed);
         wire::put_usize(&mut out, self.frames_in);
@@ -118,6 +130,7 @@ impl SessionCheckpoint {
         }
         let id = SessionId(r.u64()?);
         let graph_kind = GraphKind::from_tag(r.u32()?)?;
+        let precision = Precision::from_tag(r.u32()?)?;
         let degraded = r.bool()?;
         let input_closed = r.bool()?;
         let frames_in = r.usize()?;
@@ -138,6 +151,7 @@ impl SessionCheckpoint {
         Ok(Self {
             id,
             graph_kind,
+            precision,
             degraded,
             input_closed,
             frames_in,
@@ -157,6 +171,7 @@ mod tests {
         SessionCheckpoint {
             id: SessionId(42),
             graph_kind: GraphKind::Lazy,
+            precision: Precision::Int8,
             degraded: true,
             input_closed: false,
             frames_in: 9,
@@ -174,6 +189,7 @@ mod tests {
         let back = SessionCheckpoint::from_bytes(&bytes).unwrap();
         assert_eq!(back.id, ck.id);
         assert_eq!(back.graph_kind, GraphKind::Lazy);
+        assert_eq!(back.precision, Precision::Int8);
         assert_eq!(back.degraded, ck.degraded);
         assert_eq!(back.input_closed, ck.input_closed);
         assert_eq!(back.frames_in, ck.frames_in);
@@ -204,6 +220,10 @@ mod tests {
         // Unknown graph-kind tag (magic + version + id put it at 16..20).
         let mut bad = bytes.clone();
         bad[16..20].copy_from_slice(&99u32.to_le_bytes());
+        assert!(SessionCheckpoint::from_bytes(&bad).is_err());
+        // Unknown precision tag (right after the graph kind, at 20..24).
+        let mut bad = bytes.clone();
+        bad[20..24].copy_from_slice(&99u32.to_le_bytes());
         assert!(SessionCheckpoint::from_bytes(&bad).is_err());
         // Every truncation fails, none panic.
         for cut in 0..bytes.len() {

@@ -14,7 +14,7 @@
 use crate::checkpoint::SessionCheckpoint;
 use crate::DetectorConfig;
 use darkside_decoder::{wire, DecodeResult, Error, PartialHypothesis, PruningPolicy, SearchCore};
-use darkside_nn::{Frame, Matrix};
+use darkside_nn::{Frame, Matrix, Precision};
 use darkside_trace as trace;
 use darkside_wfst::{GraphKind, SharedGraph};
 use std::collections::VecDeque;
@@ -113,6 +113,10 @@ pub struct Session {
     /// Which representation the shared graph is (stamped into
     /// checkpoints; restore refuses a mismatched engine).
     graph_kind: GraphKind,
+    /// Which precision the bundle's scorer computes in (stamped into
+    /// checkpoints; restore refuses a mismatched engine — f32 and int8
+    /// posteriors differ, so switching mid-utterance corrupts the decode).
+    precision: Precision,
     policy: Box<dyn PruningPolicy + Send>,
     pending: VecDeque<Frame>,
     input_closed: bool,
@@ -134,6 +138,7 @@ impl Session {
         id: SessionId,
         graph: SharedGraph,
         graph_kind: GraphKind,
+        precision: Precision,
         policy: Box<dyn PruningPolicy + Send>,
         degraded: bool,
     ) -> Result<Self, Error> {
@@ -141,6 +146,7 @@ impl Session {
             id,
             core: SearchCore::new(graph)?,
             graph_kind,
+            precision,
             policy,
             pending: VecDeque::new(),
             input_closed: false,
@@ -288,6 +294,7 @@ impl Session {
         Ok(SessionCheckpoint {
             id: self.id,
             graph_kind: self.graph_kind,
+            precision: self.precision,
             degraded: self.degraded,
             input_closed: self.input_closed,
             frames_in: self.frames_in,
@@ -311,6 +318,7 @@ impl Session {
         ckpt: &SessionCheckpoint,
         graph: SharedGraph,
         graph_kind: GraphKind,
+        precision: Precision,
         mut policy: Box<dyn PruningPolicy + Send>,
     ) -> Result<Self, Error> {
         if ckpt.graph_kind != graph_kind {
@@ -320,6 +328,16 @@ impl Session {
                     "checkpoint was taken against a {} graph but this engine serves a {} one",
                     ckpt.graph_kind.label(),
                     graph_kind.label()
+                ),
+            ));
+        }
+        if ckpt.precision != precision {
+            return Err(Error::config(
+                "Session::restore",
+                format!(
+                    "checkpoint was scored at {} but this engine serves an {} scorer",
+                    ckpt.precision.label(),
+                    precision.label()
                 ),
             ));
         }
@@ -333,6 +351,7 @@ impl Session {
             id: ckpt.id,
             core,
             graph_kind,
+            precision,
             policy,
             pending: ckpt.pending.iter().cloned().collect(),
             input_closed: ckpt.input_closed,
@@ -409,6 +428,7 @@ mod tests {
             SessionId(7),
             graph.clone(),
             GraphKind::Eager,
+            Precision::F32,
             Box::new(BeamPolicy::new(BeamConfig::default().beam)),
             false,
         )
@@ -481,6 +501,7 @@ mod tests {
             SessionId(1),
             graph,
             GraphKind::Eager,
+            Precision::F32,
             Box::new(RejectAll),
             false,
         )
@@ -532,6 +553,17 @@ mod tests {
             &ckpt,
             graph.clone(),
             GraphKind::Lazy,
+            Precision::F32,
+            Box::new(BeamPolicy::new(BeamConfig::default().beam)),
+        )
+        .is_err());
+        // As is restoring onto a scorer of a different precision (wire v3).
+        assert_eq!(ckpt.precision(), Precision::F32);
+        assert!(Session::restore(
+            &ckpt,
+            graph.clone(),
+            GraphKind::Eager,
+            Precision::Int8,
             Box::new(BeamPolicy::new(BeamConfig::default().beam)),
         )
         .is_err());
@@ -539,6 +571,7 @@ mod tests {
             &ckpt,
             graph.clone(),
             GraphKind::Eager,
+            Precision::F32,
             Box::new(BeamPolicy::new(BeamConfig::default().beam)),
         )
         .unwrap();
@@ -572,6 +605,7 @@ mod tests {
             SessionId(1),
             graph,
             GraphKind::Eager,
+            Precision::F32,
             Box::new(RejectAll),
             false,
         )

@@ -233,6 +233,7 @@ impl ShardedScheduler {
                     id,
                     bundle.graph.clone(),
                     bundle.graph_kind,
+                    bundle.precision,
                     bundle.build_policy()?,
                     degraded,
                 )?;
@@ -425,6 +426,7 @@ impl ShardedScheduler {
             ckpt,
             bundle.graph.clone(),
             bundle.graph_kind,
+            bundle.precision,
             bundle.build_policy()?,
         )?;
         // Health is derived observation, not checkpoint state: a restored

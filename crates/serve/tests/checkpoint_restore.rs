@@ -15,7 +15,7 @@ use common::{
 use darkside_core::{Pipeline, PipelineConfig, ServableSpec};
 use darkside_decoder::{acoustic_costs, decode_with_policy, BeamConfig};
 use darkside_nn::check::run_cases;
-use darkside_nn::{Frame, FrameScorer};
+use darkside_nn::{Frame, FrameScorer, Precision};
 use darkside_serve::{ServeConfig, Session, SessionCheckpoint, SessionId, ShardedScheduler};
 use darkside_wfst::GraphKind;
 use std::sync::Arc;
@@ -44,6 +44,7 @@ fn checkpoint_boundary_case(seed: u64) {
                 SessionId(7),
                 graph.clone(),
                 GraphKind::Eager,
+                Precision::F32,
                 kind.build(&beam).unwrap(),
                 false,
             )
@@ -69,6 +70,7 @@ fn checkpoint_boundary_case(seed: u64) {
                 &restored_ckpt,
                 graph.clone(),
                 GraphKind::Eager,
+                Precision::F32,
                 kind.build(&beam).unwrap(),
             )
             .unwrap();
@@ -263,6 +265,66 @@ fn lazy_graph_sessions_migrate_and_reject_kind_mismatch() {
         served[0].decode.as_ref().unwrap(),
         &oneshot,
         "lazy migrated",
+    );
+}
+
+/// ISSUE 10 satellite: the scoring precision rides the wire format
+/// (checkpoint v3). A session checkpointed against an f32-served bundle
+/// is refused by an engine serving the int8 quantization of the *same*
+/// model — their posteriors differ, so finishing the utterance on the
+/// other scorer would silently corrupt the decode — and a same-precision
+/// engine restores it and finishes bit-for-bit.
+#[test]
+fn precision_mismatch_is_refused_at_restore() {
+    let pipeline = Pipeline::build(PipelineConfig::smoke().with_training(0, 0)).unwrap();
+    let f32_bundle = pipeline.servable(ServableSpec::dense()).unwrap();
+    assert_eq!(f32_bundle.precision, Precision::F32);
+    let int8_bundle = pipeline
+        .servable(ServableSpec::dense().with_precision(Precision::Int8))
+        .unwrap();
+    assert_eq!(int8_bundle.precision, Precision::Int8);
+
+    let frames = pipeline.test_set()[0].frames.clone();
+    assert!(frames.len() >= 2, "need a mid-utterance boundary");
+    let mut engine_f32 = ShardedScheduler::build(
+        f32_bundle.clone(),
+        ServeConfig::default()
+            .with_shards(2)
+            .with_max_batch_frames(1)
+            .with_degrade_fraction(1.0),
+    )
+    .unwrap();
+    let target = engine_f32.offer(frames.clone()).unwrap().id();
+    engine_f32.step().unwrap();
+    let blob = engine_f32.checkpoint(target).unwrap().to_bytes();
+    let ckpt = SessionCheckpoint::from_bytes(&blob).unwrap();
+    assert_eq!(ckpt.precision(), Precision::F32);
+    assert!(ckpt.pending_frames() > 0, "must be mid-utterance");
+
+    // Same graph, same weights, int8 scorer: refused.
+    let mut engine_int8 = ShardedScheduler::build(
+        int8_bundle,
+        ServeConfig::default().with_degrade_fraction(1.0),
+    )
+    .unwrap();
+    assert!(engine_int8.restore(&ckpt).is_err());
+
+    // A fresh f32 engine finishes the migrated session bit-for-bit.
+    let mut engine_back = ShardedScheduler::build(
+        f32_bundle.clone(),
+        ServeConfig::default().with_degrade_fraction(1.0),
+    )
+    .unwrap();
+    assert_eq!(engine_back.restore(&ckpt).unwrap(), target);
+    let served = engine_back.drain().unwrap();
+    assert_eq!(served.len(), 1);
+    let costs = acoustic_costs(&f32_bundle.scorer.score_frames(&frames), &f32_bundle.beam);
+    let mut policy = f32_bundle.build_policy().unwrap();
+    let oneshot = decode_with_policy(&f32_bundle.graph, &costs, policy.as_mut()).unwrap();
+    assert_bit_identical(
+        served[0].decode.as_ref().unwrap(),
+        &oneshot,
+        "f32 migrated across precision-checked engines",
     );
 }
 

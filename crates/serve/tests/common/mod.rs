@@ -5,7 +5,7 @@
 
 use darkside_core::{ModelBundle, PolicyKind};
 use darkside_decoder::{BeamConfig, DecodeResult};
-use darkside_nn::{Frame, Matrix, Mlp, Rng};
+use darkside_nn::{Frame, Matrix, Mlp, Precision, Rng};
 use darkside_viterbi_accel::{NBestTableConfig, UnfoldHashConfig};
 use darkside_wfst::{Arc as FstArc, Fst, GraphKind, TropicalWeight, EPSILON};
 use std::sync::Arc;
@@ -103,6 +103,7 @@ pub fn bundle_for(
         label: kind.label().to_string(),
         sparsity: 0.0,
         structure: "unstructured".to_string(),
+        precision: Precision::F32,
         // No probe data for these synthetic bundles: the detector's
         // workload check stays off unless a test sets one.
         dense_hyps_baseline: 0.0,

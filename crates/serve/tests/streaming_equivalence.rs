@@ -25,7 +25,7 @@ use common::{
 };
 use darkside_decoder::{acoustic_costs, decode_with_policy, BeamConfig, DecodeResult};
 use darkside_nn::check::run_cases;
-use darkside_nn::{Frame, FrameScorer, Matrix};
+use darkside_nn::{Frame, FrameScorer, Matrix, Precision};
 use darkside_serve::{ServeConfig, Session, SessionId, ShardedScheduler, SubmitResponse};
 use darkside_wfst::{Fst, GraphKind};
 use std::sync::Arc;
@@ -43,6 +43,7 @@ fn stream_decode(
         SessionId(0),
         graph.clone(),
         GraphKind::Eager,
+        Precision::F32,
         kind.build(beam).unwrap(),
         false,
     )

@@ -13,6 +13,7 @@ pub use darkside_dnn_accel as dnn_accel;
 pub use darkside_hwmodel as hwmodel;
 pub use darkside_nn as nn;
 pub use darkside_pruning as pruning;
+pub use darkside_quant as quant;
 pub use darkside_serve as serve;
 pub use darkside_trace as trace;
 pub use darkside_viterbi_accel as viterbi_accel;
@@ -31,6 +32,7 @@ mod tests {
         let _ = crate::hwmodel::EnergyAccount::default();
         let _ = crate::nn::Matrix::zeros(1, 1);
         let _ = crate::pruning::Csr::from_dense(&crate::nn::Matrix::zeros(1, 1)).unwrap();
+        let _ = crate::quant::quantize_value(0.0, 1.0);
         let _ = crate::serve::ServeConfig::default();
         let _ = crate::trace::MemoryRecorder::new();
         let _ = crate::viterbi_accel::NBestTableConfig::paper();
